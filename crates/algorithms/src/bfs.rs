@@ -1,0 +1,270 @@
+//! Breadth-First Search.
+//!
+//! Table I: `v.depth ← min_{e ∈ InEdges(v)} (e.source.depth + 1)`.
+//!
+//! The FS kernel is the conventional frontier-based parallel BFS of the GAP
+//! benchmark suite (push direction, CAS-guarded depth relaxation).
+
+use crate::program::{ValueStore, VertexProgram};
+use crossbeam::queue::SegQueue;
+use saga_graph::properties::AtomicU32Array;
+use saga_graph::{GraphTopology, Node};
+use saga_utils::bitvec::AtomicBitVec;
+use saga_utils::parallel::{Schedule, ThreadPool};
+
+/// Depth of a vertex not (yet) reachable from the root.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// BFS as a vertex program.
+///
+/// # Examples
+///
+/// ```
+/// use saga_algorithms::bfs::{BfsProgram, UNREACHED};
+/// use saga_algorithms::program::VertexProgram;
+///
+/// let p = BfsProgram::new(3);
+/// assert_eq!(p.initial(3, 10), 0);
+/// assert_eq!(p.initial(4, 10), UNREACHED);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BfsProgram {
+    root: Node,
+}
+
+impl BfsProgram {
+    /// BFS from `root`.
+    pub fn new(root: Node) -> Self {
+        Self { root }
+    }
+
+    /// The search root.
+    pub fn root(&self) -> Node {
+        self.root
+    }
+}
+
+impl VertexProgram for BfsProgram {
+    type Value = u32;
+    type Store = AtomicU32Array;
+
+    fn name(&self) -> &'static str {
+        "BFS"
+    }
+
+    fn initial(&self, v: Node, _num_nodes: usize) -> u32 {
+        if v == self.root {
+            0
+        } else {
+            UNREACHED
+        }
+    }
+
+    fn pull(&self, graph: &dyn GraphTopology, v: Node, values: &Self::Store) -> u32 {
+        let mut best = UNREACHED;
+        graph.for_each_in_neighbor(v, &mut |src, _| {
+            let d = values.load(src as usize).saturating_add(1);
+            best = best.min(d);
+        });
+        best
+    }
+
+    fn combine(&self, old: u32, pulled: u32) -> u32 {
+        old.min(pulled)
+    }
+
+    fn significant_change(&self, old: u32, new: u32) -> bool {
+        new < old
+    }
+}
+
+/// Conventional frontier BFS from scratch. `values` must already be reset.
+/// Returns the number of levels expanded.
+pub fn bfs_from_scratch(
+    program: &BfsProgram,
+    graph: &dyn GraphTopology,
+    values: &AtomicU32Array,
+    pool: &ThreadPool,
+) -> usize {
+    let n = graph.capacity();
+    let mut visited = AtomicBitVec::new(n);
+    let next: SegQueue<Node> = SegQueue::new();
+    let mut frontier = vec![program.root];
+    let mut levels = 0;
+    while !frontier.is_empty() {
+        levels += 1;
+        let grain = saga_utils::parallel::adaptive_grain(frontier.len(), pool.threads());
+        pool.parallel_for(0..frontier.len(), Schedule::Dynamic(grain), |i| {
+            let v = frontier[i];
+            let depth = values.load(v as usize);
+            graph.for_each_out_neighbor(v, &mut |nb, _| {
+                if values.fetch_min(nb as usize, depth + 1) && visited.try_set(nb as usize) {
+                    next.push(nb);
+                }
+            });
+        });
+        frontier.clear();
+        while let Some(v) = next.pop() {
+            frontier.push(v);
+        }
+        visited.clear_all();
+    }
+    levels
+}
+
+/// Direction-optimizing BFS from scratch (Beamer et al.; the kernel GAP
+/// actually ships). Runs top-down (push) while the frontier is small and
+/// switches to bottom-up (every unvisited vertex pulls from its
+/// in-neighbors) once the frontier exceeds 1/20 of the vertices, where
+/// scanning the unvisited side is cheaper than pushing a huge frontier's
+/// edges.
+///
+/// Produces exactly the same depths as [`bfs_from_scratch`]; exposed
+/// separately so the classic and direction-optimizing kernels can be
+/// compared (see the `extensions` bench). Returns levels expanded.
+pub fn bfs_direction_optimizing(
+    program: &BfsProgram,
+    graph: &dyn GraphTopology,
+    values: &AtomicU32Array,
+    pool: &ThreadPool,
+) -> usize {
+    /// Switch to bottom-up when the frontier exceeds n / this.
+    const DIRECTION_SWITCH_FRACTION: usize = 20;
+
+    let n = graph.capacity();
+    let switch_at = (n / DIRECTION_SWITCH_FRACTION).max(1);
+    let mut visited = AtomicBitVec::new(n);
+    let next: SegQueue<Node> = SegQueue::new();
+    let mut frontier = vec![program.root];
+    let mut depth = 0u32;
+    let mut levels = 0;
+    while !frontier.is_empty() {
+        levels += 1;
+        if frontier.len() < switch_at {
+            // Top-down step: push from the frontier.
+            let grain = saga_utils::parallel::adaptive_grain(frontier.len(), pool.threads());
+            pool.parallel_for(0..frontier.len(), Schedule::Dynamic(grain), |i| {
+                let v = frontier[i];
+                let d = values.load(v as usize);
+                graph.for_each_out_neighbor(v, &mut |nb, _| {
+                    if values.fetch_min(nb as usize, d + 1) && visited.try_set(nb as usize) {
+                        next.push(nb);
+                    }
+                });
+            });
+        } else {
+            // Bottom-up step: every unvisited vertex scans its in-neighbors
+            // for a frontier member; no CAS contention on the frontier side.
+            let grain = saga_utils::parallel::adaptive_grain(n, pool.threads()).max(16);
+            pool.parallel_for(0..n, Schedule::Dynamic(grain), |v| {
+                if values.load(v) != UNREACHED {
+                    return;
+                }
+                let mut found = false;
+                graph.for_each_in_neighbor(v as Node, &mut |src, _| {
+                    if !found && values.load(src as usize) == depth {
+                        found = true;
+                    }
+                });
+                if found {
+                    values.store(v, depth + 1);
+                    next.push(v as Node);
+                }
+            });
+        }
+        frontier.clear();
+        while let Some(v) = next.pop() {
+            frontier.push(v);
+        }
+        visited.clear_all();
+        depth += 1;
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::reset_values;
+    use saga_graph::{build_graph, DataStructureKind, Edge};
+
+    #[test]
+    fn fs_bfs_computes_exact_depths() {
+        let pool = ThreadPool::new(3);
+        let g = build_graph(DataStructureKind::AdjacencyChunked, 7, true, 3);
+        g.update_batch(
+            &[
+                Edge::new(0, 1, 1.0),
+                Edge::new(0, 2, 1.0),
+                Edge::new(1, 3, 1.0),
+                Edge::new(2, 3, 1.0),
+                Edge::new(3, 4, 1.0),
+                Edge::new(5, 4, 1.0), // 5 unreachable from 0
+            ],
+            &pool,
+        );
+        let program = BfsProgram::new(0);
+        let values = AtomicU32Array::filled(7, 0);
+        reset_values(&program, &values, 7, &pool);
+        bfs_from_scratch(&program, g.as_ref(), &values, &pool);
+        assert_eq!(values.to_vec(), vec![0, 1, 1, 2, 3, UNREACHED, UNREACHED]);
+    }
+
+    #[test]
+    fn pull_takes_the_best_in_neighbor() {
+        let pool = ThreadPool::new(1);
+        let g = build_graph(DataStructureKind::AdjacencyShared, 4, true, 1);
+        g.update_batch(&[Edge::new(0, 2, 1.0), Edge::new(1, 2, 1.0)], &pool);
+        let program = BfsProgram::new(0);
+        let values = AtomicU32Array::filled(4, UNREACHED);
+        values.set(0, 0);
+        values.set(1, 5);
+        assert_eq!(program.pull(g.as_ref(), 2, &values), 1);
+        // Vertex with no in-edges pulls UNREACHED.
+        assert_eq!(program.pull(g.as_ref(), 3, &values), UNREACHED);
+    }
+
+    #[test]
+    fn direction_optimizing_matches_classic_bfs() {
+        // Deterministic pseudo-random graph large enough to trigger the
+        // bottom-up switch.
+        let pool = ThreadPool::new(4);
+        let n = 600usize;
+        let g = build_graph(DataStructureKind::AdjacencyShared, n, true, pool.threads());
+        let edges: Vec<Edge> = (0..6_000u64)
+            .map(|i| {
+                let r = saga_utils::hash::mix64(i);
+                Edge::new(
+                    ((r >> 8) % n as u64) as Node,
+                    ((r >> 32) % n as u64) as Node,
+                    1.0,
+                )
+            })
+            .collect();
+        g.update_batch(&edges, &pool);
+        let program = BfsProgram::new(edges[0].src);
+        let classic = AtomicU32Array::filled(n, 0);
+        reset_values(&program, &classic, n, &pool);
+        bfs_from_scratch(&program, g.as_ref(), &classic, &pool);
+        let dirop = AtomicU32Array::filled(n, 0);
+        reset_values(&program, &dirop, n, &pool);
+        bfs_direction_optimizing(&program, g.as_ref(), &dirop, &pool);
+        assert_eq!(classic.to_vec(), dirop.to_vec());
+    }
+
+    #[test]
+    fn direction_optimizing_on_a_path_stays_top_down() {
+        let pool = ThreadPool::new(2);
+        let g = build_graph(DataStructureKind::Stinger, 30, true, pool.threads());
+        let edges: Vec<Edge> = (0..29).map(|i| Edge::new(i, i + 1, 1.0)).collect();
+        g.update_batch(&edges, &pool);
+        let program = BfsProgram::new(0);
+        let values = AtomicU32Array::filled(30, 0);
+        reset_values(&program, &values, 30, &pool);
+        let levels = bfs_direction_optimizing(&program, g.as_ref(), &values, &pool);
+        // 29 productive rounds plus the final empty-frontier check round.
+        assert_eq!(levels, 30);
+        assert_eq!(values.get(29), 29);
+    }
+
+}

@@ -1,0 +1,631 @@
+//! The six vertex-centric algorithms of SAGA-Bench, each implemented in
+//! both compute models (§III-B, §III-C of the paper).
+//!
+//! | Algorithm | Vertex function (Table I) | Module |
+//! |-----------|---------------------------|--------|
+//! | BFS  | `min_in (src.depth + 1)` | [`bfs`] |
+//! | CC   | `min_edges other.value` | [`cc`] |
+//! | MC   | `max_in src.value` | [`mc`] |
+//! | PR   | `0.15/V + 0.85 sum_in src.rank/src.out_deg` | [`pr`] |
+//! | SSSP | `min_in (src.path + w)` | [`sssp`] |
+//! | SSWP | `max_in min(src.path, w)` | [`sswp`] |
+//!
+//! Compute models:
+//!
+//! - **FS** ([`fs`]): recomputation from scratch with conventional
+//!   static-graph kernels (frontier BFS, delta-stepping SSSP,
+//!   tolerance-stopped PR, fixpoint label propagation).
+//! - **INC** ([`inc`]): the incremental model of Algorithm 1 — processing
+//!   amortization plus selective triggering.
+//!
+//! [`AlgorithmState`] packages a program with its property array and runs
+//! either model — the paper's `performAlg()` API.
+
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod cc;
+pub mod fs;
+pub mod inc;
+pub mod mc;
+pub mod pr;
+pub mod program;
+pub mod sssp;
+pub mod sswp;
+
+use program::{ValueStore, VertexProgram};
+use saga_graph::properties::{AtomicF32Array, AtomicF64Array, AtomicU32Array};
+use saga_graph::{Edge, GraphTopology, Node};
+use saga_utils::parallel::ThreadPool;
+
+/// The six algorithms (§III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AlgorithmKind {
+    /// Breadth-First Search.
+    Bfs,
+    /// Connected Components.
+    Cc,
+    /// Max Computation.
+    Mc,
+    /// PageRank.
+    PageRank,
+    /// Single-Source Shortest Paths.
+    Sssp,
+    /// Single-Source Widest Paths.
+    Sswp,
+}
+
+impl AlgorithmKind {
+    /// All six, in the paper's order.
+    pub const ALL: [AlgorithmKind; 6] = [
+        AlgorithmKind::Bfs,
+        AlgorithmKind::Cc,
+        AlgorithmKind::Mc,
+        AlgorithmKind::PageRank,
+        AlgorithmKind::Sssp,
+        AlgorithmKind::Sswp,
+    ];
+
+    /// The paper's abbreviation.
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            AlgorithmKind::Bfs => "BFS",
+            AlgorithmKind::Cc => "CC",
+            AlgorithmKind::Mc => "MC",
+            AlgorithmKind::PageRank => "PR",
+            AlgorithmKind::Sssp => "SSSP",
+            AlgorithmKind::Sswp => "SSWP",
+        }
+    }
+}
+
+impl std::fmt::Display for AlgorithmKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// The two compute models (§III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ComputeModelKind {
+    /// Recomputation from scratch.
+    FromScratch,
+    /// Incremental computation (Algorithm 1).
+    Incremental,
+}
+
+impl ComputeModelKind {
+    /// Both models.
+    pub const ALL: [ComputeModelKind; 2] =
+        [ComputeModelKind::FromScratch, ComputeModelKind::Incremental];
+
+    /// The paper's abbreviation (FS / INC).
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            ComputeModelKind::FromScratch => "FS",
+            ComputeModelKind::Incremental => "INC",
+        }
+    }
+}
+
+impl std::fmt::Display for ComputeModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// Tunables shared by the algorithm constructors.
+#[derive(Debug, Clone, Copy)]
+pub struct AlgorithmParams {
+    /// Source vertex for BFS/SSSP/SSWP.
+    pub root: Node,
+    /// Incremental triggering threshold for PageRank (paper: `1e-7`).
+    pub pr_epsilon: f64,
+    /// FS stopping tolerance for PageRank.
+    pub pr_fs_tolerance: f64,
+    /// Delta-stepping bucket width for SSSP.
+    pub sssp_delta: f32,
+}
+
+impl Default for AlgorithmParams {
+    fn default() -> Self {
+        Self {
+            root: 0,
+            pr_epsilon: pr::DEFAULT_EPSILON,
+            pr_fs_tolerance: pr::DEFAULT_FS_TOLERANCE,
+            sssp_delta: sssp::DEFAULT_DELTA,
+        }
+    }
+}
+
+/// What a compute phase did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ComputeOutcome {
+    /// Rounds / levels / iterations executed.
+    pub iterations: usize,
+    /// Vertex-function evaluations (0 for FS kernels that do not count).
+    pub recomputed: usize,
+    /// Vertices that triggered neighbor propagation (INC only).
+    pub triggered: usize,
+}
+
+/// A snapshot of the vertex property array.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VertexValues {
+    /// Depths, labels, or max values.
+    U32(Vec<u32>),
+    /// Distances or widths.
+    F32(Vec<f32>),
+    /// PageRank scores.
+    F64(Vec<f64>),
+}
+
+impl VertexValues {
+    /// Number of vertices covered.
+    pub fn len(&self) -> usize {
+        match self {
+            VertexValues::U32(v) => v.len(),
+            VertexValues::F32(v) => v.len(),
+            VertexValues::F64(v) => v.len(),
+        }
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The integer values, if this is a U32 snapshot.
+    pub fn as_u32(&self) -> Option<&[u32]> {
+        match self {
+            VertexValues::U32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The f32 values, if this is an F32 snapshot.
+    pub fn as_f32(&self) -> Option<&[f32]> {
+        match self {
+            VertexValues::F32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The f64 values, if this is an F64 snapshot.
+    pub fn as_f64(&self) -> Option<&[f64]> {
+        match self {
+            VertexValues::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The `k` vertices with the largest values, descending (useful for
+    /// "top influencers" style queries; ties broken by vertex id).
+    pub fn top_k(&self, k: usize) -> Vec<(Node, f64)> {
+        let mut indexed: Vec<(Node, f64)> = match self {
+            VertexValues::U32(v) => v
+                .iter()
+                .enumerate()
+                .filter(|&(_, &x)| x != u32::MAX)
+                .map(|(i, &x)| (i as Node, x as f64))
+                .collect(),
+            VertexValues::F32(v) => v
+                .iter()
+                .enumerate()
+                .filter(|&(_, &x)| x.is_finite())
+                .map(|(i, &x)| (i as Node, x as f64))
+                .collect(),
+            VertexValues::F64(v) => v
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| (i as Node, x))
+                .collect(),
+        };
+        indexed.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        indexed.truncate(k);
+        indexed
+    }
+}
+
+enum StateInner {
+    Bfs(bfs::BfsProgram, AtomicU32Array),
+    Cc(cc::CcProgram, AtomicU32Array),
+    Mc(mc::McProgram, AtomicU32Array),
+    Pr(pr::PrProgram, AtomicF64Array),
+    Sssp(sssp::SsspProgram, AtomicF32Array),
+    Sswp(sswp::SswpProgram, AtomicF32Array),
+}
+
+/// An algorithm instance bound to a compute model and a property array —
+/// the receiver of the paper's `performAlg()` API function.
+///
+/// # Examples
+///
+/// ```
+/// use saga_algorithms::{AlgorithmKind, AlgorithmParams, AlgorithmState, ComputeModelKind};
+/// use saga_graph::{build_graph, DataStructureKind, Edge};
+/// use saga_utils::parallel::ThreadPool;
+///
+/// let pool = ThreadPool::new(2);
+/// let graph = build_graph(DataStructureKind::AdjacencyShared, 4, true, 1);
+/// let batch = [Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0)];
+/// graph.update_batch(&batch, &pool);
+///
+/// let mut state = AlgorithmState::new(
+///     AlgorithmKind::Bfs,
+///     ComputeModelKind::Incremental,
+///     4,
+///     AlgorithmParams::default(),
+/// );
+/// let affected = vec![0, 1, 2];
+/// state.perform_alg(graph.as_ref(), &affected, &[], &pool);
+/// match state.values() {
+///     saga_algorithms::VertexValues::U32(depths) => assert_eq!(depths[2], 2),
+///     _ => unreachable!(),
+/// }
+/// ```
+pub struct AlgorithmState {
+    kind: AlgorithmKind,
+    model: ComputeModelKind,
+    capacity: usize,
+    inner: StateInner,
+}
+
+impl std::fmt::Debug for AlgorithmState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlgorithmState")
+            .field("kind", &self.kind)
+            .field("model", &self.model)
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+fn reset_store<P: VertexProgram>(program: &P, store: &P::Store, capacity: usize) {
+    for v in 0..capacity {
+        store.store(v, program.initial(v as Node, capacity));
+    }
+}
+
+impl AlgorithmState {
+    /// Creates an algorithm state over a fixed `capacity`-vertex universe.
+    /// All property values start at the program's initial values.
+    pub fn new(
+        kind: AlgorithmKind,
+        model: ComputeModelKind,
+        capacity: usize,
+        params: AlgorithmParams,
+    ) -> Self {
+        let inner = match kind {
+            AlgorithmKind::Bfs => {
+                let p = bfs::BfsProgram::new(params.root);
+                let s = AtomicU32Array::filled(capacity, 0);
+                reset_store(&p, &s, capacity);
+                StateInner::Bfs(p, s)
+            }
+            AlgorithmKind::Cc => {
+                let p = cc::CcProgram::new();
+                let s = AtomicU32Array::filled(capacity, 0);
+                reset_store(&p, &s, capacity);
+                StateInner::Cc(p, s)
+            }
+            AlgorithmKind::Mc => {
+                let p = mc::McProgram::new();
+                let s = AtomicU32Array::filled(capacity, 0);
+                reset_store(&p, &s, capacity);
+                StateInner::Mc(p, s)
+            }
+            AlgorithmKind::PageRank => {
+                let p = pr::PrProgram::new(capacity)
+                    .with_epsilon(params.pr_epsilon)
+                    .with_fs_tolerance(params.pr_fs_tolerance);
+                let s = AtomicF64Array::filled(capacity, 0.0);
+                reset_store(&p, &s, capacity);
+                StateInner::Pr(p, s)
+            }
+            AlgorithmKind::Sssp => {
+                let p = sssp::SsspProgram::new(params.root).with_delta(params.sssp_delta);
+                let s = AtomicF32Array::filled(capacity, f32::INFINITY);
+                reset_store(&p, &s, capacity);
+                StateInner::Sssp(p, s)
+            }
+            AlgorithmKind::Sswp => {
+                let p = sswp::SswpProgram::new(params.root);
+                let s = AtomicF32Array::filled(capacity, 0.0);
+                reset_store(&p, &s, capacity);
+                StateInner::Sswp(p, s)
+            }
+        };
+        Self {
+            kind,
+            model,
+            capacity,
+            inner,
+        }
+    }
+
+    /// Which algorithm this state runs.
+    pub fn kind(&self) -> AlgorithmKind {
+        self.kind
+    }
+
+    /// Which compute model this state uses.
+    pub fn model(&self) -> ComputeModelKind {
+        self.model
+    }
+
+    /// Number of vertices in the universe.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether batch sources' existing out-neighbors must be seeded as
+    /// affected (PageRank's out-degree effect; see
+    /// [`VertexProgram::affects_source_neighborhood`]).
+    pub fn affects_source_neighborhood(&self) -> bool {
+        match &self.inner {
+            StateInner::Pr(p, _) => p.affects_source_neighborhood(),
+            _ => false,
+        }
+    }
+
+    /// Runs the compute phase — the paper's `performAlg()`.
+    ///
+    /// For the incremental model, `affected` is the set of vertices touched
+    /// by the latest update (see [`AffectedTracker`]) and `new_vertices`
+    /// those appearing for the first time. The FS model ignores both.
+    pub fn perform_alg(
+        &mut self,
+        graph: &dyn GraphTopology,
+        affected: &[Node],
+        new_vertices: &[Node],
+        pool: &ThreadPool,
+    ) -> ComputeOutcome {
+        match self.model {
+            ComputeModelKind::FromScratch => self.run_from_scratch(graph, pool),
+            ComputeModelKind::Incremental => {
+                self.run_incremental(graph, affected, new_vertices, pool)
+            }
+        }
+    }
+
+    fn run_from_scratch(&mut self, graph: &dyn GraphTopology, pool: &ThreadPool) -> ComputeOutcome {
+        let n = self.capacity;
+        let iterations = match &self.inner {
+            StateInner::Bfs(p, s) => {
+                fs::reset_values(p, s, n, pool);
+                bfs::bfs_from_scratch(p, graph, s, pool)
+            }
+            StateInner::Cc(p, s) => {
+                fs::reset_values(p, s, n, pool);
+                fs::fixpoint_compute(p, graph, s, pool)
+            }
+            StateInner::Mc(p, s) => {
+                fs::reset_values(p, s, n, pool);
+                fs::fixpoint_compute(p, graph, s, pool)
+            }
+            StateInner::Pr(p, s) => {
+                fs::reset_values(p, s, n, pool);
+                pr::pagerank_from_scratch(p, graph, s, pool)
+            }
+            StateInner::Sssp(p, s) => {
+                fs::reset_values(p, s, n, pool);
+                sssp::sssp_delta_stepping(p, graph, s, pool)
+            }
+            StateInner::Sswp(p, s) => {
+                fs::reset_values(p, s, n, pool);
+                sswp::sswp_from_scratch(p, graph, s, pool)
+            }
+        };
+        ComputeOutcome {
+            iterations,
+            recomputed: 0,
+            triggered: 0,
+        }
+    }
+
+    fn run_incremental(
+        &mut self,
+        graph: &dyn GraphTopology,
+        affected: &[Node],
+        new_vertices: &[Node],
+        pool: &ThreadPool,
+    ) -> ComputeOutcome {
+        let out = match &self.inner {
+            StateInner::Bfs(p, s) => {
+                inc::incremental_compute(p, graph, s, affected, new_vertices, pool)
+            }
+            StateInner::Cc(p, s) => {
+                inc::incremental_compute(p, graph, s, affected, new_vertices, pool)
+            }
+            StateInner::Mc(p, s) => {
+                inc::incremental_compute(p, graph, s, affected, new_vertices, pool)
+            }
+            StateInner::Pr(p, s) => {
+                inc::incremental_compute(p, graph, s, affected, new_vertices, pool)
+            }
+            StateInner::Sssp(p, s) => {
+                inc::incremental_compute(p, graph, s, affected, new_vertices, pool)
+            }
+            StateInner::Sswp(p, s) => {
+                inc::incremental_compute(p, graph, s, affected, new_vertices, pool)
+            }
+        };
+        ComputeOutcome {
+            iterations: out.iterations,
+            recomputed: out.recomputed,
+            triggered: out.triggered,
+        }
+    }
+
+    /// Snapshots the property array.
+    pub fn values(&self) -> VertexValues {
+        match &self.inner {
+            StateInner::Bfs(_, s) | StateInner::Cc(_, s) | StateInner::Mc(_, s) => {
+                VertexValues::U32(s.to_vec())
+            }
+            StateInner::Pr(_, s) => VertexValues::F64(s.to_vec()),
+            StateInner::Sssp(_, s) | StateInner::Sswp(_, s) => VertexValues::F32(s.to_vec()),
+        }
+    }
+}
+
+/// The per-batch affected/new-vertex bookkeeping the update phase hands to
+/// Algorithm 1 (its `affected` array and "new vertex" test).
+#[derive(Debug)]
+pub struct AffectedTracker {
+    seen: Vec<bool>,
+}
+
+/// Affected and first-seen vertices of one batch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchImpact {
+    /// Vertices whose in- or out-edge set changed (deduplicated).
+    pub affected: Vec<Node>,
+    /// Affected vertices never seen in any earlier batch.
+    pub new_vertices: Vec<Node>,
+}
+
+impl AffectedTracker {
+    /// Creates a tracker for a `capacity`-vertex universe.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            seen: vec![false; capacity],
+        }
+    }
+
+    /// Computes the affected set of `batch`. When
+    /// `include_source_neighborhoods` is set (PageRank), the existing
+    /// out-neighbors of every batch source are seeded as well; call this
+    /// *after* the update phase so the query sees the new topology.
+    pub fn process_batch(
+        &mut self,
+        graph: &dyn GraphTopology,
+        batch: &[Edge],
+        include_source_neighborhoods: bool,
+    ) -> BatchImpact {
+        fn mark(
+            v: Node,
+            flagged: &mut [bool],
+            seen: &mut [bool],
+            impact: &mut BatchImpact,
+        ) {
+            if !flagged[v as usize] {
+                flagged[v as usize] = true;
+                impact.affected.push(v);
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    impact.new_vertices.push(v);
+                }
+            }
+        }
+
+        let mut flagged = vec![false; self.seen.len()];
+        let mut impact = BatchImpact::default();
+        let mut sources: Vec<Node> = Vec::new();
+        for e in batch {
+            if include_source_neighborhoods && !flagged[e.src as usize] {
+                sources.push(e.src);
+            }
+            mark(e.src, &mut flagged, &mut self.seen, &mut impact);
+            mark(e.dst, &mut flagged, &mut self.seen, &mut impact);
+        }
+        if include_source_neighborhoods {
+            for &src in &sources {
+                let mut extra: Vec<Node> = Vec::new();
+                graph.for_each_out_neighbor(src, &mut |nb, _| extra.push(nb));
+                for nb in extra {
+                    mark(nb, &mut flagged, &mut self.seen, &mut impact);
+                }
+            }
+        }
+        impact
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saga_graph::{build_graph, DataStructureKind};
+
+    #[test]
+    fn kinds_and_models_display_like_the_paper() {
+        assert_eq!(AlgorithmKind::PageRank.to_string(), "PR");
+        assert_eq!(ComputeModelKind::Incremental.to_string(), "INC");
+        assert_eq!(AlgorithmKind::ALL.len(), 6);
+        assert_eq!(ComputeModelKind::ALL.len(), 2);
+    }
+
+    #[test]
+    fn tracker_dedups_and_detects_new_vertices() {
+        let pool = ThreadPool::new(1);
+        let g = build_graph(DataStructureKind::AdjacencyShared, 6, true, 1);
+        let mut tracker = AffectedTracker::new(6);
+        let b1 = [Edge::new(0, 1, 1.0), Edge::new(0, 2, 1.0), Edge::new(0, 1, 1.0)];
+        g.update_batch(&b1, &pool);
+        let i1 = tracker.process_batch(g.as_ref(), &b1, false);
+        assert_eq!(i1.affected, vec![0, 1, 2]);
+        assert_eq!(i1.new_vertices, vec![0, 1, 2]);
+        let b2 = [Edge::new(1, 3, 1.0)];
+        g.update_batch(&b2, &pool);
+        let i2 = tracker.process_batch(g.as_ref(), &b2, false);
+        assert_eq!(i2.affected, vec![1, 3]);
+        assert_eq!(i2.new_vertices, vec![3]);
+    }
+
+    #[test]
+    fn tracker_seeds_source_neighborhood_for_pagerank() {
+        let pool = ThreadPool::new(1);
+        let g = build_graph(DataStructureKind::AdjacencyShared, 6, true, 1);
+        let b0 = [Edge::new(0, 1, 1.0), Edge::new(0, 2, 1.0)];
+        g.update_batch(&b0, &pool);
+        let mut tracker = AffectedTracker::new(6);
+        tracker.process_batch(g.as_ref(), &b0, true);
+        // New batch adds 0 -> 3: vertices 1 and 2 pull stale contributions
+        // (0's out-degree changed) unless seeded.
+        let b = [Edge::new(0, 3, 1.0)];
+        g.update_batch(&b, &pool);
+        let impact = tracker.process_batch(g.as_ref(), &b, true);
+        let mut affected = impact.affected.clone();
+        affected.sort_unstable();
+        assert_eq!(affected, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn vertex_values_accessors_and_top_k() {
+        let v = VertexValues::F64(vec![0.1, 0.4, 0.2, 0.4]);
+        assert_eq!(v.len(), 4);
+        assert!(!v.is_empty());
+        assert!(v.as_f64().is_some());
+        assert!(v.as_u32().is_none());
+        // Ties broken by vertex id: 1 before 3.
+        assert_eq!(v.top_k(3), vec![(1, 0.4), (3, 0.4), (2, 0.2)]);
+
+        let d = VertexValues::U32(vec![0, u32::MAX, 2]);
+        assert_eq!(d.top_k(10), vec![(2, 2.0), (0, 0.0)], "unreached filtered");
+
+        let w = VertexValues::F32(vec![f32::INFINITY, 1.5]);
+        assert_eq!(w.top_k(5), vec![(1, 1.5)], "infinite filtered");
+    }
+
+    #[test]
+    fn fs_and_inc_states_have_matching_metadata() {
+        let s = AlgorithmState::new(
+            AlgorithmKind::Sswp,
+            ComputeModelKind::FromScratch,
+            10,
+            AlgorithmParams::default(),
+        );
+        assert_eq!(s.kind(), AlgorithmKind::Sswp);
+        assert_eq!(s.model(), ComputeModelKind::FromScratch);
+        assert_eq!(s.capacity(), 10);
+        assert!(!s.affects_source_neighborhood());
+        let pr = AlgorithmState::new(
+            AlgorithmKind::PageRank,
+            ComputeModelKind::Incremental,
+            10,
+            AlgorithmParams::default(),
+        );
+        assert!(pr.affects_source_neighborhood());
+    }
+}

@@ -1,0 +1,167 @@
+//! The central correctness invariant of the benchmark: after every batch,
+//! the incremental compute model must produce the same results as
+//! recomputation from scratch — exactly for the five monotone algorithms,
+//! and within convergence tolerance for PageRank — on every data structure.
+
+use saga_algorithms::{
+    AffectedTracker, AlgorithmKind, AlgorithmParams, AlgorithmState, ComputeModelKind,
+    VertexValues,
+};
+use saga_graph::{build_graph, DataStructureKind, Edge, Node, Weight};
+use saga_utils::hash::{hash_edge, mix64};
+use saga_utils::parallel::ThreadPool;
+
+const NODES: usize = 300;
+const BATCHES: usize = 6;
+const BATCH_SIZE: usize = 500;
+
+fn weight(src: Node, dst: Node) -> Weight {
+    1.0 + (hash_edge(src, dst) % 64) as Weight / 8.0
+}
+
+/// Deterministic pseudo-random stream with a mild hub to exercise
+/// contention paths.
+fn stream(seed: u64, directed: bool) -> Vec<Vec<Edge>> {
+    (0..BATCHES)
+        .map(|b| {
+            (0..BATCH_SIZE)
+                .map(|i| {
+                    let r = mix64(seed ^ ((b * BATCH_SIZE + i) as u64));
+                    let src = if r % 17 == 0 {
+                        7 // hub
+                    } else {
+                        ((r >> 8) % NODES as u64) as Node
+                    };
+                    let dst = ((r >> 32) % NODES as u64) as Node;
+                    let _ = directed;
+                    Edge::new(src, dst, weight(src, dst))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn assert_equivalent(kind: AlgorithmKind, batch_idx: usize, ds: DataStructureKind, fs: &VertexValues, inc: &VertexValues) {
+    match (fs, inc) {
+        (VertexValues::U32(a), VertexValues::U32(b)) => {
+            assert_eq!(a, b, "{kind} diverged on {ds:?} at batch {batch_idx}");
+        }
+        (VertexValues::F32(a), VertexValues::F32(b)) => {
+            for (v, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                assert!(
+                    x == y || (x - y).abs() < 1e-4,
+                    "{kind} diverged on {ds:?} at batch {batch_idx}, vertex {v}: FS {x} INC {y}"
+                );
+            }
+        }
+        (VertexValues::F64(a), VertexValues::F64(b)) => {
+            for (v, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                assert!(
+                    (x - y).abs() < 1e-6,
+                    "{kind} diverged on {ds:?} at batch {batch_idx}, vertex {v}: FS {x} INC {y}"
+                );
+            }
+        }
+        _ => panic!("value type mismatch"),
+    }
+}
+
+fn run_equivalence(kind: AlgorithmKind, ds: DataStructureKind, directed: bool) {
+    let pool = ThreadPool::new(4);
+    let graph = build_graph(ds, NODES, directed, pool.threads());
+    let params = AlgorithmParams {
+        root: 7,
+        pr_epsilon: 1e-11,
+        pr_fs_tolerance: 1e-11,
+        ..AlgorithmParams::default()
+    };
+    let mut fs_state = AlgorithmState::new(kind, ComputeModelKind::FromScratch, NODES, params);
+    let mut inc_state = AlgorithmState::new(kind, ComputeModelKind::Incremental, NODES, params);
+    let mut tracker = AffectedTracker::new(NODES);
+    for (i, batch) in stream(0xBEEF ^ kind as u64, directed).iter().enumerate() {
+        graph.update_batch(batch, &pool);
+        let impact = tracker.process_batch(
+            graph.as_ref(),
+            batch,
+            inc_state.affects_source_neighborhood(),
+        );
+        fs_state.perform_alg(graph.as_ref(), &impact.affected, &impact.new_vertices, &pool);
+        inc_state.perform_alg(graph.as_ref(), &impact.affected, &impact.new_vertices, &pool);
+        assert_equivalent(kind, i, ds, &fs_state.values(), &inc_state.values());
+    }
+}
+
+macro_rules! equivalence_tests {
+    ($($name:ident: $kind:expr, $ds:expr;)*) => {
+        $(
+            #[test]
+            fn $name() {
+                run_equivalence($kind, $ds, true);
+            }
+        )*
+    };
+}
+
+equivalence_tests! {
+    bfs_as: AlgorithmKind::Bfs, DataStructureKind::AdjacencyShared;
+    bfs_ac: AlgorithmKind::Bfs, DataStructureKind::AdjacencyChunked;
+    bfs_stinger: AlgorithmKind::Bfs, DataStructureKind::Stinger;
+    bfs_dah: AlgorithmKind::Bfs, DataStructureKind::Dah;
+    cc_as: AlgorithmKind::Cc, DataStructureKind::AdjacencyShared;
+    cc_ac: AlgorithmKind::Cc, DataStructureKind::AdjacencyChunked;
+    cc_stinger: AlgorithmKind::Cc, DataStructureKind::Stinger;
+    cc_dah: AlgorithmKind::Cc, DataStructureKind::Dah;
+    mc_as: AlgorithmKind::Mc, DataStructureKind::AdjacencyShared;
+    mc_ac: AlgorithmKind::Mc, DataStructureKind::AdjacencyChunked;
+    mc_stinger: AlgorithmKind::Mc, DataStructureKind::Stinger;
+    mc_dah: AlgorithmKind::Mc, DataStructureKind::Dah;
+    pr_as: AlgorithmKind::PageRank, DataStructureKind::AdjacencyShared;
+    pr_ac: AlgorithmKind::PageRank, DataStructureKind::AdjacencyChunked;
+    pr_stinger: AlgorithmKind::PageRank, DataStructureKind::Stinger;
+    pr_dah: AlgorithmKind::PageRank, DataStructureKind::Dah;
+    sssp_as: AlgorithmKind::Sssp, DataStructureKind::AdjacencyShared;
+    sssp_ac: AlgorithmKind::Sssp, DataStructureKind::AdjacencyChunked;
+    sssp_stinger: AlgorithmKind::Sssp, DataStructureKind::Stinger;
+    sssp_dah: AlgorithmKind::Sssp, DataStructureKind::Dah;
+    sswp_as: AlgorithmKind::Sswp, DataStructureKind::AdjacencyShared;
+    sswp_ac: AlgorithmKind::Sswp, DataStructureKind::AdjacencyChunked;
+    sswp_stinger: AlgorithmKind::Sswp, DataStructureKind::Stinger;
+    sswp_dah: AlgorithmKind::Sswp, DataStructureKind::Dah;
+}
+
+#[test]
+fn undirected_equivalence_all_algorithms() {
+    for kind in AlgorithmKind::ALL {
+        eprintln!("[undirected] {kind} on AS");
+        run_equivalence(kind, DataStructureKind::AdjacencyShared, false);
+        eprintln!("[undirected] {kind} on DAH");
+        run_equivalence(kind, DataStructureKind::Dah, false);
+    }
+}
+
+#[test]
+fn all_structures_agree_with_each_other() {
+    // The same stream must yield identical BFS depths on every structure.
+    let pool = ThreadPool::new(4);
+    let batches = stream(0x1234, true);
+    let mut results: Vec<VertexValues> = Vec::new();
+    for ds in DataStructureKind::ALL {
+        let graph = build_graph(ds, NODES, true, pool.threads());
+        let params = AlgorithmParams {
+            root: 7,
+            ..AlgorithmParams::default()
+        };
+        let mut state =
+            AlgorithmState::new(AlgorithmKind::Bfs, ComputeModelKind::Incremental, NODES, params);
+        let mut tracker = AffectedTracker::new(NODES);
+        for batch in &batches {
+            graph.update_batch(batch, &pool);
+            let impact = tracker.process_batch(graph.as_ref(), batch, false);
+            state.perform_alg(graph.as_ref(), &impact.affected, &impact.new_vertices, &pool);
+        }
+        results.push(state.values());
+    }
+    for pair in results.windows(2) {
+        assert_eq!(pair[0], pair[1], "structures disagree on final BFS depths");
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based FS/INC equivalence: for arbitrary random streams, the
+//! incremental compute model must agree with from-scratch recomputation on
+//! the monotone algorithms after every batch.
+
+use proptest::prelude::*;
+use saga_algorithms::{
+    AffectedTracker, AlgorithmKind, AlgorithmParams, AlgorithmState, ComputeModelKind,
+    VertexValues,
+};
+use saga_graph::{build_graph, DataStructureKind, Edge, Node};
+use saga_utils::parallel::ThreadPool;
+
+const NODES: usize = 40;
+
+fn arb_stream() -> impl Strategy<Value = Vec<Vec<Edge>>> {
+    prop::collection::vec(
+        prop::collection::vec((0..NODES as Node, 0..NODES as Node), 1..80),
+        1..5,
+    )
+    .prop_map(|batches| {
+        batches
+            .into_iter()
+            .map(|batch| {
+                batch
+                    .into_iter()
+                    .map(|(s, d)| {
+                        Edge::new(s, d, 1.0 + (saga_utils::hash::hash_edge(s, d) % 8) as f32)
+                    })
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+fn check_equivalence(
+    kind: AlgorithmKind,
+    batches: &[Vec<Edge>],
+    ds: DataStructureKind,
+    root: Node,
+) -> Result<(), TestCaseError> {
+    let pool = ThreadPool::new(3);
+    let graph = build_graph(ds, NODES, true, pool.threads());
+    let params = AlgorithmParams {
+        root,
+        ..AlgorithmParams::default()
+    };
+    let mut fs = AlgorithmState::new(kind, ComputeModelKind::FromScratch, NODES, params);
+    let mut inc = AlgorithmState::new(kind, ComputeModelKind::Incremental, NODES, params);
+    let mut tracker = AffectedTracker::new(NODES);
+    for (i, batch) in batches.iter().enumerate() {
+        graph.update_batch(batch, &pool);
+        let impact = tracker.process_batch(graph.as_ref(), batch, false);
+        fs.perform_alg(graph.as_ref(), &impact.affected, &impact.new_vertices, &pool);
+        inc.perform_alg(graph.as_ref(), &impact.affected, &impact.new_vertices, &pool);
+        match (fs.values(), inc.values()) {
+            (VertexValues::U32(a), VertexValues::U32(b)) => {
+                prop_assert_eq!(a, b, "{} batch {} on {:?}", kind, i, ds);
+            }
+            (VertexValues::F32(a), VertexValues::F32(b)) => {
+                for (v, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                    prop_assert!(
+                        x == y || (x - y).abs() < 1e-4,
+                        "{} batch {} vertex {}: FS {} INC {}",
+                        kind,
+                        i,
+                        v,
+                        x,
+                        y
+                    );
+                }
+            }
+            _ => prop_assert!(false, "unexpected value type"),
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn bfs_inc_equals_fs(batches in arb_stream(), root in 0..NODES as Node) {
+        check_equivalence(AlgorithmKind::Bfs, &batches, DataStructureKind::AdjacencyShared, root)?;
+    }
+
+    #[test]
+    fn cc_inc_equals_fs(batches in arb_stream()) {
+        check_equivalence(AlgorithmKind::Cc, &batches, DataStructureKind::Dah, 0)?;
+    }
+
+    #[test]
+    fn mc_inc_equals_fs(batches in arb_stream()) {
+        check_equivalence(AlgorithmKind::Mc, &batches, DataStructureKind::Stinger, 0)?;
+    }
+
+    #[test]
+    fn sssp_inc_equals_fs(batches in arb_stream(), root in 0..NODES as Node) {
+        check_equivalence(AlgorithmKind::Sssp, &batches, DataStructureKind::AdjacencyChunked, root)?;
+    }
+
+    #[test]
+    fn sswp_inc_equals_fs(batches in arb_stream(), root in 0..NODES as Node) {
+        check_equivalence(AlgorithmKind::Sswp, &batches, DataStructureKind::AdjacencyShared, root)?;
+    }
+}

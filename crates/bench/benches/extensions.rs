@@ -1,0 +1,158 @@
+//! Criterion micro-benchmarks for the suite's extension features:
+//! deletion throughput, snapshot-store ingest and historical queries,
+//! update ∥ compute pipelining, the SNAP loader, and the two FS BFS
+//! kernels (classic push vs direction-optimizing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use saga_algorithms::bfs::{bfs_direction_optimizing, bfs_from_scratch, BfsProgram};
+use saga_algorithms::fs::reset_values;
+use saga_algorithms::AlgorithmKind;
+use saga_core::pipelined::run_pipelined;
+use saga_graph::properties::AtomicU32Array;
+use saga_graph::snapshots::SnapshotStore;
+use saga_graph::{build_deletable_graph, build_graph, DataStructureKind, GraphTopology};
+use saga_stream::loader::read_edge_list;
+use saga_stream::profiles::DatasetProfile;
+use saga_utils::parallel::ThreadPool;
+
+const NODES: usize = 10_000;
+const EDGES: usize = 60_000;
+
+fn stream() -> saga_stream::EdgeStream {
+    DatasetProfile::livejournal().scaled(NODES, EDGES).generate(21)
+}
+
+fn bench_deletions(c: &mut Criterion) {
+    let pool = ThreadPool::new(4);
+    let edges = stream().edges;
+    let mut group = c.benchmark_group("delete_batch");
+    group.sample_size(10);
+    for ds in DataStructureKind::ALL {
+        group.bench_function(BenchmarkId::new(ds.abbrev(), "half"), |b| {
+            b.iter_with_setup(
+                || {
+                    let g = build_deletable_graph(ds, NODES, true, pool.threads());
+                    g.update_batch(&edges, &pool);
+                    g
+                },
+                |g| {
+                    g.delete_batch(&edges[..EDGES / 2], &pool);
+                    g
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_snapshots(c: &mut Criterion) {
+    let edges = stream().edges;
+    let mut group = c.benchmark_group("snapshot_store");
+    group.sample_size(10);
+    group.bench_function("ingest_10_batches", |b| {
+        b.iter(|| {
+            let mut store = SnapshotStore::new(NODES, true);
+            for batch in edges.chunks(EDGES / 10) {
+                store.ingest_batch(batch);
+            }
+            store
+        });
+    });
+    let mut store = SnapshotStore::new(NODES, true);
+    for batch in edges.chunks(EDGES / 10) {
+        store.ingest_batch(batch);
+    }
+    group.bench_function("historical_degree_scan", |b| {
+        let view = store.snapshot(4); // mid-history version
+        b.iter(|| {
+            let mut sum = 0usize;
+            for v in 0..NODES as u32 {
+                sum += view.out_degree(v);
+            }
+            sum
+        });
+    });
+    group.finish();
+}
+
+fn bench_pipelined(c: &mut Criterion) {
+    let s = stream();
+    let mut group = c.benchmark_group("pipelined_vs_interleaved");
+    group.sample_size(10);
+    group.bench_function("pipelined_cc", |b| {
+        b.iter(|| {
+            run_pipelined(
+                &s,
+                DataStructureKind::AdjacencyShared,
+                AlgorithmKind::Cc,
+                EDGES / 5,
+                2,
+                2,
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_loader(c: &mut Criterion) {
+    let edges = stream().edges;
+    let mut body = String::with_capacity(edges.len() * 12);
+    body.push_str("# benchmark edge list\n");
+    for e in &edges {
+        body.push_str(&format!("{}\t{}\n", e.src, e.dst));
+    }
+    let mut group = c.benchmark_group("loader");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Bytes(body.len() as u64));
+    group.bench_function("read_edge_list", |b| {
+        b.iter(|| read_edge_list(body.as_bytes()).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_bfs_kernels(c: &mut Criterion) {
+    let pool = ThreadPool::new(4);
+    let s = stream();
+    let graph = build_graph(DataStructureKind::AdjacencyShared, NODES, true, pool.threads());
+    graph.update_batch(&s.edges, &pool);
+    let program = BfsProgram::new(s.edges[0].src);
+    let mut group = c.benchmark_group("bfs_kernel");
+    group.sample_size(10);
+    group.bench_function("classic_push", |b| {
+        b.iter_with_setup(
+            || {
+                let v = AtomicU32Array::filled(NODES, 0);
+                reset_values(&program, &v, NODES, &pool);
+                v
+            },
+            |v| {
+                bfs_from_scratch(&program, graph.as_ref(), &v, &pool);
+                v
+            },
+        );
+    });
+    group.bench_function("direction_optimizing", |b| {
+        b.iter_with_setup(
+            || {
+                let v = AtomicU32Array::filled(NODES, 0);
+                reset_values(&program, &v, NODES, &pool);
+                v
+            },
+            |v| {
+                bfs_direction_optimizing(&program, graph.as_ref(), &v, &pool);
+                v
+            },
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_deletions,
+    bench_snapshots,
+    bench_pipelined,
+    bench_loader,
+    bench_bfs_kernels
+);
+criterion_main!(benches);

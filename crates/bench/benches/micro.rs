@@ -1,0 +1,134 @@
+//! Criterion micro-benchmarks for the suite's hot paths.
+//!
+//! These complement the table/figure binaries: where those reproduce the
+//! paper's end-to-end results, these isolate the primitive costs the paper
+//! reasons about — per-structure batch update under short- vs heavy-tailed
+//! batches, neighbor traversal, compute kernels, and the cache simulator's
+//! replay throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use saga_algorithms::{
+    AffectedTracker, AlgorithmKind, AlgorithmParams, AlgorithmState, ComputeModelKind,
+};
+use saga_graph::{build_graph, DataStructureKind};
+use saga_perf::cache::{HierarchyConfig, MemoryHierarchy};
+use saga_perf::trace_phase;
+use saga_stream::profiles::DatasetProfile;
+use saga_utils::parallel::ThreadPool;
+
+const NODES: usize = 20_000;
+const BATCH: usize = 20_000;
+
+fn short_tail_batch() -> Vec<saga_graph::Edge> {
+    DatasetProfile::livejournal()
+        .scaled(NODES, BATCH)
+        .generate(11)
+        .edges
+}
+
+fn heavy_tail_batch() -> Vec<saga_graph::Edge> {
+    DatasetProfile::talk().scaled(NODES, BATCH).generate(11).edges
+}
+
+fn bench_update(c: &mut Criterion) {
+    let pool = ThreadPool::new(4);
+    let mut group = c.benchmark_group("update_batch");
+    group.sample_size(10);
+    for (tail, batch) in [("short", short_tail_batch()), ("heavy", heavy_tail_batch())] {
+        for ds in DataStructureKind::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(ds.abbrev(), tail),
+                &batch,
+                |b, batch| {
+                    b.iter_with_setup(
+                        || build_graph(ds, NODES, true, pool.threads()),
+                        |graph| {
+                            graph.update_batch(batch, &pool);
+                            graph
+                        },
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let pool = ThreadPool::new(4);
+    let batch = short_tail_batch();
+    let mut group = c.benchmark_group("traversal");
+    group.sample_size(10);
+    for ds in DataStructureKind::ALL {
+        let graph = build_graph(ds, NODES, true, pool.threads());
+        graph.update_batch(&batch, &pool);
+        group.bench_function(ds.abbrev(), |b| {
+            b.iter(|| {
+                let mut sum = 0u64;
+                for v in 0..NODES as u32 {
+                    graph.for_each_out_neighbor(v, &mut |nb, _| sum += nb as u64);
+                }
+                sum
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_compute(c: &mut Criterion) {
+    let pool = ThreadPool::new(4);
+    let batch = short_tail_batch();
+    let graph = build_graph(DataStructureKind::AdjacencyShared, NODES, true, pool.threads());
+    graph.update_batch(&batch, &pool);
+    let mut tracker = AffectedTracker::new(NODES);
+    let impact = tracker.process_batch(graph.as_ref(), &batch, true);
+
+    let mut group = c.benchmark_group("compute");
+    group.sample_size(10);
+    for alg in [AlgorithmKind::Bfs, AlgorithmKind::PageRank, AlgorithmKind::Cc] {
+        for cm in ComputeModelKind::ALL {
+            group.bench_function(format!("{alg}_{cm}"), |b| {
+                b.iter_with_setup(
+                    || AlgorithmState::new(alg, cm, NODES, AlgorithmParams::default()),
+                    |mut state| {
+                        state.perform_alg(
+                            graph.as_ref(),
+                            &impact.affected,
+                            &impact.new_vertices,
+                            &pool,
+                        );
+                        state
+                    },
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_cache_replay(c: &mut Criterion) {
+    let pool = ThreadPool::new(2);
+    let batch = short_tail_batch();
+    let graph = build_graph(DataStructureKind::Dah, NODES, true, pool.threads());
+    let trace = trace_phase(&pool, || {
+        graph.update_batch(&batch, &pool);
+    });
+    let mut group = c.benchmark_group("cache_sim");
+    group.sample_size(10);
+    group.bench_function("replay_update_trace", |b| {
+        b.iter(|| {
+            let mut h = MemoryHierarchy::new(HierarchyConfig::paper_scaled(16), 4);
+            h.replay(&trace)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_update,
+    bench_traversal,
+    bench_compute,
+    bench_cache_replay
+);
+criterion_main!(benches);

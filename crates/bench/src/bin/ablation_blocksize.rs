@@ -1,0 +1,68 @@
+//! Ablation: Stinger edge-block size. The paper fixes 16 edges per block
+//! (§III-A3); this sweep shows the trade-off that choice sits on — small
+//! blocks mean more pointer chasing per traversal, large blocks mean
+//! longer scans per insert and coarser locks (less intra-node
+//! parallelism).
+//!
+//! ```text
+//! cargo run -p saga-bench --release --bin ablation_blocksize
+//! ```
+
+use saga_algorithms::{
+    AffectedTracker, AlgorithmKind, AlgorithmParams, AlgorithmState, ComputeModelKind,
+};
+use saga_bench::{config_from_env, emit};
+use saga_core::report::{fmt_secs, TextTable};
+use saga_graph::stinger::Stinger;
+use saga_graph::DynamicGraph;
+use saga_stream::profiles::DatasetProfile;
+use saga_utils::parallel::ThreadPool;
+use saga_utils::timer::Stopwatch;
+
+fn main() {
+    let cfg = config_from_env();
+    let pool = ThreadPool::new(cfg.threads);
+    let mut table = TextTable::new([
+        "Dataset", "block size", "update s", "compute s (PR/INC)",
+    ]);
+    for profile in [DatasetProfile::livejournal(), DatasetProfile::talk()] {
+        let profile = profile.scaled_by(cfg.scale);
+        let stream = profile.generate(cfg.seed);
+        for block_size in [4usize, 8, 16, 32, 64] {
+            eprintln!(
+                "[ablation_blocksize] {} @ block {block_size} ...",
+                profile.name()
+            );
+            let graph = Stinger::with_block_size(stream.num_nodes, stream.directed, block_size);
+            let mut state = AlgorithmState::new(
+                AlgorithmKind::PageRank,
+                ComputeModelKind::Incremental,
+                stream.num_nodes,
+                AlgorithmParams::default(),
+            );
+            let mut tracker = AffectedTracker::new(stream.num_nodes);
+            let mut update_s = 0.0;
+            let mut compute_s = 0.0;
+            for batch in stream.batches(stream.suggested_batch_size) {
+                let sw = Stopwatch::start();
+                graph.update_batch(batch, &pool);
+                let impact = tracker.process_batch(&graph, batch, true);
+                update_s += sw.elapsed_secs();
+                let sw = Stopwatch::start();
+                state.perform_alg(&graph, &impact.affected, &impact.new_vertices, &pool);
+                compute_s += sw.elapsed_secs();
+            }
+            table.add_row([
+                profile.name().to_string(),
+                block_size.to_string(),
+                fmt_secs(update_s),
+                fmt_secs(compute_s),
+            ]);
+        }
+    }
+    emit(
+        "Ablation: Stinger edge-block size (paper default: 16)",
+        "ablation_blocksize.txt",
+        &table.render(),
+    );
+}

@@ -1,0 +1,74 @@
+//! Ablation: DAH low→high flush threshold. DAH's degree-awareness costs a
+//! flush meta-operation each time a vertex crosses the threshold
+//! (§III-A4); this sweep shows the update/traversal trade-off: a low
+//! threshold flushes eagerly (more flushes, faster hub traversal through
+//! dedicated tables), a high one keeps hubs clogging the shared Robin
+//! Hood table.
+//!
+//! ```text
+//! cargo run -p saga-bench --release --bin ablation_dah_threshold
+//! ```
+
+use saga_algorithms::{
+    AffectedTracker, AlgorithmKind, AlgorithmParams, AlgorithmState, ComputeModelKind,
+};
+use saga_bench::{config_from_env, emit};
+use saga_core::report::{fmt_secs, TextTable};
+use saga_graph::dah::Dah;
+use saga_graph::DynamicGraph;
+use saga_stream::profiles::DatasetProfile;
+use saga_utils::parallel::ThreadPool;
+use saga_utils::timer::Stopwatch;
+
+fn main() {
+    let cfg = config_from_env();
+    let pool = ThreadPool::new(cfg.threads);
+    let mut table = TextTable::new([
+        "Dataset", "flush threshold", "update s", "compute s (PR/INC)",
+    ]);
+    for profile in [DatasetProfile::livejournal(), DatasetProfile::talk()] {
+        let profile = profile.scaled_by(cfg.scale);
+        let stream = profile.generate(cfg.seed);
+        for threshold in [4u32, 8, 16, 32, 64] {
+            eprintln!(
+                "[ablation_dah_threshold] {} @ threshold {threshold} ...",
+                profile.name()
+            );
+            let graph = Dah::with_threshold(
+                stream.num_nodes,
+                stream.directed,
+                pool.threads(),
+                threshold,
+            );
+            let mut state = AlgorithmState::new(
+                AlgorithmKind::PageRank,
+                ComputeModelKind::Incremental,
+                stream.num_nodes,
+                AlgorithmParams::default(),
+            );
+            let mut tracker = AffectedTracker::new(stream.num_nodes);
+            let mut update_s = 0.0;
+            let mut compute_s = 0.0;
+            for batch in stream.batches(stream.suggested_batch_size) {
+                let sw = Stopwatch::start();
+                graph.update_batch(batch, &pool);
+                let impact = tracker.process_batch(&graph, batch, true);
+                update_s += sw.elapsed_secs();
+                let sw = Stopwatch::start();
+                state.perform_alg(&graph, &impact.affected, &impact.new_vertices, &pool);
+                compute_s += sw.elapsed_secs();
+            }
+            table.add_row([
+                profile.name().to_string(),
+                threshold.to_string(),
+                fmt_secs(update_s),
+                fmt_secs(compute_s),
+            ]);
+        }
+    }
+    emit(
+        "Ablation: DAH low-to-high flush threshold (default: 16)",
+        "ablation_dah_threshold.txt",
+        &table.render(),
+    );
+}

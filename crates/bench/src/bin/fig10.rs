@@ -1,0 +1,73 @@
+//! Regenerates **Fig. 10**: on-chip cache behaviour of update vs compute
+//! (simulated on the paper's hierarchy):
+//!
+//! - (a) private L2 and shared LLC hit ratios per phase and stage;
+//! - (b) update-phase L2/LLC MPKI;
+//! - (c) compute-phase L2/LLC MPKI.
+//!
+//! ```text
+//! cargo run -p saga-bench --release --bin fig10
+//! ```
+
+use saga_bench::arch::run_arch_characterization;
+use saga_bench::{algorithms_from_env, config_from_env, emit, env_or};
+use saga_core::report::TextTable;
+
+fn main() {
+    let cfg = config_from_env();
+    let algorithms = algorithms_from_env();
+    let cache_scale = env_or("SAGA_CACHE_SCALE", 16usize);
+    let results = run_arch_characterization(&cfg, &algorithms, cache_scale);
+
+    let mut table_a = TextTable::new([
+        "Group", "Phase", "L2 hit P1", "L2 hit P2", "L2 hit P3", "LLC hit P1", "LLC hit P2",
+        "LLC hit P3",
+    ]);
+    let mut table_b = TextTable::new([
+        "Group", "L2 MPKI P1", "L2 MPKI P2", "L2 MPKI P3", "LLC MPKI P1", "LLC MPKI P2",
+        "LLC MPKI P3",
+    ]);
+    let mut table_c = table_b.clone();
+    for g in &results {
+        for (phase, stats) in [("update", &g.update), ("compute", &g.compute)] {
+            table_a.add_row([
+                g.name.to_string(),
+                phase.to_string(),
+                format!("{:.1}%", stats[0].l2_hit.mean * 100.0),
+                format!("{:.1}%", stats[1].l2_hit.mean * 100.0),
+                format!("{:.1}%", stats[2].l2_hit.mean * 100.0),
+                format!("{:.1}%", stats[0].llc_hit.mean * 100.0),
+                format!("{:.1}%", stats[1].llc_hit.mean * 100.0),
+                format!("{:.1}%", stats[2].llc_hit.mean * 100.0),
+            ]);
+        }
+        let mpki_row = |stats: &[saga_bench::arch::PhaseStageStats; 3]| {
+            [
+                g.name.to_string(),
+                format!("{:.1}", stats[0].l2_mpki.mean),
+                format!("{:.1}", stats[1].l2_mpki.mean),
+                format!("{:.1}", stats[2].l2_mpki.mean),
+                format!("{:.1}", stats[0].llc_mpki.mean),
+                format!("{:.1}", stats[1].llc_mpki.mean),
+                format!("{:.1}", stats[2].llc_mpki.mean),
+            ]
+        };
+        table_b.add_row(mpki_row(&g.update));
+        table_c.add_row(mpki_row(&g.compute));
+    }
+    emit(
+        "Fig. 10(a): private L2 and shared LLC hit ratios (simulated)",
+        "fig10a.txt",
+        &table_a.render(),
+    );
+    emit(
+        "Fig. 10(b): update-phase L2/LLC MPKI (simulated)",
+        "fig10b.txt",
+        &table_b.render(),
+    );
+    emit(
+        "Fig. 10(c): compute-phase L2/LLC MPKI (simulated)",
+        "fig10c.txt",
+        &table_c.render(),
+    );
+}

@@ -1,0 +1,75 @@
+//! Regenerates **Fig. 6**: P3 latencies of AC, DAH, and Stinger normalized
+//! to AS, per algorithm and dataset, at each dataset's best compute model
+//! (kept best to isolate the impact of the data structure, as the paper's
+//! caption prescribes).
+//!
+//! - panel (a): batch processing latency
+//! - panel (b): update latency (BFS only in the paper — update is
+//!   algorithm-independent; here emitted for the swept algorithm)
+//! - panel (c): compute latency
+//!
+//! ```text
+//! cargo run -p saga-bench --release --bin fig6
+//! ```
+
+use saga_bench::{algorithms_from_env, config_from_env, datasets_from_env, emit};
+use saga_core::experiment::{best_at, normalized_to, sweep_combinations, Metric};
+use saga_core::report::{fmt_ratio, TextTable};
+use saga_core::stages::Stage;
+use saga_graph::DataStructureKind;
+
+fn main() {
+    let cfg = config_from_env();
+    let mut tables = [
+        TextTable::new(["Alg", "Dataset", "CM", "AC/AS", "DAH/AS", "Stinger/AS"]),
+        TextTable::new(["Alg", "Dataset", "CM", "AC/AS", "DAH/AS", "Stinger/AS"]),
+        TextTable::new(["Alg", "Dataset", "CM", "AC/AS", "DAH/AS", "Stinger/AS"]),
+    ];
+    let metrics = [Metric::Batch, Metric::Update, Metric::Compute];
+    for alg in algorithms_from_env() {
+        for profile in datasets_from_env() {
+            eprintln!("[fig6] sweeping {alg} x {} ...", profile.name());
+            let results = sweep_combinations(&profile, alg, &cfg);
+            // The dataset's best compute model at P3 (Table III column).
+            let best_cm = best_at(&results, Stage::P3, Metric::Batch).best.1;
+            for (t, metric) in tables.iter_mut().zip(metrics) {
+                let norm = normalized_to(
+                    &results,
+                    DataStructureKind::AdjacencyShared,
+                    best_cm,
+                    Stage::P3,
+                    metric,
+                );
+                let of = |ds: DataStructureKind| {
+                    norm.iter()
+                        .find(|(d, _)| *d == ds)
+                        .map(|&(_, r)| fmt_ratio(r))
+                        .unwrap_or_else(|| "-".into())
+                };
+                t.add_row([
+                    alg.to_string(),
+                    profile.name().to_string(),
+                    best_cm.to_string(),
+                    of(DataStructureKind::AdjacencyChunked),
+                    of(DataStructureKind::Dah),
+                    of(DataStructureKind::Stinger),
+                ]);
+            }
+        }
+    }
+    emit(
+        "Fig. 6(a): P3 batch processing latency normalized to AS",
+        "fig6a.txt",
+        &tables[0].render(),
+    );
+    emit(
+        "Fig. 6(b): P3 update latency normalized to AS",
+        "fig6b.txt",
+        &tables[1].render(),
+    );
+    emit(
+        "Fig. 6(c): P3 compute latency normalized to AS",
+        "fig6c.txt",
+        &tables[2].render(),
+    );
+}

@@ -1,0 +1,45 @@
+//! Regenerates **Fig. 8**: the percentage of batch processing latency
+//! spent in the update phase over P1/P2/P3, at the best combination of
+//! data structure and compute model — the "update is at least 40% of the
+//! latency" result.
+//!
+//! ```text
+//! cargo run -p saga-bench --release --bin fig8
+//! ```
+
+use saga_bench::{algorithms_from_env, config_from_env, datasets_from_env, emit};
+use saga_core::experiment::{best_at, sweep_combinations, Metric};
+use saga_core::report::{fmt_pct, TextTable};
+use saga_core::stages::Stage;
+
+fn main() {
+    let cfg = config_from_env();
+    let mut table = TextTable::new([
+        "Alg", "Dataset", "Best combo", "update% P1", "update% P2", "update% P3",
+    ]);
+    for alg in algorithms_from_env() {
+        for profile in datasets_from_env() {
+            eprintln!("[fig8] sweeping {alg} x {} ...", profile.name());
+            let results = sweep_combinations(&profile, alg, &cfg);
+            let best = best_at(&results, Stage::P3, Metric::Batch).best;
+            let combo = results
+                .iter()
+                .find(|r| (r.ds, r.cm) == best)
+                .expect("best combination exists");
+            let mut row = vec![
+                alg.to_string(),
+                profile.name().to_string(),
+                format!("{}+{}", best.1, best.0),
+            ];
+            for stage in Stage::ALL {
+                row.push(fmt_pct(combo.stages[stage.index()].update_fraction()));
+            }
+            table.add_row(row);
+        }
+    }
+    emit(
+        "Fig. 8: % of batch processing latency in the update phase (best combination)",
+        "fig8.txt",
+        &table.render(),
+    );
+}

@@ -1,0 +1,177 @@
+//! Regenerates **Fig. 9**:
+//!
+//! - (a) update/compute performance scalability vs core count for STail
+//!   (LJ/Orkut/RMAT on AS) and HTail (Wiki/Talk on DAH). By default the
+//!   curve is *modeled*: each thread count is run, traced, and its phase
+//!   time estimated as `max(slowest thread, most-contended lock)` on the
+//!   paper's machine model — faithful to the paper's insight that update
+//!   scaling is limited by thread contention (AS) and workload imbalance
+//!   (DAH). Set `SAGA_WALLCLOCK=1` on a many-core host to use real wall
+//!   clocks instead.
+//! - (b) memory bandwidth utilization per phase and stage (simulated);
+//! - (c) QPI inter-socket utilization per phase and stage (simulated).
+//!
+//! ```text
+//! cargo run -p saga-bench --release --bin fig9
+//! # single panel: SAGA_PANEL=a cargo run -p saga-bench --release --bin fig9
+//! ```
+
+use saga_algorithms::ComputeModelKind;
+use saga_bench::arch::{groups, run_arch_characterization};
+use saga_bench::{algorithms_from_env, config_from_env, emit, env_or};
+use saga_core::driver::{ArchSimConfig, StreamDriver};
+use saga_core::report::TextTable;
+use saga_perf::scaling::ScalingCurve;
+
+/// Thread counts swept for the scaling panel (the paper sweeps 4..28
+/// physical cores; we sweep powers of two up to the paper's 32).
+fn sweep_threads() -> Vec<usize> {
+    match std::env::var("SAGA_SWEEP") {
+        Ok(s) => s
+            .split(',')
+            .filter_map(|t| t.trim().parse().ok())
+            .collect(),
+        Err(_) => vec![1, 2, 4, 8, 16, 32],
+    }
+}
+
+fn panel_a() {
+    let cfg = config_from_env();
+    let algorithms = algorithms_from_env();
+    let wallclock = env_or("SAGA_WALLCLOCK", 0usize) == 1;
+    let cache_scale = env_or("SAGA_CACHE_SCALE", 16usize);
+    let thread_counts = sweep_threads();
+    let mut table = TextTable::new({
+        let mut h = vec!["Group".to_string(), "Phase".to_string()];
+        h.extend(thread_counts.iter().map(|t| format!("{t}T")));
+        h.push("incr. improvements".to_string());
+        h
+    });
+    for group in groups() {
+        let mut update_secs = vec![0.0f64; thread_counts.len()];
+        let mut compute_secs = vec![0.0f64; thread_counts.len()];
+        for (profile, ds) in &group.members {
+            let profile = profile.clone().scaled_by(cfg.scale);
+            let stream = profile.generate(cfg.seed);
+            for &alg in &algorithms {
+                for (i, &threads) in thread_counts.iter().enumerate() {
+                    eprintln!(
+                        "[fig9a] {} / {} / {alg} @ {threads} threads ({})",
+                        group.name,
+                        profile.name(),
+                        if wallclock { "wall clock" } else { "modeled" },
+                    );
+                    let mut builder = StreamDriver::builder(*ds, stream.num_nodes)
+                        .algorithm(alg)
+                        .compute_model(ComputeModelKind::Incremental)
+                        .threads(threads);
+                    if !wallclock {
+                        builder = builder.arch_sim(ArchSimConfig {
+                            cache_scale,
+                            ..ArchSimConfig::default()
+                        });
+                    }
+                    let mut driver = builder.build();
+                    let outcome = driver.run(&stream);
+                    for b in &outcome.batches {
+                        if wallclock {
+                            update_secs[i] += b.update_seconds;
+                            compute_secs[i] += b.compute_seconds;
+                        } else {
+                            let arch = b.arch.as_ref().expect("arch sim enabled");
+                            update_secs[i] += arch.update_bw.seconds;
+                            compute_secs[i] += arch.compute_bw.seconds;
+                        }
+                    }
+                }
+            }
+        }
+        for (phase, secs) in [("update", update_secs), ("compute", compute_secs)] {
+            let curve = ScalingCurve {
+                threads: thread_counts.clone(),
+                seconds: secs,
+            };
+            let mut row = vec![group.name.to_string(), phase.to_string()];
+            row.extend(curve.speedups().iter().map(|s| format!("{s:.2}x")));
+            row.push(
+                curve
+                    .incremental_improvements()
+                    .iter()
+                    .map(|i| format!("{i:.0}%"))
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            );
+            table.add_row(row);
+        }
+    }
+    emit(
+        "Fig. 9(a): update/compute speedup vs thread count (normalized to smallest)",
+        "fig9a.txt",
+        &table.render(),
+    );
+}
+
+fn panels_bc() {
+    let cfg = config_from_env();
+    let algorithms = algorithms_from_env();
+    let cache_scale = env_or("SAGA_CACHE_SCALE", 16usize);
+    let results = run_arch_characterization(&cfg, &algorithms, cache_scale);
+
+    let mut table_b = TextTable::new(["Group", "Phase", "P1 GB/s", "P2 GB/s", "P3 GB/s"]);
+    let mut table_c = TextTable::new(["Group", "Phase", "P1 QPI%", "P2 QPI%", "P3 QPI%"]);
+    for g in &results {
+        for (phase, stats) in [("update", &g.update), ("compute", &g.compute)] {
+            table_b.add_row([
+                g.name.to_string(),
+                phase.to_string(),
+                format!("{:.1}", stats[0].dram_gbps.mean),
+                format!("{:.1}", stats[1].dram_gbps.mean),
+                format!("{:.1}", stats[2].dram_gbps.mean),
+            ]);
+            table_c.add_row([
+                g.name.to_string(),
+                phase.to_string(),
+                format!("{:.1}%", stats[0].qpi_util.mean * 100.0),
+                format!("{:.1}%", stats[1].qpi_util.mean * 100.0),
+                format!("{:.1}%", stats[2].qpi_util.mean * 100.0),
+            ]);
+        }
+    }
+    // Imbalance digest supports the §VI-B insight.
+    let mut imbalance = TextTable::new(["Group", "Phase", "P3 imbalance (max/mean thread cycles)"]);
+    for g in &results {
+        for (phase, stats) in [("update", &g.update), ("compute", &g.compute)] {
+            imbalance.add_row([
+                g.name.to_string(),
+                phase.to_string(),
+                format!("{:.2}", stats[2].imbalance.mean),
+            ]);
+        }
+    }
+    emit(
+        "Fig. 9(b): memory bandwidth utilization (simulated, GB/s)",
+        "fig9b.txt",
+        &table_b.render(),
+    );
+    emit(
+        "Fig. 9(c): QPI utilization (simulated, % of peak)",
+        "fig9c.txt",
+        &table_c.render(),
+    );
+    emit(
+        "Fig. 9 supplement: thread imbalance behind the update phase's low TLP",
+        "fig9_imbalance.txt",
+        &imbalance.render(),
+    );
+}
+
+fn main() {
+    match std::env::var("SAGA_PANEL").as_deref() {
+        Ok("a") => panel_a(),
+        Ok("b") | Ok("c") => panels_bc(),
+        _ => {
+            panel_a();
+            panels_bc();
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates **Table II**: the dataset inventory — vertices, edges, and
+//! batch count — for the paper's five datasets and this repository's
+//! scaled synthetic stand-ins.
+//!
+//! ```text
+//! cargo run -p saga-bench --release --bin table2
+//! ```
+
+use saga_bench::{config_from_env, datasets_from_env, emit};
+use saga_core::report::TextTable;
+
+fn main() {
+    let cfg = config_from_env();
+    let mut table = TextTable::new([
+        "Dataset",
+        "paper vertices",
+        "paper edges",
+        "paper batchCount",
+        "scaled vertices",
+        "scaled edges",
+        "scaled batchCount",
+        "directed",
+    ]);
+    for profile in datasets_from_env() {
+        let scaled = profile.clone().scaled_by(cfg.scale);
+        let stream = scaled.generate(cfg.seed);
+        let paper = profile.paper_stats();
+        table.add_row([
+            profile.name().to_string(),
+            paper.vertices.to_string(),
+            paper.edges.to_string(),
+            paper.batch_count.to_string(),
+            scaled.num_nodes().to_string(),
+            stream.edges.len().to_string(),
+            stream.suggested_batch_count().to_string(),
+        ]
+        .into_iter()
+        .chain([if profile.is_directed() { "yes" } else { "no" }.to_string()])
+        .collect::<Vec<_>>());
+    }
+    emit("Table II: evaluated datasets", "table2.txt", &table.render());
+}

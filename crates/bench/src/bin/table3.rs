@@ -1,0 +1,39 @@
+//! Regenerates **Table III**: for every algorithm × dataset, the best
+//! (data structure × compute model) combination at P1/P2/P3 with its
+//! absolute batch processing latency, comparing all 8 combinations with
+//! 95% confidence intervals exactly as the paper's caption describes.
+//!
+//! ```text
+//! cargo run -p saga-bench --release --bin table3
+//! # quicker: SAGA_SCALE=0.25 SAGA_REPEATS=2 cargo run -p saga-bench --release --bin table3
+//! ```
+
+use saga_bench::{algorithms_from_env, config_from_env, datasets_from_env, emit};
+use saga_core::experiment::{best_at, sweep_combinations, Metric};
+use saga_core::report::{fmt_secs, TextTable};
+use saga_core::stages::Stage;
+
+fn main() {
+    let cfg = config_from_env();
+    let mut table = TextTable::new([
+        "Alg", "Dataset", "P1 best", "P1 s", "P2 best", "P2 s", "P3 best", "P3 s",
+    ]);
+    for alg in algorithms_from_env() {
+        for profile in datasets_from_env() {
+            eprintln!("[table3] sweeping {alg} x {} ...", profile.name());
+            let results = sweep_combinations(&profile, alg, &cfg);
+            let mut row = vec![alg.to_string(), profile.name().to_string()];
+            for stage in Stage::ALL {
+                let best = best_at(&results, stage, Metric::Batch);
+                row.push(best.notation());
+                row.push(fmt_secs(best.best_mean));
+            }
+            table.add_row(row);
+        }
+    }
+    emit(
+        "Table III: best data structure + compute model per algorithm/dataset/stage",
+        "table3.txt",
+        &table.render(),
+    );
+}

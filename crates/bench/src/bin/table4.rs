@@ -1,0 +1,43 @@
+//! Regenerates **Table IV**: max in/out degree for each dataset, over the
+//! entire stream and within one batch, plus the short/heavy tail
+//! classification of §V-B.
+//!
+//! ```text
+//! cargo run -p saga-bench --release --bin table4
+//! ```
+
+use saga_bench::{config_from_env, datasets_from_env, emit};
+use saga_core::report::TextTable;
+use saga_stream::batch_stats::table4_row;
+
+fn main() {
+    let cfg = config_from_env();
+    let mut table = TextTable::new([
+        "Dataset",
+        "entire max in",
+        "entire max out",
+        "batch max in",
+        "batch max out",
+        "batch size",
+        "tail",
+    ]);
+    for profile in datasets_from_env() {
+        let scaled = profile.clone().scaled_by(cfg.scale);
+        let stream = scaled.generate(cfg.seed);
+        let row = table4_row(&stream.edges, stream.num_nodes, stream.suggested_batch_size);
+        table.add_row([
+            profile.name().to_string(),
+            row.entire.max_in.to_string(),
+            row.entire.max_out.to_string(),
+            row.one_batch.max_in.to_string(),
+            row.one_batch.max_out.to_string(),
+            row.batch_size.to_string(),
+            row.tail.to_string(),
+        ]);
+    }
+    emit(
+        "Table IV: max in/out degree per dataset (entire stream vs one batch)",
+        "table4.txt",
+        &table.render(),
+    );
+}

@@ -1,0 +1,416 @@
+//! The streaming driver: interleaved update and compute phases.
+//!
+//! This is the paper's execution model (Fig. 1, Fig. 2b): the input edge
+//! stream is consumed in batches; for each batch the driver first ingests
+//! the edges into the data structure (*update phase*), then runs the
+//! algorithm on the freshly updated structure (*compute phase*), recording
+//! both latencies — their sum is the batch processing latency of Eq. 1,
+//! the performance metric used throughout.
+//!
+//! With [`ArchSimConfig`] attached, both phases additionally run under the
+//! memory probe and are replayed — in stream order, on one persistent
+//! hierarchy, so the compute phase really can reuse lines the update phase
+//! brought in (§VI-C) — producing the per-phase cache and bandwidth
+//! reports behind Figs. 9(b–c) and 10.
+
+use saga_algorithms::{
+    AffectedTracker, AlgorithmKind, AlgorithmParams, AlgorithmState, ComputeModelKind,
+    ComputeOutcome, VertexValues,
+};
+use saga_graph::{build_graph, DataStructureKind, Node};
+use saga_perf::bandwidth::{estimate, BandwidthEstimate, TimeModel};
+use saga_perf::cache::{CacheReport, HierarchyConfig, MemoryHierarchy};
+use saga_perf::trace_phase;
+use saga_stream::EdgeStream;
+use saga_utils::parallel::ThreadPool;
+use saga_utils::timer::Stopwatch;
+
+/// Architecture-simulation settings for a driver run.
+#[derive(Debug, Clone, Copy)]
+pub struct ArchSimConfig {
+    /// Cache-capacity scale factor (power of two; 1 = the paper machine).
+    /// Scaled datasets pair naturally with scaled caches — see DESIGN.md.
+    pub cache_scale: usize,
+    /// Time model for bandwidth estimation.
+    pub time_model: TimeModel,
+}
+
+impl Default for ArchSimConfig {
+    fn default() -> Self {
+        Self {
+            cache_scale: 16,
+            time_model: TimeModel::default(),
+        }
+    }
+}
+
+/// Per-phase architecture reports for one batch.
+#[derive(Debug, Clone)]
+pub struct ArchRecord {
+    /// Cache report of the update phase.
+    pub update: CacheReport,
+    /// Cache report of the compute phase.
+    pub compute: CacheReport,
+    /// Bandwidth estimate of the update phase.
+    pub update_bw: BandwidthEstimate,
+    /// Bandwidth estimate of the compute phase.
+    pub compute_bw: BandwidthEstimate,
+}
+
+/// Measurements for one batch (Eq. 1 decomposition).
+#[derive(Debug, Clone)]
+pub struct BatchRecord {
+    /// Batch index within the stream.
+    pub index: usize,
+    /// Edges in the batch.
+    pub batch_len: usize,
+    /// Update-phase latency in seconds.
+    pub update_seconds: f64,
+    /// Compute-phase latency in seconds.
+    pub compute_seconds: f64,
+    /// Edges newly inserted.
+    pub inserted: usize,
+    /// Duplicate edges skipped.
+    pub duplicates: usize,
+    /// Compute-phase counters.
+    pub compute: ComputeOutcome,
+    /// Architecture simulation (when enabled).
+    pub arch: Option<ArchRecord>,
+}
+
+impl BatchRecord {
+    /// Batch processing latency (Eq. 1): update + compute.
+    pub fn batch_seconds(&self) -> f64 {
+        self.update_seconds + self.compute_seconds
+    }
+
+    /// Fraction of the batch latency spent in the update phase (Fig. 8).
+    pub fn update_fraction(&self) -> f64 {
+        let total = self.batch_seconds();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.update_seconds / total
+        }
+    }
+}
+
+/// Result of streaming one dataset through the driver.
+#[derive(Debug)]
+pub struct StreamOutcome {
+    /// Per-batch measurements, in stream order.
+    pub batches: Vec<BatchRecord>,
+    /// Final vertex property values.
+    pub final_values: VertexValues,
+    /// Total unique edges ingested.
+    pub total_edges: usize,
+}
+
+impl StreamOutcome {
+    /// Sum of batch processing latencies.
+    pub fn total_seconds(&self) -> f64 {
+        self.batches.iter().map(BatchRecord::batch_seconds).sum()
+    }
+}
+
+/// Builder for [`StreamDriver`].
+#[derive(Debug, Clone)]
+pub struct StreamDriverBuilder {
+    data_structure: DataStructureKind,
+    capacity: usize,
+    algorithm: AlgorithmKind,
+    compute_model: ComputeModelKind,
+    batch_size: Option<usize>,
+    threads: usize,
+    root: Option<Node>,
+    params: AlgorithmParams,
+    arch_sim: Option<ArchSimConfig>,
+}
+
+impl StreamDriverBuilder {
+    /// Selects the algorithm (default: PageRank).
+    pub fn algorithm(mut self, algorithm: AlgorithmKind) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Selects the compute model (default: incremental).
+    pub fn compute_model(mut self, model: ComputeModelKind) -> Self {
+        self.compute_model = model;
+        self
+    }
+
+    /// Overrides the batch size (default: the stream's suggestion).
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = Some(batch_size);
+        self
+    }
+
+    /// Number of worker threads (default: available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Overrides the search root for BFS/SSSP/SSWP (default: the source of
+    /// the stream's first edge, which is guaranteed to exist).
+    pub fn root(mut self, root: Node) -> Self {
+        self.root = Some(root);
+        self
+    }
+
+    /// Overrides algorithm tunables.
+    pub fn params(mut self, params: AlgorithmParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Enables the architecture simulator for both phases.
+    pub fn arch_sim(mut self, config: ArchSimConfig) -> Self {
+        self.arch_sim = Some(config);
+        self
+    }
+
+    /// Builds the driver (spawns its thread pool).
+    pub fn build(self) -> StreamDriver {
+        let pool = ThreadPool::new(self.threads);
+        StreamDriver {
+            builder: self,
+            pool,
+        }
+    }
+}
+
+/// Drives one (data structure × algorithm × compute model) configuration
+/// over edge streams.
+///
+/// # Examples
+///
+/// ```
+/// use saga_core::driver::StreamDriver;
+/// use saga_graph::DataStructureKind;
+/// use saga_stream::profiles::DatasetProfile;
+/// use saga_algorithms::{AlgorithmKind, ComputeModelKind};
+///
+/// let profile = DatasetProfile::talk().scaled(500, 3_000);
+/// let stream = profile.generate(7);
+/// let mut driver = StreamDriver::builder(DataStructureKind::Dah, 500)
+///     .algorithm(AlgorithmKind::Cc)
+///     .compute_model(ComputeModelKind::Incremental)
+///     .batch_size(1_000)
+///     .threads(2)
+///     .build();
+/// let outcome = driver.run(&stream);
+/// assert_eq!(outcome.batches.len(), 3);
+/// assert!(outcome.total_seconds() > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct StreamDriver {
+    builder: StreamDriverBuilder,
+    pool: ThreadPool,
+}
+
+impl StreamDriver {
+    /// Starts configuring a driver for the given data structure and vertex
+    /// universe.
+    pub fn builder(data_structure: DataStructureKind, capacity: usize) -> StreamDriverBuilder {
+        StreamDriverBuilder {
+            data_structure,
+            capacity,
+            algorithm: AlgorithmKind::PageRank,
+            compute_model: ComputeModelKind::Incremental,
+            batch_size: None,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            root: None,
+            params: AlgorithmParams::default(),
+            arch_sim: None,
+        }
+    }
+
+    /// The worker pool (exposed for phase-level experiments).
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// Streams `stream` through a fresh graph and algorithm state,
+    /// interleaving update and compute per batch.
+    pub fn run(&mut self, stream: &EdgeStream) -> StreamOutcome {
+        let cfg = &self.builder;
+        let capacity = cfg.capacity.max(stream.num_nodes);
+        let graph = build_graph(
+            cfg.data_structure,
+            capacity,
+            stream.directed,
+            self.pool.threads(),
+        );
+        let mut params = cfg.params;
+        params.root = cfg
+            .root
+            .unwrap_or_else(|| stream.edges.first().map(|e| e.src).unwrap_or(0));
+        let mut state = AlgorithmState::new(cfg.algorithm, cfg.compute_model, capacity, params);
+        let mut tracker = AffectedTracker::new(capacity);
+        let batch_size = cfg.batch_size.unwrap_or(stream.suggested_batch_size);
+
+        let mut hierarchy = cfg.arch_sim.map(|a| {
+            let config = if a.cache_scale <= 1 {
+                HierarchyConfig::paper()
+            } else {
+                HierarchyConfig::paper_scaled(a.cache_scale)
+            };
+            MemoryHierarchy::new(config, self.pool.threads())
+        });
+
+        let needs_seed_neighborhood = state.affects_source_neighborhood();
+        let incremental = cfg.compute_model == ComputeModelKind::Incremental;
+        let mut batches = Vec::new();
+        for (index, batch) in stream.batches(batch_size).enumerate() {
+            // --- Update phase ---
+            let mut update_trace = None;
+            let sw = Stopwatch::start();
+            let stats = if hierarchy.is_some() {
+                let mut stats = None;
+                let trace = trace_phase(&self.pool, || {
+                    stats = Some(graph.update_batch(batch, &self.pool));
+                });
+                update_trace = Some(trace);
+                stats.unwrap()
+            } else {
+                graph.update_batch(batch, &self.pool)
+            };
+            // Deriving the affected array is part of the update phase's
+            // bookkeeping (Algorithm 1 receives it from the update).
+            let impact = if incremental {
+                tracker.process_batch(graph.as_ref(), batch, needs_seed_neighborhood)
+            } else {
+                Default::default()
+            };
+            let update_seconds = sw.elapsed_secs();
+
+            // --- Compute phase ---
+            let mut compute_trace = None;
+            let sw = Stopwatch::start();
+            let compute = if hierarchy.is_some() {
+                let mut out = None;
+                let trace = trace_phase(&self.pool, || {
+                    out = Some(state.perform_alg(
+                        graph.as_ref(),
+                        &impact.affected,
+                        &impact.new_vertices,
+                        &self.pool,
+                    ));
+                });
+                compute_trace = Some(trace);
+                out.unwrap()
+            } else {
+                state.perform_alg(
+                    graph.as_ref(),
+                    &impact.affected,
+                    &impact.new_vertices,
+                    &self.pool,
+                )
+            };
+            let compute_seconds = sw.elapsed_secs();
+
+            let arch = hierarchy.as_mut().map(|h| {
+                let a = cfg.arch_sim.as_ref().unwrap();
+                let update = h.replay(update_trace.as_ref().unwrap());
+                let compute = h.replay(compute_trace.as_ref().unwrap());
+                let topo = HierarchyConfig::paper().topology;
+                ArchRecord {
+                    update_bw: estimate(&update, &a.time_model, &topo),
+                    compute_bw: estimate(&compute, &a.time_model, &topo),
+                    update,
+                    compute,
+                }
+            });
+
+            batches.push(BatchRecord {
+                index,
+                batch_len: batch.len(),
+                update_seconds,
+                compute_seconds,
+                inserted: stats.inserted,
+                duplicates: stats.duplicates,
+                compute,
+                arch,
+            });
+        }
+
+        StreamOutcome {
+            batches,
+            final_values: state.values(),
+            total_edges: graph.num_edges(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saga_stream::profiles::DatasetProfile;
+
+    fn tiny_stream() -> saga_stream::EdgeStream {
+        DatasetProfile::livejournal().scaled(300, 2_400).generate(3)
+    }
+
+    #[test]
+    fn driver_runs_all_batches_and_counts_edges() {
+        let stream = tiny_stream();
+        let mut driver = StreamDriver::builder(DataStructureKind::AdjacencyShared, 300)
+            .algorithm(AlgorithmKind::Bfs)
+            .compute_model(ComputeModelKind::Incremental)
+            .batch_size(800)
+            .threads(2)
+            .build();
+        let outcome = driver.run(&stream);
+        assert_eq!(outcome.batches.len(), 3);
+        let inserted: usize = outcome.batches.iter().map(|b| b.inserted).sum();
+        assert_eq!(inserted, outcome.total_edges);
+        let processed: usize = outcome.batches.iter().map(|b| b.batch_len).sum();
+        assert_eq!(processed, 2_400);
+        for b in &outcome.batches {
+            assert!(b.update_seconds > 0.0);
+            assert!(b.compute_seconds > 0.0);
+            assert!(b.update_fraction() > 0.0 && b.update_fraction() < 1.0);
+            assert!(b.arch.is_none());
+        }
+    }
+
+    #[test]
+    fn fs_and_inc_drivers_agree_on_final_values() {
+        let stream = tiny_stream();
+        let run = |model| {
+            let mut driver = StreamDriver::builder(DataStructureKind::Stinger, 300)
+                .algorithm(AlgorithmKind::Cc)
+                .compute_model(model)
+                .batch_size(600)
+                .threads(3)
+                .build();
+            driver.run(&stream).final_values
+        };
+        assert_eq!(
+            run(ComputeModelKind::FromScratch),
+            run(ComputeModelKind::Incremental)
+        );
+    }
+
+    #[test]
+    fn arch_sim_produces_phase_reports() {
+        let stream = DatasetProfile::wiki().scaled(200, 1_000).generate(9);
+        let mut driver = StreamDriver::builder(DataStructureKind::Dah, 200)
+            .algorithm(AlgorithmKind::PageRank)
+            .batch_size(500)
+            .threads(2)
+            .arch_sim(ArchSimConfig::default())
+            .build();
+        let outcome = driver.run(&stream);
+        assert_eq!(outcome.batches.len(), 2);
+        for b in &outcome.batches {
+            let arch = b.arch.as_ref().expect("arch sim enabled");
+            assert!(arch.update.accesses > 0, "update phase must touch memory");
+            assert!(arch.compute.accesses > 0, "compute phase must touch memory");
+            assert!(arch.update_bw.seconds > 0.0);
+            assert!(arch.compute_bw.seconds > 0.0);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! The SAGA-Bench streaming-analytics core: driver, staging, experiments.
+//!
+//! This crate assembles the substrates into the paper's benchmark:
+//!
+//! - [`driver`] — interleaves update and compute phases over an edge
+//!   stream, measuring the batch processing latency of Eq. 1 (and, when
+//!   enabled, per-phase architecture reports from the `saga-perf`
+//!   simulator).
+//! - [`stages`] — P1/P2/P3 over-time aggregation with pooled 95%
+//!   confidence intervals (§IV-B).
+//! - [`experiment`] — the Table III sweep machinery: all
+//!   4 data structures × 2 compute models per algorithm/dataset, with
+//!   best/competitive selection by confidence-interval overlap.
+//! - [`report`] — plain-text table rendering and `results/` persistence
+//!   for the experiment binaries.
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod pipelined;
+pub mod experiment;
+pub mod report;
+pub mod stages;
+
+pub use driver::{StreamDriver, StreamOutcome};
+pub use experiment::{ExperimentConfig, Metric};
+pub use stages::{Stage, StageSummary};

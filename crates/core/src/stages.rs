@@ -1,0 +1,182 @@
+//! P1/P2/P3 stage aggregation (§IV-B of the paper).
+//!
+//! To analyze the over-time effect of the growing graph, the paper divides
+//! a stream's batches into three equal stages and reports P1 (early), P2
+//! (middle), and P3 (final) averages, each pooled over the corresponding
+//! third of every repeated run and reported with a 95% confidence
+//! interval.
+
+use crate::driver::BatchRecord;
+use saga_utils::stats::Summary;
+
+/// One of the three over-time stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// Early third of the stream.
+    P1,
+    /// Middle third.
+    P2,
+    /// Final third.
+    P3,
+}
+
+impl Stage {
+    /// All stages in order.
+    pub const ALL: [Stage; 3] = [Stage::P1, Stage::P2, Stage::P3];
+
+    /// Index 0/1/2.
+    pub fn index(&self) -> usize {
+        match self {
+            Stage::P1 => 0,
+            Stage::P2 => 1,
+            Stage::P3 => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Stage::P1 => f.write_str("P1"),
+            Stage::P2 => f.write_str("P2"),
+            Stage::P3 => f.write_str("P3"),
+        }
+    }
+}
+
+/// Stage a batch belongs to, given the total batch count.
+pub fn stage_of(batch_index: usize, total_batches: usize) -> Stage {
+    debug_assert!(batch_index < total_batches);
+    let third = total_batches.div_ceil(3).max(1);
+    match batch_index / third {
+        0 => Stage::P1,
+        1 => Stage::P2,
+        _ => Stage::P3,
+    }
+}
+
+/// Pooled latency statistics for one stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageSummary {
+    /// The stage.
+    pub stage: Stage,
+    /// Update-phase latency (seconds).
+    pub update: Summary,
+    /// Compute-phase latency (seconds).
+    pub compute: Summary,
+    /// Batch processing latency (Eq. 1, seconds).
+    pub batch: Summary,
+}
+
+impl StageSummary {
+    /// Mean fraction of batch latency spent updating (Fig. 8).
+    pub fn update_fraction(&self) -> f64 {
+        if self.batch.mean == 0.0 {
+            0.0
+        } else {
+            self.update.mean / self.batch.mean
+        }
+    }
+}
+
+/// Summarizes repeated runs into the three stages, pooling sample values
+/// exactly as §IV-B prescribes (each stage average uses one third of
+/// batchCount values from each of the repeated runs).
+///
+/// # Panics
+///
+/// Panics if runs have different batch counts.
+pub fn summarize_stages(runs: &[&[BatchRecord]]) -> [StageSummary; 3] {
+    let mut update: [Vec<f64>; 3] = Default::default();
+    let mut compute: [Vec<f64>; 3] = Default::default();
+    let mut batch: [Vec<f64>; 3] = Default::default();
+    for run in runs {
+        if let Some(first) = runs.first() {
+            assert_eq!(
+                run.len(),
+                first.len(),
+                "repeated runs must have equal batch counts"
+            );
+        }
+        let total = run.len();
+        for record in run.iter() {
+            let s = stage_of(record.index, total).index();
+            update[s].push(record.update_seconds);
+            compute[s].push(record.compute_seconds);
+            batch[s].push(record.batch_seconds());
+        }
+    }
+    Stage::ALL.map(|stage| {
+        let s = stage.index();
+        StageSummary {
+            stage,
+            update: Summary::from_samples(&update[s]),
+            compute: Summary::from_samples(&compute[s]),
+            batch: Summary::from_samples(&batch[s]),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saga_algorithms::ComputeOutcome;
+
+    fn record(index: usize, update: f64, compute: f64) -> BatchRecord {
+        BatchRecord {
+            index,
+            batch_len: 100,
+            update_seconds: update,
+            compute_seconds: compute,
+            inserted: 0,
+            duplicates: 0,
+            compute: ComputeOutcome::default(),
+            arch: None,
+        }
+    }
+
+    #[test]
+    fn stage_partition_covers_all_batches() {
+        for total in [3usize, 9, 10, 11, 100] {
+            let mut counts = [0usize; 3];
+            for i in 0..total {
+                counts[stage_of(i, total).index()] += 1;
+            }
+            assert_eq!(counts.iter().sum::<usize>(), total);
+            // Stages are balanced within one batch of each other for
+            // divisible counts.
+            if total % 3 == 0 {
+                assert!(counts.iter().all(|&c| c == total / 3), "{total}: {counts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn early_batches_are_p1_late_are_p3() {
+        assert_eq!(stage_of(0, 9), Stage::P1);
+        assert_eq!(stage_of(4, 9), Stage::P2);
+        assert_eq!(stage_of(8, 9), Stage::P3);
+    }
+
+    #[test]
+    fn summaries_pool_across_runs() {
+        let run1: Vec<BatchRecord> = (0..6).map(|i| record(i, 1.0, 2.0)).collect();
+        let run2: Vec<BatchRecord> = (0..6).map(|i| record(i, 3.0, 4.0)).collect();
+        let stages = summarize_stages(&[&run1, &run2]);
+        for s in &stages {
+            assert_eq!(s.update.n, 4, "2 batches/stage x 2 runs");
+            assert!((s.update.mean - 2.0).abs() < 1e-12);
+            assert!((s.compute.mean - 3.0).abs() < 1e-12);
+            assert!((s.batch.mean - 5.0).abs() < 1e-12);
+            assert!((s.update_fraction() - 0.4).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal batch counts")]
+    fn mismatched_runs_panic() {
+        let run1: Vec<BatchRecord> = (0..6).map(|i| record(i, 1.0, 1.0)).collect();
+        let run2: Vec<BatchRecord> = (0..5).map(|i| record(i, 1.0, 1.0)).collect();
+        let _ = summarize_stages(&[&run1, &run2]);
+    }
+}

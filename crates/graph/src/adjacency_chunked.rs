@@ -1,0 +1,435 @@
+//! Adjacency list with chunked-style multithreading (**AC**, §III-A2).
+//!
+//! The adjacency list is partitioned into chunks, each chunk storing the
+//! neighbor vectors of a subset of source vertices (`v` belongs to chunk
+//! `v % chunks`). A chunk is a *single-threaded* data structure: during a
+//! batch update, exactly one worker touches each chunk, so no per-edge lock
+//! is taken (the rest of the intra-chunk operation — search then insert in a
+//! contiguous vector — is the same as AS, Fig. 3).
+//!
+//! Multithreading comes only from having multiple chunks. This trades the
+//! lock contention of AS for workload imbalance: a heavy-tailed batch keeps
+//! the single worker owning the hub's chunk busy while the rest idle, which
+//! is the behaviour the paper measures in Fig. 9.
+
+use crate::{DataStructureKind, DynamicGraph, Edge, GraphTopology, Node, UpdateStats, Weight};
+use parking_lot::Mutex;
+use saga_utils::parallel::ThreadPool;
+use saga_utils::probe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Neighbor vectors for the vertices owned by one chunk, indexed by
+/// `v / chunks` (the local index of vertex `v` in chunk `v % chunks`).
+pub(crate) struct Chunk {
+    lists: Vec<Vec<(Node, Weight)>>,
+}
+
+impl Chunk {
+    fn insert(&mut self, local: usize, dst: Node, weight: Weight) -> bool {
+        let list = &mut self.lists[local];
+        probe::slice_read(list);
+        if list.iter().any(|&(n, _)| n == dst) {
+            return false;
+        }
+        list.push((dst, weight));
+        probe::write(list.last().unwrap() as *const (Node, Weight), 1);
+        true
+    }
+
+    fn remove(&mut self, local: usize, dst: Node) -> bool {
+        let list = &mut self.lists[local];
+        probe::slice_read(list);
+        if let Some(pos) = list.iter().position(|&(n, _)| n == dst) {
+            list.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// One direction of chunked adjacency. Chunks are behind uncontended
+/// mutexes locked once per (worker, batch) — the chunk-ownership discipline
+/// makes per-edge locking unnecessary, which is the "lockless" property the
+/// paper ascribes to chunked multithreading.
+pub(crate) struct ChunkedLists {
+    chunks: Vec<Mutex<Chunk>>,
+}
+
+impl ChunkedLists {
+    pub(crate) fn new(capacity: usize, chunks: usize) -> Self {
+        let chunks = chunks.max(1);
+        let chunk_store = (0..chunks)
+            .map(|c| {
+                // Vertices c, c + chunks, c + 2*chunks, ...
+                let local_count = capacity.saturating_sub(c).div_ceil(chunks);
+                Mutex::new(Chunk {
+                    lists: vec![Vec::new(); local_count],
+                })
+            })
+            .collect();
+        Self {
+            chunks: chunk_store,
+        }
+    }
+
+    pub(crate) fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    #[inline]
+    pub(crate) fn chunk_of(&self, v: Node) -> usize {
+        v as usize % self.chunks.len()
+    }
+
+    pub(crate) fn degree(&self, v: Node) -> usize {
+        let chunk = self.chunks[self.chunk_of(v)].lock();
+        chunk.lists[v as usize / self.chunks.len()].len()
+    }
+
+    pub(crate) fn for_each(&self, v: Node, f: &mut dyn FnMut(Node, Weight)) {
+        let chunk = self.chunks[self.chunk_of(v)].lock();
+        let list = &chunk.lists[v as usize / self.chunks.len()];
+        probe::slice_read(list);
+        for &(n, w) in list.iter() {
+            f(n, w);
+        }
+    }
+}
+
+/// Adjacency list with chunked-style multithreading (AC).
+///
+/// # Examples
+///
+/// ```
+/// use saga_graph::adjacency_chunked::AdjacencyChunked;
+/// use saga_graph::{DynamicGraph, Edge, GraphTopology};
+/// use saga_utils::parallel::ThreadPool;
+///
+/// let pool = ThreadPool::new(4);
+/// let g = AdjacencyChunked::new(100, true, pool.threads());
+/// g.update_batch(&[Edge::new(0, 7, 1.0), Edge::new(7, 0, 1.0)], &pool);
+/// assert_eq!(g.out_degree(0), 1);
+/// assert_eq!(g.in_degree(0), 1);
+/// ```
+pub struct AdjacencyChunked {
+    out: ChunkedLists,
+    inn: Option<ChunkedLists>,
+    capacity: usize,
+    directed: bool,
+    edges: AtomicUsize,
+}
+
+impl std::fmt::Debug for AdjacencyChunked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdjacencyChunked")
+            .field("capacity", &self.capacity)
+            .field("directed", &self.directed)
+            .field("chunks", &self.out.chunk_count())
+            .field("edges", &self.num_edges())
+            .finish()
+    }
+}
+
+impl AdjacencyChunked {
+    /// Creates an empty AC graph with the given number of single-threaded
+    /// chunks (typically the update thread count).
+    pub fn new(capacity: usize, directed: bool, chunks: usize) -> Self {
+        Self {
+            out: ChunkedLists::new(capacity, chunks),
+            inn: directed.then(|| ChunkedLists::new(capacity, chunks)),
+            capacity,
+            directed,
+            edges: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Runs a chunk-partitioned update pass: worker `w` handles every chunk `c`
+/// with `c % threads == w`, scanning the whole batch and ingesting the edges
+/// whose *key* vertex (source for out-lists, destination for in-lists) it
+/// owns. Shared by AC and DAH, whose multithreading style is identical.
+pub(crate) fn chunked_update<FKey, FIns>(
+    batch: &[Edge],
+    pool: &ThreadPool,
+    chunk_count: usize,
+    key_chunk: FKey,
+    ingest: FIns,
+) -> usize
+where
+    FKey: Fn(&Edge, /*into_in:*/ bool) -> usize + Sync,
+    FIns: Fn(usize, &Edge, /*into_in:*/ bool) -> bool + Sync,
+{
+    let inserted = AtomicUsize::new(0);
+    let threads = pool.threads();
+    pool.run_on_all(|w| {
+        let mut local_inserted = 0;
+        let mut chunk = w;
+        while chunk < chunk_count {
+            for edge in batch {
+                // `ingest` returns whether this call accounts for a new
+                // logical edge (directed: the out-insert; undirected: the
+                // pass that stored the canonical direction).
+                if key_chunk(edge, false) == chunk && ingest(chunk, edge, false) {
+                    local_inserted += 1;
+                }
+                if key_chunk(edge, true) == chunk && ingest(chunk, edge, true) {
+                    local_inserted += 1;
+                }
+            }
+            chunk += threads;
+        }
+        inserted.fetch_add(local_inserted, Ordering::Relaxed);
+    });
+    inserted.load(Ordering::Relaxed)
+}
+
+impl GraphTopology for AdjacencyChunked {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn num_edges(&self) -> usize {
+        self.edges.load(Ordering::Acquire)
+    }
+
+    fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+
+
+    fn out_degree(&self, v: Node) -> usize {
+        self.out.degree(v)
+    }
+
+    fn in_degree(&self, v: Node) -> usize {
+        match &self.inn {
+            Some(inn) => inn.degree(v),
+            None => self.out.degree(v),
+        }
+    }
+
+    fn for_each_out_neighbor(&self, v: Node, f: &mut dyn FnMut(Node, Weight)) {
+        self.out.for_each(v, f);
+    }
+
+    fn for_each_in_neighbor(&self, v: Node, f: &mut dyn FnMut(Node, Weight)) {
+        match &self.inn {
+            Some(inn) => inn.for_each(v, f),
+            None => self.out.for_each(v, f),
+        }
+    }
+
+
+}
+
+impl DynamicGraph for AdjacencyChunked {
+    fn update_batch(&self, batch: &[Edge], pool: &ThreadPool) -> UpdateStats {
+        let chunk_count = self.out.chunk_count();
+        let directed = self.directed;
+        let inserted = chunked_update(
+            batch,
+            pool,
+            chunk_count,
+            |edge, into_in| {
+                // The vertex whose chunk must ingest this edge. For
+                // undirected graphs both the canonical and mirror directions
+                // live in the out-structure, keyed by their own source.
+                if directed {
+                    if into_in {
+                        self.inn.as_ref().unwrap().chunk_of(edge.dst)
+                    } else {
+                        self.out.chunk_of(edge.src)
+                    }
+                } else if into_in {
+                    self.out.chunk_of(edge.dst)
+                } else {
+                    self.out.chunk_of(edge.src)
+                }
+            },
+            |chunk, edge, into_in| {
+                let lists = if directed && into_in {
+                    self.inn.as_ref().unwrap()
+                } else {
+                    &self.out
+                };
+                let (src, dst) = if into_in {
+                    (edge.dst, edge.src)
+                } else {
+                    (edge.src, edge.dst)
+                };
+                if !directed && into_in && src == dst {
+                    return false; // self-loop mirror is the same entry
+                }
+                let mut guard = lists.chunks[chunk].lock();
+                let newly = guard.insert(src as usize / chunk_count, dst, edge.weight);
+                // Count a logical edge exactly once: directed edges count on
+                // the out-insert; undirected edges count on whichever pass
+                // stored the canonical (small → large) direction.
+                if directed {
+                    newly && !into_in
+                } else {
+                    newly && src <= dst
+                }
+            },
+        );
+        self.edges.fetch_add(inserted, Ordering::AcqRel);
+        UpdateStats {
+            inserted,
+            duplicates: batch.len() - inserted,
+        }
+    }
+
+    fn kind(&self) -> DataStructureKind {
+        DataStructureKind::AdjacencyChunked
+    }
+}
+
+impl crate::DeletableGraph for AdjacencyChunked {
+    fn delete_batch(&self, batch: &[Edge], pool: &ThreadPool) -> crate::DeleteStats {
+        let chunk_count = self.out.chunk_count();
+        let directed = self.directed;
+        // Deletion is chunk-partitioned exactly like insertion: one owner
+        // thread per chunk, no per-edge locks.
+        let removed = chunked_update(
+            batch,
+            pool,
+            chunk_count,
+            |edge, into_in| {
+                if directed {
+                    if into_in {
+                        self.inn.as_ref().unwrap().chunk_of(edge.dst)
+                    } else {
+                        self.out.chunk_of(edge.src)
+                    }
+                } else if into_in {
+                    self.out.chunk_of(edge.dst)
+                } else {
+                    self.out.chunk_of(edge.src)
+                }
+            },
+            |chunk, edge, into_in| {
+                let lists = if directed && into_in {
+                    self.inn.as_ref().unwrap()
+                } else {
+                    &self.out
+                };
+                let (src, dst) = if into_in {
+                    (edge.dst, edge.src)
+                } else {
+                    (edge.src, edge.dst)
+                };
+                if !directed && into_in && src == dst {
+                    return false;
+                }
+                let mut guard = lists.chunks[chunk].lock();
+                let removed = guard.remove(src as usize / chunk_count, dst);
+                if directed {
+                    removed && !into_in
+                } else {
+                    removed && src <= dst
+                }
+            },
+        );
+        self.edges.fetch_sub(removed, Ordering::AcqRel);
+        crate::DeleteStats {
+            removed,
+            missing: batch.len() - removed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeletableGraph;
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(4)
+    }
+
+    #[test]
+    fn chunked_delete_roundtrip() {
+        let g = AdjacencyChunked::new(10, true, 4);
+        let p = pool();
+        g.update_batch(&[Edge::new(1, 3, 2.0), Edge::new(1, 5, 1.0), Edge::new(5, 1, 1.0)], &p);
+        let stats = g.delete_batch(&[Edge::new(1, 3, 0.0), Edge::new(1, 7, 0.0)], &p);
+        assert_eq!(stats.removed, 1);
+        assert_eq!(stats.missing, 1);
+        assert_eq!(g.out_neighbors(1), vec![(5, 1.0)]);
+        assert!(g.in_neighbors(3).is_empty());
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn chunked_undirected_delete_mirrors() {
+        let g = AdjacencyChunked::new(10, false, 3);
+        let p = pool();
+        g.update_batch(&[Edge::new(7, 2, 1.0), Edge::new(3, 3, 1.0)], &p);
+        let stats = g.delete_batch(&[Edge::new(2, 7, 0.0), Edge::new(3, 3, 0.0)], &p);
+        assert_eq!(stats.removed, 2);
+        assert!(g.out_neighbors(2).is_empty());
+        assert!(g.out_neighbors(7).is_empty());
+        assert!(g.out_neighbors(3).is_empty());
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn directed_chunked_insert() {
+        let g = AdjacencyChunked::new(10, true, 4);
+        let stats = g.update_batch(&[Edge::new(1, 3, 2.0), Edge::new(1, 5, 1.0)], &pool());
+        assert_eq!(stats.inserted, 2);
+        let mut out = g.out_neighbors(1);
+        out.sort_by_key(|&(n, _)| n);
+        assert_eq!(out, vec![(3, 2.0), (5, 1.0)]);
+        assert_eq!(g.in_neighbors(3), vec![(1, 2.0)]);
+    }
+
+    #[test]
+    fn duplicate_edges_within_batch() {
+        let g = AdjacencyChunked::new(10, true, 3);
+        let stats = g.update_batch(&[Edge::new(2, 4, 1.0); 5], &pool());
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(stats.duplicates, 4);
+    }
+
+    #[test]
+    fn undirected_counts_logical_edges() {
+        let g = AdjacencyChunked::new(10, false, 4);
+        let stats = g.update_batch(
+            &[Edge::new(2, 7, 1.0), Edge::new(7, 2, 1.0), Edge::new(3, 3, 1.0)],
+            &pool(),
+        );
+        assert_eq!(stats.inserted, 2);
+        assert_eq!(g.out_neighbors(2), vec![(7, 1.0)]);
+        assert_eq!(g.out_neighbors(7), vec![(2, 1.0)]);
+        assert_eq!(g.out_neighbors(3), vec![(3, 1.0)]);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn chunk_ownership_partitions_vertices() {
+        let lists = ChunkedLists::new(103, 4);
+        for v in 0..103u32 {
+            assert_eq!(lists.chunk_of(v), v as usize % 4);
+        }
+    }
+
+    #[test]
+    fn more_chunks_than_vertices_is_fine() {
+        let g = AdjacencyChunked::new(3, true, 16);
+        let stats = g.update_batch(&[Edge::new(0, 2, 1.0)], &pool());
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(g.out_degree(0), 1);
+    }
+
+    #[test]
+    fn hub_batch_lands_in_one_chunk() {
+        let g = AdjacencyChunked::new(101, true, 4);
+        let batch: Vec<Edge> = (1..=100).map(|i| Edge::new(0, i, 1.0)).collect();
+        let stats = g.update_batch(&batch, &pool());
+        assert_eq!(stats.inserted, 100);
+        assert_eq!(g.out_degree(0), 100);
+    }
+}

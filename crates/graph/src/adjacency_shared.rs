@@ -1,0 +1,380 @@
+//! Adjacency list with shared-style multithreading (**AS**, §III-A1).
+//!
+//! An array of vectors, one vector per source vertex. A batch is split
+//! across all threads (`#pragma omp parallel for` in the paper's code; the
+//! pool's static schedule here), and a thread performing an edge update:
+//!
+//! 1. locks the vector of the source node,
+//! 2. scans it for the target edge,
+//! 3. inserts the edge if the search was negative.
+//!
+//! Because the *entire* vector of a source node is locked, there is no
+//! intra-node parallelism: concurrent updates to the same high-degree vertex
+//! serialize. This is exactly the behaviour behind the paper's finding that
+//! AS collapses on heavy-tailed batches (Fig. 6b: 5.6–12.8× slower than DAH
+//! on Wiki/Talk) while being the fastest structure on short-tailed ones.
+
+use crate::{DataStructureKind, DynamicGraph, Edge, GraphTopology, Node, UpdateStats, Weight};
+use parking_lot::Mutex;
+use saga_utils::parallel::{Schedule, ThreadPool};
+use saga_utils::probe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One direction of adjacency: a lock-protected neighbor vector per vertex.
+pub(crate) struct SharedLists {
+    lists: Vec<Mutex<Vec<(Node, Weight)>>>,
+    /// Distinguishes out- from in-list locks in the serialization probe.
+    lock_tag: u64,
+}
+
+impl SharedLists {
+    pub(crate) fn new(capacity: usize, lock_tag: u64) -> Self {
+        Self {
+            lists: (0..capacity).map(|_| Mutex::new(Vec::new())).collect(),
+            lock_tag,
+        }
+    }
+
+    /// Search-then-insert under the source vertex's lock. Returns `true`
+    /// when the edge was absent and has been inserted.
+    pub(crate) fn insert(&self, src: Node, dst: Node, weight: Weight) -> bool {
+        let mut list = self.lists[src as usize].lock();
+        // The search scan reads the whole vector (step 2 of §III-A1).
+        probe::slice_read(&list);
+        // The entire vector is locked for the scan+insert: concurrent
+        // updates of the same source serialize (no intra-node parallelism).
+        probe::critical(self.lock_tag | src as u64, list.len() as u64 + 1);
+        if list.iter().any(|&(n, _)| n == dst) {
+            return false;
+        }
+        list.push((dst, weight));
+        probe::write(list.last().unwrap() as *const (Node, Weight), 1);
+        true
+    }
+
+    /// Search-then-remove under the source vertex's lock. Returns `true`
+    /// when the edge was present and has been removed.
+    pub(crate) fn remove(&self, src: Node, dst: Node) -> bool {
+        let mut list = self.lists[src as usize].lock();
+        probe::slice_read(&list);
+        probe::critical(self.lock_tag | src as u64, list.len() as u64 + 1);
+        if let Some(pos) = list.iter().position(|&(n, _)| n == dst) {
+            list.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn degree(&self, v: Node) -> usize {
+        self.lists[v as usize].lock().len()
+    }
+
+    pub(crate) fn for_each(&self, v: Node, f: &mut dyn FnMut(Node, Weight)) {
+        let list = self.lists[v as usize].lock();
+        probe::slice_read(&list);
+        for &(n, w) in list.iter() {
+            f(n, w);
+        }
+    }
+}
+
+/// Adjacency list with shared-style multithreading (AS).
+///
+/// # Examples
+///
+/// ```
+/// use saga_graph::adjacency_shared::AdjacencyShared;
+/// use saga_graph::{DynamicGraph, Edge, GraphTopology};
+/// use saga_utils::parallel::ThreadPool;
+///
+/// let pool = ThreadPool::new(2);
+/// let g = AdjacencyShared::new(4, true);
+/// g.update_batch(&[Edge::new(0, 1, 1.0), Edge::new(2, 1, 1.0)], &pool);
+/// assert_eq!(g.in_degree(1), 2);
+/// ```
+pub struct AdjacencyShared {
+    out: SharedLists,
+    /// In-neighbor copy for directed graphs (footnote 3 of the paper).
+    inn: Option<SharedLists>,
+    capacity: usize,
+    directed: bool,
+    edges: AtomicUsize,
+}
+
+impl std::fmt::Debug for AdjacencyShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdjacencyShared")
+            .field("capacity", &self.capacity)
+            .field("directed", &self.directed)
+            .field("edges", &self.num_edges())
+            .finish()
+    }
+}
+
+impl AdjacencyShared {
+    /// Creates an empty AS graph over vertex ids `0..capacity`.
+    pub fn new(capacity: usize, directed: bool) -> Self {
+        Self {
+            out: SharedLists::new(capacity, 0),
+            inn: directed.then(|| SharedLists::new(capacity, 1 << 40)),
+            capacity,
+            directed,
+            edges: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Ingests one logical edge into an out-structure (+ in-structure or mirror)
+/// and reports whether it was new. Shared by AS and Stinger, whose per-edge
+/// parallelism is identical.
+pub(crate) fn ingest_edge<F>(edge: Edge, directed: bool, mut insert: F) -> bool
+where
+    F: FnMut(/*into_in:*/ bool, Node, Node, Weight) -> bool,
+{
+    let Edge { src, dst, weight } = edge;
+    if directed {
+        let newly = insert(false, src, dst, weight);
+        if newly {
+            insert(true, dst, src, weight);
+        }
+        newly
+    } else {
+        // Undirected: store both directions in the out-structure; count the
+        // canonical direction so racing mirror inserts tally once.
+        let (a, b) = if src <= dst { (src, dst) } else { (dst, src) };
+        let newly = insert(false, a, b, weight);
+        if newly && a != b {
+            insert(false, b, a, weight);
+        }
+        newly
+    }
+}
+
+/// Mirror of [`ingest_edge`] for deletions: removes one logical edge from
+/// an out-structure (+ in-structure or mirror) and reports whether it was
+/// present.
+pub(crate) fn remove_edge<F>(edge: Edge, directed: bool, mut remove: F) -> bool
+where
+    F: FnMut(/*from_in:*/ bool, Node, Node) -> bool,
+{
+    let Edge { src, dst, .. } = edge;
+    if directed {
+        let removed = remove(false, src, dst);
+        if removed {
+            remove(true, dst, src);
+        }
+        removed
+    } else {
+        let (a, b) = if src <= dst { (src, dst) } else { (dst, src) };
+        let removed = remove(false, a, b);
+        if removed && a != b {
+            remove(false, b, a);
+        }
+        removed
+    }
+}
+
+impl GraphTopology for AdjacencyShared {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn num_edges(&self) -> usize {
+        self.edges.load(Ordering::Acquire)
+    }
+
+    fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+
+
+    fn out_degree(&self, v: Node) -> usize {
+        self.out.degree(v)
+    }
+
+    fn in_degree(&self, v: Node) -> usize {
+        match &self.inn {
+            Some(inn) => inn.degree(v),
+            None => self.out.degree(v),
+        }
+    }
+
+    fn for_each_out_neighbor(&self, v: Node, f: &mut dyn FnMut(Node, Weight)) {
+        self.out.for_each(v, f);
+    }
+
+    fn for_each_in_neighbor(&self, v: Node, f: &mut dyn FnMut(Node, Weight)) {
+        match &self.inn {
+            Some(inn) => inn.for_each(v, f),
+            None => self.out.for_each(v, f),
+        }
+    }
+
+
+}
+
+impl DynamicGraph for AdjacencyShared {
+    fn update_batch(&self, batch: &[Edge], pool: &ThreadPool) -> UpdateStats {
+        let inserted = AtomicUsize::new(0);
+        pool.parallel_for(0..batch.len(), Schedule::Static, |i| {
+            let newly = ingest_edge(batch[i], self.directed, |into_in, s, d, w| {
+                if into_in {
+                    self.inn.as_ref().expect("directed graph has in-lists").insert(s, d, w)
+                } else {
+                    self.out.insert(s, d, w)
+                }
+            });
+            if newly {
+                inserted.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        let inserted = inserted.load(Ordering::Relaxed);
+        self.edges.fetch_add(inserted, Ordering::AcqRel);
+        UpdateStats {
+            inserted,
+            duplicates: batch.len() - inserted,
+        }
+    }
+
+    fn kind(&self) -> DataStructureKind {
+        DataStructureKind::AdjacencyShared
+    }
+}
+
+impl crate::DeletableGraph for AdjacencyShared {
+    fn delete_batch(&self, batch: &[Edge], pool: &ThreadPool) -> crate::DeleteStats {
+        let removed = AtomicUsize::new(0);
+        pool.parallel_for(0..batch.len(), Schedule::Static, |i| {
+            let was_present = remove_edge(batch[i], self.directed, |from_in, s, d| {
+                if from_in {
+                    self.inn.as_ref().expect("directed graph has in-lists").remove(s, d)
+                } else {
+                    self.out.remove(s, d)
+                }
+            });
+            if was_present {
+                removed.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        let removed = removed.load(Ordering::Relaxed);
+        self.edges.fetch_sub(removed, Ordering::AcqRel);
+        crate::DeleteStats {
+            removed,
+            missing: batch.len() - removed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeletableGraph;
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(4)
+    }
+
+    #[test]
+    fn delete_removes_both_directions() {
+        let g = AdjacencyShared::new(4, true);
+        let p = pool();
+        g.update_batch(&[Edge::new(0, 1, 1.0), Edge::new(0, 2, 1.0)], &p);
+        let stats = g.delete_batch(&[Edge::new(0, 1, 9.0), Edge::new(3, 3, 1.0)], &p);
+        assert_eq!(stats.removed, 1);
+        assert_eq!(stats.missing, 1);
+        assert_eq!(g.out_neighbors(0), vec![(2, 1.0)]);
+        assert!(g.in_neighbors(1).is_empty());
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn delete_undirected_mirrors() {
+        let g = AdjacencyShared::new(4, false);
+        let p = pool();
+        g.update_batch(&[Edge::new(2, 1, 1.0)], &p);
+        let stats = g.delete_batch(&[Edge::new(1, 2, 0.0)], &p);
+        assert_eq!(stats.removed, 1);
+        assert!(g.out_neighbors(1).is_empty());
+        assert!(g.out_neighbors(2).is_empty());
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn reinsert_after_delete() {
+        let g = AdjacencyShared::new(3, true);
+        let p = pool();
+        g.update_batch(&[Edge::new(0, 1, 1.0)], &p);
+        g.delete_batch(&[Edge::new(0, 1, 1.0)], &p);
+        let stats = g.update_batch(&[Edge::new(0, 1, 2.0)], &p);
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(g.out_neighbors(0), vec![(1, 2.0)]);
+    }
+
+    #[test]
+    fn directed_insert_maintains_both_directions() {
+        let g = AdjacencyShared::new(5, true);
+        let stats = g.update_batch(&[Edge::new(1, 3, 2.0)], &pool());
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(g.out_neighbors(1), vec![(3, 2.0)]);
+        assert_eq!(g.in_neighbors(3), vec![(1, 2.0)]);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.in_degree(1), 0);
+    }
+
+    #[test]
+    fn duplicates_are_ingested_once() {
+        let g = AdjacencyShared::new(5, true);
+        let batch = vec![Edge::new(0, 1, 1.0); 10];
+        let stats = g.update_batch(&batch, &pool());
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(stats.duplicates, 9);
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn duplicates_across_batches_are_ingested_once() {
+        let g = AdjacencyShared::new(5, true);
+        let p = pool();
+        g.update_batch(&[Edge::new(0, 1, 1.0)], &p);
+        let stats = g.update_batch(&[Edge::new(0, 1, 1.0), Edge::new(0, 2, 1.0)], &p);
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(stats.duplicates, 1);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn undirected_mirrors_and_counts_once() {
+        let g = AdjacencyShared::new(5, false);
+        let stats = g.update_batch(&[Edge::new(2, 4, 1.5), Edge::new(4, 2, 1.5)], &pool());
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(g.out_neighbors(2), vec![(4, 1.5)]);
+        assert_eq!(g.out_neighbors(4), vec![(2, 1.5)]);
+        assert_eq!(g.in_neighbors(4), vec![(2, 1.5)]);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn undirected_self_loop_is_single() {
+        let g = AdjacencyShared::new(3, false);
+        let stats = g.update_batch(&[Edge::new(1, 1, 1.0)], &pool());
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(g.out_neighbors(1), vec![(1, 1.0)]);
+    }
+
+    #[test]
+    fn concurrent_hub_updates_serialize_correctly() {
+        let g = AdjacencyShared::new(1001, true);
+        // Heavy-tailed batch: everything points at vertex 0's out-list.
+        let batch: Vec<Edge> = (1..=1000).map(|i| Edge::new(0, i, 1.0)).collect();
+        let stats = g.update_batch(&batch, &pool());
+        assert_eq!(stats.inserted, 1000);
+        assert_eq!(g.out_degree(0), 1000);
+        let mut ns = g.out_neighbors(0);
+        ns.sort_by_key(|&(n, _)| n);
+        assert_eq!(ns.len(), 1000);
+        assert!(ns.iter().enumerate().all(|(i, &(n, _))| n == i as Node + 1));
+    }
+}

@@ -1,0 +1,539 @@
+//! Degree-Aware Hashing (**DAH**, §III-A4, Fig. 5 of the paper;
+//! Iwabuchi et al., IPDPSW 2016).
+//!
+//! DAH keeps two hash tables per chunk: a Robin Hood table for the edges of
+//! *low-degree* vertices and per-vertex open-addressing tables for
+//! *high-degree* vertices. Multithreading is chunked exactly like AC: each
+//! chunk is single-threaded and lockless during a batch.
+//!
+//! Hashing gives amortized constant-time edge update, but degree-awareness
+//! costs two *meta-operations* the paper highlights:
+//!
+//! 1. **Degree query** — before placing a new edge, both tables are queried
+//!    for the source's degree to decide where it belongs; the same query is
+//!    paid again on every traversal (and once more in PageRank, which also
+//!    needs the out-degree of each incoming neighbor).
+//! 2. **Flush** — when a vertex's low-table degree crosses
+//!    [`DEFAULT_FLUSH_THRESHOLD`], all its edges are moved from the
+//!    low-degree table into a fresh high-degree table.
+//!
+//! These meta-operations are why DAH loses to AS on short-tailed graphs
+//! (update 2.3–3.2× slower, §V-B) while its lockless hash-based update wins
+//! by 5.6–12.8× on heavy-tailed ones.
+
+use crate::adjacency_chunked::chunked_update;
+use crate::hash_tables::{OpenEdgeTable, RobinHoodEdgeTable};
+use crate::{DataStructureKind, DynamicGraph, Edge, GraphTopology, Node, UpdateStats, Weight};
+use parking_lot::Mutex;
+use saga_utils::parallel::ThreadPool;
+use saga_utils::probe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Low-table degree beyond which a vertex's edges are flushed to the
+/// high-degree table.
+pub const DEFAULT_FLUSH_THRESHOLD: u32 = 16;
+
+/// One single-threaded DAH chunk: shared low-degree Robin Hood table plus
+/// per-vertex high-degree tables, with per-vertex degree counters serving
+/// the degree-query meta-operation.
+struct DahChunk {
+    low: RobinHoodEdgeTable,
+    high: Vec<Option<OpenEdgeTable>>,
+    low_degree: Vec<u32>,
+    high_degree: Vec<u32>,
+}
+
+impl DahChunk {
+    fn new(local_count: usize) -> Self {
+        Self {
+            low: RobinHoodEdgeTable::new(),
+            high: (0..local_count).map(|_| None).collect(),
+            low_degree: vec![0; local_count],
+            high_degree: vec![0; local_count],
+        }
+    }
+
+    /// Search-then-insert with degree-aware placement.
+    fn insert(&mut self, local: usize, src: Node, dst: Node, weight: Weight, threshold: u32) -> bool {
+        // Meta-operation 1: query the degree of each table to decide
+        // placement.
+        probe::value_read(&self.low_degree[local]);
+        probe::value_read(&self.high_degree[local]);
+        probe::instructions(2);
+        if self.high_degree[local] > 0 {
+            let table = self.high[local]
+                .as_mut()
+                .expect("high degree implies a high table");
+            if table.insert(dst, weight) {
+                self.high_degree[local] += 1;
+                probe::value_write(&self.high_degree[local]);
+                return true;
+            }
+            return false;
+        }
+        if !self.low.insert(src, dst, weight) {
+            return false;
+        }
+        self.low_degree[local] += 1;
+        probe::value_write(&self.low_degree[local]);
+        if self.low_degree[local] > threshold {
+            // Meta-operation 2: flush the vertex's cluster to a fresh
+            // high-degree table.
+            let edges = self.low.remove_vertex(src);
+            probe::instructions(edges.len() as u64);
+            let table = OpenEdgeTable::from_edges(&edges);
+            self.high_degree[local] = table.len() as u32;
+            self.high[local] = Some(table);
+            self.low_degree[local] = 0;
+        }
+        true
+    }
+
+    /// Search-then-remove with degree-aware table selection.
+    fn remove(&mut self, local: usize, src: Node, dst: Node) -> bool {
+        probe::value_read(&self.low_degree[local]);
+        probe::value_read(&self.high_degree[local]);
+        probe::instructions(2);
+        if self.high_degree[local] > 0 {
+            let table = self.high[local]
+                .as_mut()
+                .expect("high degree implies a high table");
+            if table.remove(dst) {
+                self.high_degree[local] -= 1;
+                if self.high_degree[local] == 0 {
+                    self.high[local] = None;
+                }
+                return true;
+            }
+            return false;
+        }
+        if self.low_degree[local] > 0 && self.low.remove_edge(src, dst) {
+            self.low_degree[local] -= 1;
+            return true;
+        }
+        false
+    }
+
+    fn degree(&self, local: usize) -> usize {
+        probe::value_read(&self.low_degree[local]);
+        probe::value_read(&self.high_degree[local]);
+        (self.low_degree[local] + self.high_degree[local]) as usize
+    }
+
+    fn for_each(&self, local: usize, src: Node, f: &mut dyn FnMut(Node, Weight)) {
+        // Traversal pays the degree-query meta-operation to locate the
+        // right table (§V-B: "expensive neighbor traversal due to
+        // degree-query meta-operations").
+        probe::value_read(&self.low_degree[local]);
+        probe::value_read(&self.high_degree[local]);
+        probe::instructions(2);
+        if self.high_degree[local] > 0 {
+            self.high[local]
+                .as_ref()
+                .expect("high degree implies a high table")
+                .for_each(f);
+        } else if self.low_degree[local] > 0 {
+            self.low.for_each_neighbor(src, f);
+        }
+    }
+}
+
+/// One direction of DAH adjacency: lockless chunks, one owner thread each.
+pub(crate) struct DahLists {
+    chunks: Vec<Mutex<DahChunk>>,
+    threshold: u32,
+}
+
+impl DahLists {
+    fn new(capacity: usize, chunks: usize, threshold: u32) -> Self {
+        let chunks = chunks.max(1);
+        Self {
+            chunks: (0..chunks)
+                .map(|c| {
+                    let local_count = capacity.saturating_sub(c).div_ceil(chunks);
+                    Mutex::new(DahChunk::new(local_count))
+                })
+                .collect(),
+            threshold,
+        }
+    }
+
+    fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    #[inline]
+    fn chunk_of(&self, v: Node) -> usize {
+        v as usize % self.chunks.len()
+    }
+
+    fn degree(&self, v: Node) -> usize {
+        let chunk = self.chunks[self.chunk_of(v)].lock();
+        chunk.degree(v as usize / self.chunks.len())
+    }
+
+    fn for_each(&self, v: Node, f: &mut dyn FnMut(Node, Weight)) {
+        let chunk = self.chunks[self.chunk_of(v)].lock();
+        chunk.for_each(v as usize / self.chunks.len(), v, f);
+    }
+}
+
+/// Degree-aware hashing (DAH).
+///
+/// # Examples
+///
+/// ```
+/// use saga_graph::dah::Dah;
+/// use saga_graph::{DynamicGraph, Edge, GraphTopology};
+/// use saga_utils::parallel::ThreadPool;
+///
+/// let pool = ThreadPool::new(4);
+/// let g = Dah::new(100, true, pool.threads());
+/// let batch: Vec<Edge> = (1..50).map(|i| Edge::new(0, i, 1.0)).collect();
+/// g.update_batch(&batch, &pool);
+/// assert_eq!(g.out_degree(0), 49); // flushed into the high-degree table
+/// ```
+pub struct Dah {
+    out: DahLists,
+    inn: Option<DahLists>,
+    capacity: usize,
+    directed: bool,
+    edges: AtomicUsize,
+}
+
+impl std::fmt::Debug for Dah {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dah")
+            .field("capacity", &self.capacity)
+            .field("directed", &self.directed)
+            .field("chunks", &self.out.chunk_count())
+            .field("flush_threshold", &self.out.threshold)
+            .field("edges", &self.num_edges())
+            .finish()
+    }
+}
+
+impl Dah {
+    /// Creates an empty DAH graph with the default flush threshold.
+    pub fn new(capacity: usize, directed: bool, chunks: usize) -> Self {
+        Self::with_threshold(capacity, directed, chunks, DEFAULT_FLUSH_THRESHOLD)
+    }
+
+    /// Creates an empty DAH graph with a custom low→high flush threshold
+    /// (used by the threshold ablation bench).
+    pub fn with_threshold(capacity: usize, directed: bool, chunks: usize, threshold: u32) -> Self {
+        Self {
+            out: DahLists::new(capacity, chunks, threshold),
+            inn: directed.then(|| DahLists::new(capacity, chunks, threshold)),
+            capacity,
+            directed,
+            edges: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl GraphTopology for Dah {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn num_edges(&self) -> usize {
+        self.edges.load(Ordering::Acquire)
+    }
+
+    fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+
+
+    fn out_degree(&self, v: Node) -> usize {
+        self.out.degree(v)
+    }
+
+    fn in_degree(&self, v: Node) -> usize {
+        match &self.inn {
+            Some(inn) => inn.degree(v),
+            None => self.out.degree(v),
+        }
+    }
+
+    fn for_each_out_neighbor(&self, v: Node, f: &mut dyn FnMut(Node, Weight)) {
+        self.out.for_each(v, f);
+    }
+
+    fn for_each_in_neighbor(&self, v: Node, f: &mut dyn FnMut(Node, Weight)) {
+        match &self.inn {
+            Some(inn) => inn.for_each(v, f),
+            None => self.out.for_each(v, f),
+        }
+    }
+
+
+}
+
+impl DynamicGraph for Dah {
+    fn update_batch(&self, batch: &[Edge], pool: &ThreadPool) -> UpdateStats {
+        let chunk_count = self.out.chunk_count();
+        let directed = self.directed;
+        let threshold = self.out.threshold;
+        let inserted = chunked_update(
+            batch,
+            pool,
+            chunk_count,
+            |edge, into_in| {
+                if directed {
+                    if into_in {
+                        self.inn.as_ref().unwrap().chunk_of(edge.dst)
+                    } else {
+                        self.out.chunk_of(edge.src)
+                    }
+                } else if into_in {
+                    self.out.chunk_of(edge.dst)
+                } else {
+                    self.out.chunk_of(edge.src)
+                }
+            },
+            |chunk, edge, into_in| {
+                let lists = if directed && into_in {
+                    self.inn.as_ref().unwrap()
+                } else {
+                    &self.out
+                };
+                let (src, dst) = if into_in {
+                    (edge.dst, edge.src)
+                } else {
+                    (edge.src, edge.dst)
+                };
+                if !directed && into_in && src == dst {
+                    return false;
+                }
+                let mut guard = lists.chunks[chunk].lock();
+                let newly = guard.insert(
+                    src as usize / chunk_count,
+                    src,
+                    dst,
+                    edge.weight,
+                    threshold,
+                );
+                if directed {
+                    newly && !into_in
+                } else {
+                    newly && src <= dst
+                }
+            },
+        );
+        self.edges.fetch_add(inserted, Ordering::AcqRel);
+        UpdateStats {
+            inserted,
+            duplicates: batch.len() - inserted,
+        }
+    }
+
+    fn kind(&self) -> DataStructureKind {
+        DataStructureKind::Dah
+    }
+}
+
+impl crate::DeletableGraph for Dah {
+    fn delete_batch(&self, batch: &[Edge], pool: &ThreadPool) -> crate::DeleteStats {
+        let chunk_count = self.out.chunk_count();
+        let directed = self.directed;
+        let removed = chunked_update(
+            batch,
+            pool,
+            chunk_count,
+            |edge, into_in| {
+                if directed {
+                    if into_in {
+                        self.inn.as_ref().unwrap().chunk_of(edge.dst)
+                    } else {
+                        self.out.chunk_of(edge.src)
+                    }
+                } else if into_in {
+                    self.out.chunk_of(edge.dst)
+                } else {
+                    self.out.chunk_of(edge.src)
+                }
+            },
+            |chunk, edge, into_in| {
+                let lists = if directed && into_in {
+                    self.inn.as_ref().unwrap()
+                } else {
+                    &self.out
+                };
+                let (src, dst) = if into_in {
+                    (edge.dst, edge.src)
+                } else {
+                    (edge.src, edge.dst)
+                };
+                if !directed && into_in && src == dst {
+                    return false;
+                }
+                let mut guard = lists.chunks[chunk].lock();
+                let removed = guard.remove(src as usize / chunk_count, src, dst);
+                if directed {
+                    removed && !into_in
+                } else {
+                    removed && src <= dst
+                }
+            },
+        );
+        self.edges.fetch_sub(removed, Ordering::AcqRel);
+        crate::DeleteStats {
+            removed,
+            missing: batch.len() - removed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeletableGraph;
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(4)
+    }
+
+    #[test]
+    fn delete_from_low_table() {
+        let g = Dah::new(10, true, 2);
+        let p = pool();
+        g.update_batch(&[Edge::new(1, 2, 1.0), Edge::new(1, 3, 1.0)], &p);
+        let stats = g.delete_batch(&[Edge::new(1, 2, 0.0), Edge::new(1, 9, 0.0)], &p);
+        assert_eq!(stats.removed, 1);
+        assert_eq!(stats.missing, 1);
+        assert_eq!(g.out_neighbors(1), vec![(3, 1.0)]);
+        assert!(g.in_neighbors(2).is_empty());
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn delete_from_high_table() {
+        let g = Dah::with_threshold(100, true, 2, 4);
+        let p = pool();
+        let batch: Vec<Edge> = (1..=20).map(|i| Edge::new(0, i, 1.0)).collect();
+        g.update_batch(&batch, &p); // vertex 0 flushed to the high table
+        let deletions: Vec<Edge> = (1..=10).map(|i| Edge::new(0, i, 0.0)).collect();
+        let stats = g.delete_batch(&deletions, &p);
+        assert_eq!(stats.removed, 10);
+        assert_eq!(g.out_degree(0), 10);
+        let mut ns: Vec<Node> = g.out_neighbors(0).into_iter().map(|(n, _)| n).collect();
+        ns.sort_unstable();
+        assert_eq!(ns, (11..=20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn emptying_the_high_table_drops_it() {
+        let g = Dah::with_threshold(20, true, 1, 2);
+        let p = pool();
+        let batch: Vec<Edge> = (1..=4).map(|i| Edge::new(0, i, 1.0)).collect();
+        g.update_batch(&batch, &p);
+        let deletions: Vec<Edge> = (1..=4).map(|i| Edge::new(0, i, 0.0)).collect();
+        g.delete_batch(&deletions, &p);
+        assert_eq!(g.out_degree(0), 0);
+        assert!(g.out_neighbors(0).is_empty());
+        // Vertex restarts in the low table.
+        g.update_batch(&[Edge::new(0, 7, 2.0)], &p);
+        assert_eq!(g.out_neighbors(0), vec![(7, 2.0)]);
+    }
+
+    #[test]
+    fn undirected_dah_delete_mirrors() {
+        let g = Dah::new(10, false, 3);
+        let p = pool();
+        g.update_batch(&[Edge::new(7, 2, 1.5)], &p);
+        let stats = g.delete_batch(&[Edge::new(2, 7, 0.0)], &p);
+        assert_eq!(stats.removed, 1);
+        assert!(g.out_neighbors(2).is_empty());
+        assert!(g.out_neighbors(7).is_empty());
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn low_degree_vertices_stay_in_low_table() {
+        let g = Dah::new(20, true, 4);
+        g.update_batch(&[Edge::new(1, 2, 1.0), Edge::new(1, 3, 2.0)], &pool());
+        assert_eq!(g.out_degree(1), 2);
+        let mut ns = g.out_neighbors(1);
+        ns.sort_by_key(|&(n, _)| n);
+        assert_eq!(ns, vec![(2, 1.0), (3, 2.0)]);
+        // Still below threshold: no high table.
+        let chunk = g.out.chunks[g.out.chunk_of(1)].lock();
+        assert!(chunk.high[1 / g.out.chunk_count()].is_none());
+    }
+
+    #[test]
+    fn crossing_threshold_flushes_to_high_table() {
+        let g = Dah::with_threshold(100, true, 2, 8);
+        let batch: Vec<Edge> = (1..=20).map(|i| Edge::new(0, i, i as Weight)).collect();
+        g.update_batch(&batch, &pool());
+        assert_eq!(g.out_degree(0), 20);
+        let chunk = g.out.chunks[0].lock();
+        assert!(chunk.high[0].is_some(), "vertex 0 should have been flushed");
+        assert_eq!(chunk.low_degree[0], 0);
+        assert_eq!(chunk.high_degree[0], 20);
+        drop(chunk);
+        let mut ns = g.out_neighbors(0);
+        ns.sort_by_key(|&(n, _)| n);
+        assert_eq!(ns.len(), 20);
+        for (i, &(n, w)) in ns.iter().enumerate() {
+            assert_eq!(n, i as Node + 1);
+            assert_eq!(w, (i + 1) as Weight);
+        }
+    }
+
+    #[test]
+    fn duplicates_rejected_in_both_tables() {
+        let g = Dah::with_threshold(10, true, 1, 4);
+        let p = pool();
+        // Low-table duplicates.
+        let stats = g.update_batch(&[Edge::new(1, 2, 1.0), Edge::new(1, 2, 9.0)], &p);
+        assert_eq!(stats.inserted, 1);
+        // Push vertex 1 past the threshold into the high table.
+        let batch: Vec<Edge> = (3..=9).map(|i| Edge::new(1, i, 1.0)).collect();
+        g.update_batch(&batch, &p);
+        assert_eq!(g.out_degree(1), 8);
+        // High-table duplicates.
+        let stats = g.update_batch(&[Edge::new(1, 2, 5.0)], &p);
+        assert_eq!(stats.inserted, 0);
+        assert_eq!(stats.duplicates, 1);
+        assert_eq!(g.out_degree(1), 8);
+    }
+
+    #[test]
+    fn undirected_dah_mirrors() {
+        let g = Dah::new(10, false, 3);
+        let stats = g.update_batch(&[Edge::new(7, 2, 1.5)], &pool());
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(g.out_neighbors(7), vec![(2, 1.5)]);
+        assert_eq!(g.out_neighbors(2), vec![(7, 1.5)]);
+        assert_eq!(g.in_neighbors(7), vec![(2, 1.5)]);
+    }
+
+    #[test]
+    fn heavy_hub_lands_in_high_table_with_exact_neighbors() {
+        let g = Dah::new(5001, true, 8);
+        let batch: Vec<Edge> = (1..=5000).map(|i| Edge::new(0, i, 1.0)).collect();
+        let stats = g.update_batch(&batch, &pool());
+        assert_eq!(stats.inserted, 5000);
+        assert_eq!(g.out_degree(0), 5000);
+        let mut ns: Vec<Node> = g.out_neighbors(0).into_iter().map(|(n, _)| n).collect();
+        ns.sort_unstable();
+        assert_eq!(ns.len(), 5000);
+        assert!(ns.iter().enumerate().all(|(i, &n)| n == i as Node + 1));
+    }
+
+    #[test]
+    fn in_structure_tracks_high_degree_destinations() {
+        let g = Dah::new(2001, true, 4);
+        let batch: Vec<Edge> = (1..=2000).map(|i| Edge::new(i, 0, 1.0)).collect();
+        g.update_batch(&batch, &pool());
+        assert_eq!(g.in_degree(0), 2000);
+        assert_eq!(g.out_degree(0), 0);
+        let mut ns: Vec<Node> = g.in_neighbors(0).into_iter().map(|(n, _)| n).collect();
+        ns.sort_unstable();
+        assert_eq!(ns.len(), 2000);
+    }
+}

@@ -1,0 +1,521 @@
+//! Hash tables underpinning degree-aware hashing (DAH, §III-A4, Fig. 5).
+//!
+//! DAH keeps edges of *low-degree* vertices in a Robin Hood hash table and
+//! edges of *high-degree* vertices in per-vertex open-addressing tables
+//! (following Iwabuchi et al.'s DegAwareRHH, which the paper implements).
+//!
+//! The low-degree table hashes an edge by its **source vertex only**, so all
+//! edges of one vertex land in a single probe cluster — that is what makes
+//! both neighbor traversal and the low→high *flush* meta-operation possible
+//! without scanning the whole table.
+
+use crate::{Node, Weight};
+use saga_utils::hash::{hash_node, mix64};
+use saga_utils::probe;
+
+const INITIAL_CAPACITY: usize = 64;
+const MAX_LOAD_NUM: usize = 7; // load factor 7/10
+const MAX_LOAD_DEN: usize = 10;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LowSlot {
+    src: Node,
+    dst: Node,
+    weight: Weight,
+    /// Distance from the ideal slot (the "probe distance" of Fig. 5).
+    probe_distance: u16,
+}
+
+/// Robin Hood hash table holding `(src, dst, weight)` edges for low-degree
+/// vertices, clustered by source vertex.
+///
+/// # Examples
+///
+/// ```
+/// use saga_graph::hash_tables::RobinHoodEdgeTable;
+///
+/// let mut t = RobinHoodEdgeTable::new();
+/// assert!(t.insert(3, 7, 1.0));
+/// assert!(!t.insert(3, 7, 2.0)); // duplicate edge
+/// assert_eq!(t.neighbors_of(3), vec![(7, 1.0)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RobinHoodEdgeTable {
+    slots: Vec<Option<LowSlot>>,
+    len: usize,
+}
+
+impl Default for RobinHoodEdgeTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RobinHoodEdgeTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self {
+            slots: vec![None; INITIAL_CAPACITY],
+            len: 0,
+        }
+    }
+
+    /// Number of stored edges.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table stores no edges.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn ideal_slot(&self, src: Node) -> usize {
+        (hash_node(src) as usize) & (self.slots.len() - 1)
+    }
+
+    /// Searches for edge `(src, dst)`; returns its weight if present.
+    pub fn find(&self, src: Node, dst: Node) -> Option<Weight> {
+        let cap = self.slots.len();
+        let mut i = self.ideal_slot(src);
+        let mut dist = 0u16;
+        loop {
+            probe::value_read(&self.slots[i]);
+            match &self.slots[i] {
+                None => return None,
+                Some(slot) => {
+                    if slot.src == src && slot.dst == dst {
+                        return Some(slot.weight);
+                    }
+                    // Robin Hood invariant: once we have probed farther than
+                    // the resident, the key cannot be in the table.
+                    if slot.probe_distance < dist {
+                        return None;
+                    }
+                }
+            }
+            i = (i + 1) % cap;
+            dist += 1;
+        }
+    }
+
+    /// Inserts `(src, dst, weight)` if absent. Returns `true` when inserted.
+    pub fn insert(&mut self, src: Node, dst: Node, weight: Weight) -> bool {
+        if self.find(src, dst).is_some() {
+            return false;
+        }
+        if (self.len + 1) * MAX_LOAD_DEN > self.slots.len() * MAX_LOAD_NUM {
+            self.grow();
+        }
+        self.insert_unchecked(LowSlot {
+            src,
+            dst,
+            weight,
+            probe_distance: 0,
+        });
+        self.len += 1;
+        true
+    }
+
+    fn insert_unchecked(&mut self, mut incoming: LowSlot) {
+        let cap = self.slots.len();
+        let mut i = (hash_node(incoming.src) as usize) & (cap - 1);
+        incoming.probe_distance = 0;
+        loop {
+            probe::value_read(&self.slots[i]);
+            match &mut self.slots[i] {
+                slot @ None => {
+                    probe::value_write(slot);
+                    *slot = Some(incoming);
+                    return;
+                }
+                Some(resident) => {
+                    if resident.probe_distance < incoming.probe_distance {
+                        // Rob the rich: displace the resident.
+                        probe::value_write(resident);
+                        std::mem::swap(resident, &mut incoming);
+                    }
+                }
+            }
+            i = (i + 1) % cap;
+            incoming.probe_distance += 1;
+            probe::instructions(1);
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(INITIAL_CAPACITY);
+        let old = std::mem::replace(&mut self.slots, vec![None; new_cap]);
+        for slot in old.into_iter().flatten() {
+            self.insert_unchecked(slot);
+        }
+    }
+
+    /// Visits the cluster of `src`, yielding each of its `(dst, weight)`
+    /// edges — the low-degree traversal path of DAH.
+    pub fn for_each_neighbor(&self, src: Node, f: &mut dyn FnMut(Node, Weight)) {
+        let cap = self.slots.len();
+        let mut i = self.ideal_slot(src);
+        let mut dist = 0u16;
+        loop {
+            probe::value_read(&self.slots[i]);
+            match &self.slots[i] {
+                None => return,
+                Some(slot) => {
+                    if slot.src == src {
+                        f(slot.dst, slot.weight);
+                    } else if slot.probe_distance < dist {
+                        // Past the cluster that could contain `src`.
+                        return;
+                    }
+                }
+            }
+            i = (i + 1) % cap;
+            dist += 1;
+        }
+    }
+
+    /// Collects the neighbors of `src` (convenience; allocates).
+    pub fn neighbors_of(&self, src: Node) -> Vec<(Node, Weight)> {
+        let mut out = Vec::new();
+        self.for_each_neighbor(src, &mut |n, w| out.push((n, w)));
+        out
+    }
+
+    /// Removes edge `(src, dst)` if present. Returns `true` when removed.
+    pub fn remove_edge(&mut self, src: Node, dst: Node) -> bool {
+        if self.find(src, dst).is_some() {
+            self.remove(src, dst);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns every edge of `src` — the low→high *flush*
+    /// meta-operation of DAH (§III-A4).
+    pub fn remove_vertex(&mut self, src: Node) -> Vec<(Node, Weight)> {
+        let removed = self.neighbors_of(src);
+        for &(dst, _) in &removed {
+            self.remove(src, dst);
+        }
+        removed
+    }
+
+    fn remove(&mut self, src: Node, dst: Node) {
+        let cap = self.slots.len();
+        let mut i = self.ideal_slot(src);
+        let mut dist = 0u16;
+        loop {
+            match &self.slots[i] {
+                None => return,
+                Some(slot) => {
+                    if slot.src == src && slot.dst == dst {
+                        break;
+                    }
+                    if slot.probe_distance < dist {
+                        return;
+                    }
+                }
+            }
+            i = (i + 1) % cap;
+            dist += 1;
+        }
+        // Backward-shift deletion keeps probe distances tight.
+        self.slots[i] = None;
+        self.len -= 1;
+        let mut prev = i;
+        let mut j = (i + 1) % cap;
+        loop {
+            match &self.slots[j] {
+                Some(slot) if slot.probe_distance > 0 => {
+                    let mut moved = self.slots[j].take().unwrap();
+                    moved.probe_distance -= 1;
+                    probe::value_write(&self.slots[prev]);
+                    self.slots[prev] = Some(moved);
+                    prev = j;
+                    j = (j + 1) % cap;
+                }
+                _ => return,
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HighSlot {
+    dst: Node,
+    weight: Weight,
+}
+
+/// Per-vertex open-addressing edge set for high-degree vertices (the
+/// "high-degree table" of Fig. 5).
+///
+/// # Examples
+///
+/// ```
+/// use saga_graph::hash_tables::OpenEdgeTable;
+///
+/// let mut t = OpenEdgeTable::new();
+/// assert!(t.insert(9, 0.5));
+/// assert!(!t.insert(9, 0.5));
+/// assert_eq!(t.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OpenEdgeTable {
+    slots: Vec<Option<HighSlot>>,
+    len: usize,
+}
+
+impl Default for OpenEdgeTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OpenEdgeTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self {
+            slots: vec![None; INITIAL_CAPACITY],
+            len: 0,
+        }
+    }
+
+    /// Creates a table pre-filled from a flushed low-degree cluster.
+    pub fn from_edges(edges: &[(Node, Weight)]) -> Self {
+        let mut table = Self::new();
+        for &(dst, weight) in edges {
+            table.insert(dst, weight);
+        }
+        table
+    }
+
+    /// Number of stored edges.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table stores no edges.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn ideal_slot(&self, dst: Node) -> usize {
+        (mix64(hash_node(dst)) as usize) & (self.slots.len() - 1)
+    }
+
+    /// Whether edge to `dst` is present.
+    pub fn contains(&self, dst: Node) -> bool {
+        let cap = self.slots.len();
+        let mut i = self.ideal_slot(dst);
+        loop {
+            probe::value_read(&self.slots[i]);
+            match &self.slots[i] {
+                None => return false,
+                Some(slot) if slot.dst == dst => return true,
+                Some(_) => i = (i + 1) % cap,
+            }
+        }
+    }
+
+    /// Inserts an edge to `dst` if absent. Returns `true` when inserted.
+    pub fn insert(&mut self, dst: Node, weight: Weight) -> bool {
+        if (self.len + 1) * MAX_LOAD_DEN > self.slots.len() * MAX_LOAD_NUM {
+            self.grow();
+        }
+        let cap = self.slots.len();
+        let mut i = self.ideal_slot(dst);
+        loop {
+            probe::value_read(&self.slots[i]);
+            match &mut self.slots[i] {
+                slot @ None => {
+                    probe::value_write(slot);
+                    *slot = Some(HighSlot { dst, weight });
+                    self.len += 1;
+                    return true;
+                }
+                Some(slot) if slot.dst == dst => return false,
+                Some(_) => {
+                    i = (i + 1) % cap;
+                    probe::instructions(1);
+                }
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(INITIAL_CAPACITY);
+        let old = std::mem::replace(&mut self.slots, vec![None; new_cap]);
+        self.len = 0;
+        for slot in old.into_iter().flatten() {
+            self.insert(slot.dst, slot.weight);
+        }
+    }
+
+    /// Visits every stored edge.
+    pub fn for_each(&self, f: &mut dyn FnMut(Node, Weight)) {
+        probe::slice_read(&self.slots);
+        for slot in self.slots.iter().flatten() {
+            f(slot.dst, slot.weight);
+        }
+    }
+
+    /// Removes the edge to `dst` if present. Returns `true` when removed.
+    ///
+    /// Uses the standard linear-probing deletion: after emptying the slot,
+    /// later entries in the probe run are re-inserted if the hole broke
+    /// their reachability from their ideal slot.
+    pub fn remove(&mut self, dst: Node) -> bool {
+        let cap = self.slots.len();
+        let mut i = self.ideal_slot(dst);
+        loop {
+            match &self.slots[i] {
+                None => return false,
+                Some(slot) if slot.dst == dst => break,
+                Some(_) => i = (i + 1) % cap,
+            }
+        }
+        self.slots[i] = None;
+        self.len -= 1;
+        // Re-place the remainder of the probe run.
+        let mut j = (i + 1) % cap;
+        while let Some(slot) = self.slots[j].take() {
+            self.len -= 1;
+            self.insert(slot.dst, slot.weight);
+            j = (j + 1) % cap;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn robin_hood_insert_find_roundtrip() {
+        let mut t = RobinHoodEdgeTable::new();
+        for dst in 0..10u32 {
+            assert!(t.insert(5, dst, dst as Weight));
+        }
+        assert_eq!(t.len(), 10);
+        for dst in 0..10u32 {
+            assert_eq!(t.find(5, dst), Some(dst as Weight));
+        }
+        assert_eq!(t.find(5, 99), None);
+        assert_eq!(t.find(6, 0), None);
+    }
+
+    #[test]
+    fn robin_hood_rejects_duplicates() {
+        let mut t = RobinHoodEdgeTable::new();
+        assert!(t.insert(1, 2, 1.0));
+        assert!(!t.insert(1, 2, 5.0));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.find(1, 2), Some(1.0));
+    }
+
+    #[test]
+    fn robin_hood_grows_past_initial_capacity() {
+        let mut t = RobinHoodEdgeTable::new();
+        for i in 0..1000u32 {
+            assert!(t.insert(i % 50, i, 1.0));
+        }
+        assert_eq!(t.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(t.find(i % 50, i), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn cluster_traversal_finds_exactly_own_edges() {
+        let mut t = RobinHoodEdgeTable::new();
+        // Interleave edges of many sources to force mixed clusters.
+        for src in 0..20u32 {
+            for dst in 0..8u32 {
+                t.insert(src, 1000 + dst, (src * 8 + dst) as Weight);
+            }
+        }
+        for src in 0..20u32 {
+            let mut ns = t.neighbors_of(src);
+            ns.sort_by_key(|&(n, _)| n);
+            assert_eq!(ns.len(), 8, "src {src}");
+            for (k, &(n, w)) in ns.iter().enumerate() {
+                assert_eq!(n, 1000 + k as Node);
+                assert_eq!(w, (src * 8 + k as Node) as Weight);
+            }
+        }
+    }
+
+    #[test]
+    fn remove_vertex_flushes_the_cluster() {
+        let mut t = RobinHoodEdgeTable::new();
+        for src in [3u32, 4, 5] {
+            for dst in 0..6u32 {
+                t.insert(src, dst, 1.0);
+            }
+        }
+        let removed = t.remove_vertex(4);
+        assert_eq!(removed.len(), 6);
+        assert_eq!(t.len(), 12);
+        assert!(t.neighbors_of(4).is_empty());
+        // Other vertices' edges survive the backward-shift deletions.
+        assert_eq!(t.neighbors_of(3).len(), 6);
+        assert_eq!(t.neighbors_of(5).len(), 6);
+        // Reinsertion works after removal.
+        assert!(t.insert(4, 0, 2.0));
+        assert_eq!(t.find(4, 0), Some(2.0));
+    }
+
+    #[test]
+    fn open_table_roundtrip_and_growth() {
+        let mut t = OpenEdgeTable::new();
+        for dst in 0..500u32 {
+            assert!(t.insert(dst, dst as Weight));
+        }
+        assert!(!t.insert(123, 0.0));
+        assert_eq!(t.len(), 500);
+        for dst in 0..500u32 {
+            assert!(t.contains(dst));
+        }
+        assert!(!t.contains(1000));
+        let mut collected: Vec<(Node, Weight)> = Vec::new();
+        t.for_each(&mut |n, w| collected.push((n, w)));
+        collected.sort_by_key(|&(n, _)| n);
+        assert_eq!(collected.len(), 500);
+        assert!(collected.iter().enumerate().all(|(i, &(n, w))| {
+            n == i as Node && w == i as Weight
+        }));
+    }
+
+    #[test]
+    fn open_table_remove_preserves_probe_runs() {
+        let mut t = OpenEdgeTable::new();
+        for dst in 0..300u32 {
+            t.insert(dst, dst as Weight);
+        }
+        // Remove every third entry, then verify the rest are all findable.
+        for dst in (0..300u32).step_by(3) {
+            assert!(t.remove(dst), "remove {dst}");
+            assert!(!t.remove(dst), "double remove {dst}");
+        }
+        assert_eq!(t.len(), 200);
+        for dst in 0..300u32 {
+            assert_eq!(t.contains(dst), dst % 3 != 0, "contains {dst}");
+        }
+        // Reinsertion after removal works.
+        assert!(t.insert(0, 9.0));
+        assert!(t.contains(0));
+    }
+
+    #[test]
+    fn open_table_from_edges() {
+        let t = OpenEdgeTable::from_edges(&[(1, 1.0), (2, 2.0), (1, 9.0)]);
+        assert_eq!(t.len(), 2);
+        assert!(t.contains(1));
+        assert!(t.contains(2));
+    }
+}

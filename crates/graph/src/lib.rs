@@ -1,0 +1,322 @@
+//! Dynamic graph data structures for streaming graph analytics.
+//!
+//! This crate implements the four vertex-centric, multithreaded-update data
+//! structures of SAGA-Bench (§III-A of the paper), all behind the common
+//! [`DynamicGraph`] trait (the paper's `update()` / `out_neigh()` /
+//! `in_neigh()` API, §III-D):
+//!
+//! | Kind | Module | Update mechanism | Multithreading | Intra-node parallelism |
+//! |------|--------|------------------|----------------|------------------------|
+//! | [`AdjacencyShared`] (AS) | [`adjacency_shared`] | search+insert in contiguous vectors | shared-memory, one lock per source vertex | no |
+//! | [`AdjacencyChunked`] (AC) | [`adjacency_chunked`] | search+insert in contiguous vectors | chunked, lock-free within a chunk | no |
+//! | [`Stinger`] | [`stinger`] | two scans over linked 16-edge blocks | shared-memory, fine-grained per-block locks | yes |
+//! | [`Dah`] (degree-aware hashing) | [`dah`] | hash-based, Robin Hood low-degree + open-addressing high-degree tables | chunked, lock-free within a chunk | no |
+//!
+//! Every insert is preceded by a search so that edges are ingested uniquely
+//! (§III-A), and directed graphs maintain a second copy of the structure for
+//! in-neighbors (footnote 3). Vertex property values live outside the
+//! topology in [`properties`] arrays (footnote 4).
+//!
+//! [`AdjacencyShared`]: adjacency_shared::AdjacencyShared
+//! [`AdjacencyChunked`]: adjacency_chunked::AdjacencyChunked
+//! [`Stinger`]: stinger::Stinger
+//! [`Dah`]: dah::Dah
+//!
+//! # Examples
+//!
+//! ```
+//! use saga_graph::{build_graph, DataStructureKind, Edge};
+//! use saga_utils::parallel::ThreadPool;
+//!
+//! let pool = ThreadPool::new(2);
+//! let graph = build_graph(DataStructureKind::Stinger, 10, true, pool.threads());
+//! let batch = vec![Edge::new(0, 1, 1.0), Edge::new(0, 2, 2.0), Edge::new(0, 1, 9.0)];
+//! let stats = graph.update_batch(&batch, &pool);
+//! assert_eq!(stats.inserted, 2); // the duplicate (0, 1) is ingested once
+//! assert_eq!(graph.out_degree(0), 2);
+//! assert_eq!(graph.in_degree(1), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adjacency_chunked;
+pub mod adjacency_shared;
+pub mod csr;
+pub mod dah;
+pub mod hash_tables;
+pub mod oracle;
+pub mod properties;
+pub mod snapshots;
+pub mod stinger;
+
+use saga_utils::parallel::ThreadPool;
+
+/// Vertex identifier. The paper's datasets fit comfortably in 32 bits.
+pub type Node = u32;
+
+/// Edge weight (used by SSSP and SSWP; ignored by the other algorithms).
+pub type Weight = f32;
+
+/// A directed, weighted edge in the input stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: Node,
+    /// Destination vertex.
+    pub dst: Node,
+    /// Weight carried by the edge.
+    pub weight: Weight,
+}
+
+impl Edge {
+    /// Creates an edge.
+    pub fn new(src: Node, dst: Node, weight: Weight) -> Self {
+        Self { src, dst, weight }
+    }
+}
+
+/// Outcome of ingesting one batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Edges newly inserted by this batch.
+    pub inserted: usize,
+    /// Edges that were already present (searched, found, skipped).
+    pub duplicates: usize,
+}
+
+impl UpdateStats {
+    /// Merges two per-thread tallies.
+    pub fn merge(self, other: UpdateStats) -> UpdateStats {
+        UpdateStats {
+            inserted: self.inserted + other.inserted,
+            duplicates: self.duplicates + other.duplicates,
+        }
+    }
+}
+
+/// Which of the four data structures to use (§III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataStructureKind {
+    /// Adjacency list with shared-style multithreading (AS).
+    AdjacencyShared,
+    /// Adjacency list with chunked-style multithreading (AC).
+    AdjacencyChunked,
+    /// Stinger: linked edge blocks with fine-grained locks.
+    Stinger,
+    /// Degree-aware hashing (DAH).
+    Dah,
+}
+
+impl DataStructureKind {
+    /// All four kinds, in the paper's presentation order.
+    pub const ALL: [DataStructureKind; 4] = [
+        DataStructureKind::AdjacencyShared,
+        DataStructureKind::AdjacencyChunked,
+        DataStructureKind::Stinger,
+        DataStructureKind::Dah,
+    ];
+
+    /// The paper's abbreviation (AS, AC, Stinger, DAH).
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            DataStructureKind::AdjacencyShared => "AS",
+            DataStructureKind::AdjacencyChunked => "AC",
+            DataStructureKind::Stinger => "Stinger",
+            DataStructureKind::Dah => "DAH",
+        }
+    }
+}
+
+impl std::fmt::Display for DataStructureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// Read-only view of a graph's topology — the traversal half of the
+/// paper's API (`out_neigh()` / `in_neigh()`, §III-D).
+///
+/// The compute engines only need this trait, so they run equally on a live
+/// [`DynamicGraph`] and on an immutable snapshot (see [`csr::Csr`] and
+/// [`snapshots`]), which is what enables the pipelined
+/// update-parallel-with-compute execution model the paper lists as future
+/// work (footnote 1).
+///
+/// # Reentrancy
+///
+/// Implementations may hold an internal fine-grained lock (a vertex's
+/// vector, a chunk, an edge block) while invoking a `for_each_*` callback.
+/// Callbacks must therefore not call back into the same graph — collect
+/// what you need first, then query (see `PrProgram::pull` for the
+/// pattern). Reading separate property arrays from a callback is always
+/// fine.
+pub trait GraphTopology: Send + Sync {
+    /// Maximum number of vertices (fixed at construction; the stream's
+    /// vertex-id universe is known per dataset, Table II).
+    fn capacity(&self) -> usize;
+
+    /// Unique directed edges currently stored (an undirected input edge
+    /// counts once).
+    fn num_edges(&self) -> usize;
+
+    /// Whether the graph is directed. Undirected graphs (Orkut) ingest each
+    /// edge in both directions and serve `in_*` from the out-structure.
+    fn is_directed(&self) -> bool;
+
+    /// Current out-degree of `v`.
+    fn out_degree(&self, v: Node) -> usize;
+
+    /// Current in-degree of `v`.
+    fn in_degree(&self, v: Node) -> usize;
+
+    /// Visits every out-neighbor of `v` — the paper's `out_neigh()`.
+    fn for_each_out_neighbor(&self, v: Node, f: &mut dyn FnMut(Node, Weight));
+
+    /// Visits every in-neighbor of `v` — the paper's `in_neigh()`.
+    fn for_each_in_neighbor(&self, v: Node, f: &mut dyn FnMut(Node, Weight));
+
+    /// Collects the out-neighbors of `v` (convenience; allocates).
+    fn out_neighbors(&self, v: Node) -> Vec<(Node, Weight)> {
+        let mut out = Vec::with_capacity(self.out_degree(v));
+        self.for_each_out_neighbor(v, &mut |n, w| out.push((n, w)));
+        out
+    }
+
+    /// Collects the in-neighbors of `v` (convenience; allocates).
+    fn in_neighbors(&self, v: Node) -> Vec<(Node, Weight)> {
+        let mut out = Vec::with_capacity(self.in_degree(v));
+        self.for_each_in_neighbor(v, &mut |n, w| out.push((n, w)));
+        out
+    }
+}
+
+/// Common interface of the streaming graph data structures — the paper's
+/// `update()` API on top of [`GraphTopology`] (§III-D).
+///
+/// Implementations ingest batches concurrently through interior mutability
+/// (`update_batch` takes `&self`); in the interleaved execution model
+/// (Fig. 2b) the update and compute phases never overlap, so traversal
+/// during compute sees a stable topology.
+pub trait DynamicGraph: GraphTopology {
+    /// Ingests a batch of edges using the given pool — the *update phase*.
+    /// Duplicate edges (already present or repeated within the batch) are
+    /// ingested once, per the search-before-insert rule of §III-A.
+    fn update_batch(&self, batch: &[Edge], pool: &ThreadPool) -> UpdateStats;
+
+    /// Which data structure this is.
+    fn kind(&self) -> DataStructureKind;
+}
+
+/// Outcome of deleting one batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeleteStats {
+    /// Edges found and removed.
+    pub removed: usize,
+    /// Edges that were not present (including batch-internal repeats).
+    pub missing: usize,
+}
+
+impl DeleteStats {
+    /// Merges two per-thread tallies.
+    pub fn merge(self, other: DeleteStats) -> DeleteStats {
+        DeleteStats {
+            removed: self.removed + other.removed,
+            missing: self.missing + other.missing,
+        }
+    }
+}
+
+/// Edge deletion — an **extension** beyond the paper's v1 benchmark, which
+/// streams insertions only. All four structures support it (STINGER's
+/// linked blocks were designed for it), with the same batch-parallel
+/// discipline as `update_batch`. Edge weights are ignored when matching.
+///
+/// Deleting edges invalidates the incremental compute model's monotone
+/// state (that is KickStarter's problem, not this benchmark's); run the
+/// from-scratch model after deletion batches.
+pub trait DeletableGraph: DynamicGraph {
+    /// Deletes a batch of edges. Undirected graphs remove both stored
+    /// directions of each logical edge; an edge appearing twice in the
+    /// batch is removed once and counted missing once.
+    fn delete_batch(&self, batch: &[Edge], pool: &ThreadPool) -> DeleteStats;
+}
+
+/// Builds a graph of the requested kind.
+///
+/// `chunks` controls the number of single-threaded chunks for the chunked
+/// structures (AC, DAH); the paper pairs one chunk with one update thread,
+/// so pass the pool's thread count. It is ignored by AS and Stinger.
+pub fn build_graph(
+    kind: DataStructureKind,
+    capacity: usize,
+    directed: bool,
+    chunks: usize,
+) -> Box<dyn DynamicGraph> {
+    match kind {
+        DataStructureKind::AdjacencyShared => Box::new(
+            adjacency_shared::AdjacencyShared::new(capacity, directed),
+        ),
+        DataStructureKind::AdjacencyChunked => Box::new(
+            adjacency_chunked::AdjacencyChunked::new(capacity, directed, chunks),
+        ),
+        DataStructureKind::Stinger => Box::new(stinger::Stinger::new(capacity, directed)),
+        DataStructureKind::Dah => Box::new(dah::Dah::new(capacity, directed, chunks)),
+    }
+}
+
+/// Builds a graph of the requested kind behind the deletion-capable
+/// interface (all four structures support it).
+pub fn build_deletable_graph(
+    kind: DataStructureKind,
+    capacity: usize,
+    directed: bool,
+    chunks: usize,
+) -> Box<dyn DeletableGraph> {
+    match kind {
+        DataStructureKind::AdjacencyShared => Box::new(
+            adjacency_shared::AdjacencyShared::new(capacity, directed),
+        ),
+        DataStructureKind::AdjacencyChunked => Box::new(
+            adjacency_chunked::AdjacencyChunked::new(capacity, directed, chunks),
+        ),
+        DataStructureKind::Stinger => Box::new(stinger::Stinger::new(capacity, directed)),
+        DataStructureKind::Dah => Box::new(dah::Dah::new(capacity, directed, chunks)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_abbreviations_match_the_paper() {
+        assert_eq!(DataStructureKind::AdjacencyShared.abbrev(), "AS");
+        assert_eq!(DataStructureKind::AdjacencyChunked.abbrev(), "AC");
+        assert_eq!(DataStructureKind::Stinger.abbrev(), "Stinger");
+        assert_eq!(DataStructureKind::Dah.abbrev(), "DAH");
+        assert_eq!(DataStructureKind::ALL.len(), 4);
+    }
+
+    #[test]
+    fn update_stats_merge_adds_fields() {
+        let a = UpdateStats {
+            inserted: 3,
+            duplicates: 1,
+        };
+        let b = UpdateStats {
+            inserted: 2,
+            duplicates: 4,
+        };
+        let m = a.merge(b);
+        assert_eq!(m.inserted, 5);
+        assert_eq!(m.duplicates, 5);
+    }
+
+    #[test]
+    fn edge_constructor_roundtrips() {
+        let e = Edge::new(3, 7, 2.5);
+        assert_eq!(e.src, 3);
+        assert_eq!(e.dst, 7);
+        assert_eq!(e.weight, 2.5);
+    }
+}

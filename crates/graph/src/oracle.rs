@@ -1,0 +1,248 @@
+//! Reference graph for differential testing.
+//!
+//! [`GraphOracle`] is a deliberately slow, deliberately simple adjacency
+//! model (sorted maps, sequential updates) that implements the same
+//! ingest-uniquely semantics as the four production data structures. The
+//! test suites (unit, property-based, and integration) stream the same
+//! batches into an oracle and a [`DynamicGraph`] and require identical
+//! topology.
+
+use crate::{DynamicGraph, Edge, Node, Weight};
+use std::collections::BTreeMap;
+
+/// A sequential reference adjacency structure.
+///
+/// # Examples
+///
+/// ```
+/// use saga_graph::oracle::GraphOracle;
+/// use saga_graph::Edge;
+///
+/// let mut oracle = GraphOracle::new(4, true);
+/// oracle.insert_batch(&[Edge::new(0, 1, 1.0), Edge::new(0, 1, 2.0)]);
+/// assert_eq!(oracle.num_edges(), 1);
+/// assert_eq!(oracle.out_neighbors(0), vec![(1, 1.0)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphOracle {
+    capacity: usize,
+    directed: bool,
+    out: Vec<BTreeMap<Node, Weight>>,
+    inn: Vec<BTreeMap<Node, Weight>>,
+    edges: usize,
+}
+
+impl GraphOracle {
+    /// Creates an empty oracle over vertex ids `0..capacity`.
+    pub fn new(capacity: usize, directed: bool) -> Self {
+        Self {
+            capacity,
+            directed,
+            out: vec![BTreeMap::new(); capacity],
+            inn: vec![BTreeMap::new(); capacity],
+            edges: 0,
+        }
+    }
+
+    /// Ingests a batch with the same uniqueness semantics as the production
+    /// structures: first occurrence of an edge wins, later ones are
+    /// duplicates; undirected edges are mirrored and counted once.
+    pub fn insert_batch(&mut self, batch: &[Edge]) {
+        for &Edge { src, dst, weight } in batch {
+            if self.directed {
+                if let std::collections::btree_map::Entry::Vacant(e) =
+                    self.out[src as usize].entry(dst)
+                {
+                    e.insert(weight);
+                    self.inn[dst as usize].insert(src, weight);
+                    self.edges += 1;
+                }
+            } else {
+                if self.out[src as usize].contains_key(&dst) {
+                    continue;
+                }
+                self.out[src as usize].insert(dst, weight);
+                self.out[dst as usize].insert(src, weight);
+                self.edges += 1;
+            }
+        }
+    }
+
+    /// Deletes a batch with the same semantics as [`DeletableGraph`]:
+    /// present edges are removed (both directions for undirected graphs),
+    /// absent ones ignored.
+    ///
+    /// [`DeletableGraph`]: crate::DeletableGraph
+    pub fn delete_batch(&mut self, batch: &[Edge]) {
+        for &Edge { src, dst, .. } in batch {
+            if self.directed {
+                if self.out[src as usize].remove(&dst).is_some() {
+                    self.inn[dst as usize].remove(&src);
+                    self.edges -= 1;
+                }
+            } else if self.out[src as usize].remove(&dst).is_some() {
+                if src != dst {
+                    self.out[dst as usize].remove(&src);
+                }
+                self.edges -= 1;
+            }
+        }
+    }
+
+    /// Number of logical edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges
+    }
+
+    /// Number of vertices.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Out-neighbors of `v`, sorted by id.
+    pub fn out_neighbors(&self, v: Node) -> Vec<(Node, Weight)> {
+        self.out[v as usize].iter().map(|(&n, &w)| (n, w)).collect()
+    }
+
+    /// In-neighbors of `v`, sorted by id.
+    pub fn in_neighbors(&self, v: Node) -> Vec<(Node, Weight)> {
+        if self.directed {
+            self.inn[v as usize].iter().map(|(&n, &w)| (n, w)).collect()
+        } else {
+            self.out_neighbors(v)
+        }
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: Node) -> usize {
+        self.out[v as usize].len()
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: Node) -> usize {
+        if self.directed {
+            self.inn[v as usize].len()
+        } else {
+            self.out_degree(v)
+        }
+    }
+
+    /// Asserts that `graph` stores exactly the same topology.
+    ///
+    /// Weights are compared only when `check_weights` is set: when a batch
+    /// carries the same edge twice with different weights, which concurrent
+    /// insert wins is timing-dependent, so weight equality is only
+    /// meaningful for streams with deterministic per-edge weights (the
+    /// generators in `saga-stream` guarantee this).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on the first divergence.
+    pub fn assert_matches(&self, graph: &dyn DynamicGraph, check_weights: bool) {
+        assert_eq!(graph.capacity(), self.capacity, "capacity mismatch");
+        assert_eq!(
+            graph.num_edges(),
+            self.edges,
+            "edge count mismatch on {:?}",
+            graph.kind()
+        );
+        for v in 0..self.capacity as Node {
+            let mut got_out = graph.out_neighbors(v);
+            got_out.sort_by_key(|&(n, _)| n);
+            let want_out = self.out_neighbors(v);
+            compare_lists(graph, v, "out", &got_out, &want_out, check_weights);
+            let mut got_in = graph.in_neighbors(v);
+            got_in.sort_by_key(|&(n, _)| n);
+            let want_in = self.in_neighbors(v);
+            compare_lists(graph, v, "in", &got_in, &want_in, check_weights);
+            assert_eq!(
+                graph.out_degree(v),
+                want_out.len(),
+                "out_degree({v}) mismatch on {:?}",
+                graph.kind()
+            );
+            assert_eq!(
+                graph.in_degree(v),
+                want_in.len(),
+                "in_degree({v}) mismatch on {:?}",
+                graph.kind()
+            );
+        }
+    }
+}
+
+fn compare_lists(
+    graph: &dyn DynamicGraph,
+    v: Node,
+    dir: &str,
+    got: &[(Node, Weight)],
+    want: &[(Node, Weight)],
+    check_weights: bool,
+) {
+    let got_ids: Vec<Node> = got.iter().map(|&(n, _)| n).collect();
+    let want_ids: Vec<Node> = want.iter().map(|&(n, _)| n).collect();
+    assert_eq!(
+        got_ids,
+        want_ids,
+        "{dir}-neighbors of {v} mismatch on {:?}",
+        graph.kind()
+    );
+    if check_weights {
+        for (&(n, gw), &(_, ww)) in got.iter().zip(want.iter()) {
+            assert_eq!(
+                gw, ww,
+                "weight of {dir}-edge ({v}, {n}) mismatch on {:?}",
+                graph.kind()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_graph, DataStructureKind};
+    use saga_utils::parallel::ThreadPool;
+
+    #[test]
+    fn oracle_dedups_directed() {
+        let mut o = GraphOracle::new(3, true);
+        o.insert_batch(&[Edge::new(0, 1, 1.0), Edge::new(0, 1, 2.0), Edge::new(1, 0, 3.0)]);
+        assert_eq!(o.num_edges(), 2);
+        assert_eq!(o.out_neighbors(0), vec![(1, 1.0)]);
+        assert_eq!(o.in_neighbors(0), vec![(1, 3.0)]);
+    }
+
+    #[test]
+    fn oracle_mirrors_undirected() {
+        let mut o = GraphOracle::new(3, false);
+        o.insert_batch(&[Edge::new(0, 2, 1.0), Edge::new(2, 0, 9.0)]);
+        assert_eq!(o.num_edges(), 1);
+        assert_eq!(o.out_neighbors(0), vec![(2, 1.0)]);
+        assert_eq!(o.out_neighbors(2), vec![(0, 1.0)]);
+        assert_eq!(o.in_degree(0), 1);
+    }
+
+    #[test]
+    fn all_structures_match_oracle_on_a_small_stream() {
+        let pool = ThreadPool::new(4);
+        let batches: Vec<Vec<Edge>> = vec![
+            vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 2.0), Edge::new(0, 1, 5.0)],
+            vec![Edge::new(2, 0, 3.0), Edge::new(3, 3, 4.0), Edge::new(1, 2, 2.0)],
+            (0..50).map(|i| Edge::new(4, i % 5, (i % 7) as Weight)).collect(),
+        ];
+        for directed in [true, false] {
+            for kind in DataStructureKind::ALL {
+                let g = build_graph(kind, 5, directed, pool.threads());
+                let mut oracle = GraphOracle::new(5, directed);
+                for batch in &batches {
+                    g.update_batch(batch, &pool);
+                    oracle.insert_batch(batch);
+                }
+                // Weights are deterministic per (src, dst) in these batches
+                // except the duplicate (0,1); skip weight checks there.
+                oracle.assert_matches(g.as_ref(), false);
+            }
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Vertex property arrays.
+//!
+//! SAGA-Bench keeps vertex property values (depths, labels, ranks, path
+//! costs) in arrays *separate from* the topology (footnote 4 of the paper).
+//! The compute engines update them from parallel loops, so every array here
+//! is atomic-backed; relaxed loads and stores compile to plain moves, and
+//! the monotone algorithms additionally get lock-free `fetch_min` /
+//! `fetch_max`.
+
+use saga_utils::probe;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Shared array of `f64` values (PageRank scores).
+///
+/// # Examples
+///
+/// ```
+/// use saga_graph::properties::AtomicF64Array;
+///
+/// let ranks = AtomicF64Array::filled(3, 0.25);
+/// ranks.set(1, 0.5);
+/// assert_eq!(ranks.get(1), 0.5);
+/// assert_eq!(ranks.get(0), 0.25);
+/// ```
+#[derive(Debug)]
+pub struct AtomicF64Array {
+    data: Vec<AtomicU64>,
+}
+
+impl AtomicF64Array {
+    /// Creates an array of `len` copies of `value`.
+    pub fn filled(len: usize, value: f64) -> Self {
+        Self {
+            data: (0..len).map(|_| AtomicU64::new(value.to_bits())).collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reads element `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        probe::value_read(&self.data[i]);
+        f64::from_bits(self.data[i].load(Ordering::Relaxed))
+    }
+
+    /// Writes element `i`.
+    #[inline]
+    pub fn set(&self, i: usize, value: f64) {
+        probe::value_write(&self.data[i]);
+        self.data[i].store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Overwrites every element (property reset of the FS compute model).
+    pub fn fill(&self, value: f64) {
+        for slot in &self.data {
+            slot.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Copies all values out.
+    pub fn to_vec(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+}
+
+/// Shared array of `f32` values (SSSP distances, SSWP widths).
+#[derive(Debug)]
+pub struct AtomicF32Array {
+    data: Vec<AtomicU32>,
+}
+
+impl AtomicF32Array {
+    /// Creates an array of `len` copies of `value`.
+    pub fn filled(len: usize, value: f32) -> Self {
+        Self {
+            data: (0..len).map(|_| AtomicU32::new(value.to_bits())).collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reads element `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> f32 {
+        probe::value_read(&self.data[i]);
+        f32::from_bits(self.data[i].load(Ordering::Relaxed))
+    }
+
+    /// Writes element `i`.
+    #[inline]
+    pub fn set(&self, i: usize, value: f32) {
+        probe::value_write(&self.data[i]);
+        self.data[i].store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Atomically lowers element `i` to `value` if `value` is smaller.
+    /// Returns `true` when the element changed (delta-stepping relaxation).
+    #[inline]
+    pub fn fetch_min(&self, i: usize, value: f32) -> bool {
+        probe::value_write(&self.data[i]);
+        let slot = &self.data[i];
+        let mut current = slot.load(Ordering::Relaxed);
+        loop {
+            if f32::from_bits(current) <= value {
+                return false;
+            }
+            match slot.compare_exchange_weak(
+                current,
+                value.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Atomically raises element `i` to `value` if `value` is larger.
+    /// Returns `true` when the element changed (widest-path relaxation).
+    #[inline]
+    pub fn fetch_max(&self, i: usize, value: f32) -> bool {
+        probe::value_write(&self.data[i]);
+        let slot = &self.data[i];
+        let mut current = slot.load(Ordering::Relaxed);
+        loop {
+            if f32::from_bits(current) >= value {
+                return false;
+            }
+            match slot.compare_exchange_weak(
+                current,
+                value.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Overwrites every element.
+    pub fn fill(&self, value: f32) {
+        for slot in &self.data {
+            slot.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Copies all values out.
+    pub fn to_vec(&self) -> Vec<f32> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+}
+
+/// Shared array of `u32` values (BFS depths, CC labels, MC values).
+#[derive(Debug)]
+pub struct AtomicU32Array {
+    data: Vec<AtomicU32>,
+}
+
+impl AtomicU32Array {
+    /// Creates an array of `len` copies of `value`.
+    pub fn filled(len: usize, value: u32) -> Self {
+        Self {
+            data: (0..len).map(|_| AtomicU32::new(value)).collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reads element `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        probe::value_read(&self.data[i]);
+        self.data[i].load(Ordering::Relaxed)
+    }
+
+    /// Writes element `i`.
+    #[inline]
+    pub fn set(&self, i: usize, value: u32) {
+        probe::value_write(&self.data[i]);
+        self.data[i].store(value, Ordering::Relaxed);
+    }
+
+    /// Atomically lowers element `i`; returns `true` when it changed.
+    #[inline]
+    pub fn fetch_min(&self, i: usize, value: u32) -> bool {
+        probe::value_write(&self.data[i]);
+        self.data[i].fetch_min(value, Ordering::AcqRel) > value
+    }
+
+    /// Atomically raises element `i`; returns `true` when it changed.
+    #[inline]
+    pub fn fetch_max(&self, i: usize, value: u32) -> bool {
+        probe::value_write(&self.data[i]);
+        self.data[i].fetch_max(value, Ordering::AcqRel) < value
+    }
+
+    /// Overwrites every element.
+    pub fn fill(&self, value: u32) {
+        for slot in &self.data {
+            slot.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Copies all values out.
+    pub fn to_vec(&self) -> Vec<u32> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saga_utils::parallel::{Schedule, ThreadPool};
+
+    #[test]
+    fn f64_roundtrip_and_fill() {
+        let a = AtomicF64Array::filled(4, 1.5);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.to_vec(), vec![1.5; 4]);
+        a.set(2, -3.25);
+        assert_eq!(a.get(2), -3.25);
+        a.fill(0.0);
+        assert_eq!(a.to_vec(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn f32_fetch_min_is_monotone() {
+        let a = AtomicF32Array::filled(1, f32::INFINITY);
+        assert!(a.fetch_min(0, 5.0));
+        assert!(!a.fetch_min(0, 7.0));
+        assert!(a.fetch_min(0, 2.0));
+        assert_eq!(a.get(0), 2.0);
+    }
+
+    #[test]
+    fn f32_fetch_max_is_monotone() {
+        let a = AtomicF32Array::filled(1, 0.0);
+        assert!(a.fetch_max(0, 5.0));
+        assert!(!a.fetch_max(0, 3.0));
+        assert_eq!(a.get(0), 5.0);
+    }
+
+    #[test]
+    fn u32_fetch_min_max_report_changes() {
+        let a = AtomicU32Array::filled(2, 100);
+        assert!(a.fetch_min(0, 5));
+        assert!(!a.fetch_min(0, 5));
+        assert!(a.fetch_max(1, 200));
+        assert!(!a.fetch_max(1, 100));
+        assert_eq!(a.get(0), 5);
+        assert_eq!(a.get(1), 200);
+    }
+
+    #[test]
+    fn concurrent_fetch_min_converges_to_global_min() {
+        let pool = ThreadPool::new(4);
+        let a = AtomicF32Array::filled(1, f32::INFINITY);
+        pool.parallel_for(1..1000, Schedule::Dynamic(17), |i| {
+            a.fetch_min(0, i as f32);
+        });
+        assert_eq!(a.get(0), 1.0);
+    }
+
+    #[test]
+    fn concurrent_u32_max_converges() {
+        let pool = ThreadPool::new(4);
+        let a = AtomicU32Array::filled(1, 0);
+        pool.parallel_for(0..1000, Schedule::Static, |i| {
+            a.fetch_max(0, i as u32);
+        });
+        assert_eq!(a.get(0), 999);
+    }
+}

@@ -1,0 +1,303 @@
+//! Multi-snapshot graph store (the paper's footnote-1 extension).
+//!
+//! SAGA-Bench v1 maintains only the latest snapshot of the evolving graph;
+//! the paper lists the *multi-snapshot model* of systems like Chronos and
+//! LLAMA as a future addition. This module provides it: every ingested
+//! batch creates a new immutable version as a compact delta over the
+//! previous one, so analytics can run over *any* historical version — or
+//! over several versions at once for temporal queries — while ingestion
+//! continues.
+//!
+//! Storage is LLAMA-flavored: one small CSR-like delta per version holding
+//! only the vertices whose adjacency grew in that batch; a version's
+//! neighborhood is the concatenation of its delta chain. Edges are
+//! deduplicated at ingest (search through the chain before insert, the
+//! same rule as §III-A).
+
+use crate::{Edge, GraphTopology, Node, Weight};
+use std::collections::HashMap;
+
+/// One version's delta: adjacency added by a single batch.
+#[derive(Debug, Clone, Default)]
+struct Delta {
+    /// Touched vertex → freshly added out-neighbors.
+    out: HashMap<Node, Vec<(Node, Weight)>>,
+    /// Touched vertex → freshly added in-neighbors.
+    inn: HashMap<Node, Vec<(Node, Weight)>>,
+    /// Logical edges in the graph as of this version.
+    cumulative_edges: usize,
+}
+
+/// An append-only, versioned graph: one immutable snapshot per batch.
+///
+/// # Examples
+///
+/// ```
+/// use saga_graph::snapshots::SnapshotStore;
+/// use saga_graph::{Edge, GraphTopology};
+///
+/// let mut store = SnapshotStore::new(4, true);
+/// store.ingest_batch(&[Edge::new(0, 1, 1.0)]);
+/// store.ingest_batch(&[Edge::new(1, 2, 1.0)]);
+/// let v0 = store.snapshot(0);
+/// let v1 = store.snapshot(1);
+/// assert_eq!(v0.num_edges(), 1); // history is preserved
+/// assert_eq!(v1.num_edges(), 2);
+/// assert_eq!(v0.out_degree(1), 0);
+/// assert_eq!(v1.out_degree(1), 1);
+/// ```
+#[derive(Debug)]
+pub struct SnapshotStore {
+    capacity: usize,
+    directed: bool,
+    deltas: Vec<Delta>,
+}
+
+impl SnapshotStore {
+    /// Creates an empty store over vertex ids `0..capacity`.
+    pub fn new(capacity: usize, directed: bool) -> Self {
+        Self {
+            capacity,
+            directed,
+            deltas: Vec::new(),
+        }
+    }
+
+    /// Number of versions (one per ingested batch).
+    pub fn num_snapshots(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Vertex-universe size.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether edge `(src, dst)` exists in the out-adjacency as of the
+    /// latest version.
+    fn contains_out(&self, src: Node, dst: Node) -> bool {
+        self.deltas.iter().any(|d| {
+            d.out
+                .get(&src)
+                .is_some_and(|ns| ns.iter().any(|&(n, _)| n == dst))
+        })
+    }
+
+    /// Ingests a batch, creating a new version. Returns the number of
+    /// logical edges the batch added.
+    pub fn ingest_batch(&mut self, batch: &[Edge]) -> usize {
+        let mut delta = Delta {
+            cumulative_edges: self.deltas.last().map(|d| d.cumulative_edges).unwrap_or(0),
+            ..Delta::default()
+        };
+        let mut inserted = 0;
+        for &Edge { src, dst, weight } in batch {
+            assert!(
+                (src as usize) < self.capacity && (dst as usize) < self.capacity,
+                "edge ({src}, {dst}) outside capacity {}",
+                self.capacity
+            );
+            // Search-before-insert across the whole chain plus this delta.
+            let (a, b) = if self.directed || src <= dst {
+                (src, dst)
+            } else {
+                (dst, src)
+            };
+            let already = self.contains_out(a, b)
+                || delta
+                    .out
+                    .get(&a)
+                    .is_some_and(|ns| ns.iter().any(|&(n, _)| n == b));
+            if already {
+                continue;
+            }
+            inserted += 1;
+            delta.out.entry(a).or_default().push((b, weight));
+            if self.directed {
+                delta.inn.entry(b).or_default().push((a, weight));
+            } else if a != b {
+                delta.out.entry(b).or_default().push((a, weight));
+            }
+        }
+        delta.cumulative_edges += inserted;
+        self.deltas.push(delta);
+        inserted
+    }
+
+    /// A read-only view of the graph as of `version` (0-based batch
+    /// index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `version >= num_snapshots()`.
+    pub fn snapshot(&self, version: usize) -> SnapshotView<'_> {
+        assert!(
+            version < self.deltas.len(),
+            "version {version} out of range {}",
+            self.deltas.len()
+        );
+        SnapshotView {
+            store: self,
+            version,
+        }
+    }
+
+    /// The latest version, if any batch has been ingested.
+    pub fn latest(&self) -> Option<SnapshotView<'_>> {
+        self.num_snapshots()
+            .checked_sub(1)
+            .map(|v| self.snapshot(v))
+    }
+}
+
+/// An immutable view of one version. Implements [`GraphTopology`], so every
+/// algorithm in the suite runs on historical versions unchanged.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotView<'a> {
+    store: &'a SnapshotStore,
+    version: usize,
+}
+
+impl SnapshotView<'_> {
+    /// The version index this view pins.
+    pub fn version(&self) -> usize {
+        self.version
+    }
+
+    fn chain(&self) -> impl Iterator<Item = &Delta> {
+        self.store.deltas[..=self.version].iter()
+    }
+}
+
+impl GraphTopology for SnapshotView<'_> {
+    fn capacity(&self) -> usize {
+        self.store.capacity
+    }
+
+    fn num_edges(&self) -> usize {
+        self.store.deltas[self.version].cumulative_edges
+    }
+
+    fn is_directed(&self) -> bool {
+        self.store.directed
+    }
+
+    fn out_degree(&self, v: Node) -> usize {
+        self.chain()
+            .filter_map(|d| d.out.get(&v))
+            .map(Vec::len)
+            .sum()
+    }
+
+    fn in_degree(&self, v: Node) -> usize {
+        if self.store.directed {
+            self.chain()
+                .filter_map(|d| d.inn.get(&v))
+                .map(Vec::len)
+                .sum()
+        } else {
+            self.out_degree(v)
+        }
+    }
+
+    fn for_each_out_neighbor(&self, v: Node, f: &mut dyn FnMut(Node, Weight)) {
+        for delta in self.chain() {
+            if let Some(ns) = delta.out.get(&v) {
+                for &(n, w) in ns {
+                    f(n, w);
+                }
+            }
+        }
+    }
+
+    fn for_each_in_neighbor(&self, v: Node, f: &mut dyn FnMut(Node, Weight)) {
+        if self.store.directed {
+            for delta in self.chain() {
+                if let Some(ns) = delta.inn.get(&v) {
+                    for &(n, w) in ns {
+                        f(n, w);
+                    }
+                }
+            }
+        } else {
+            self.for_each_out_neighbor(v, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_are_isolated() {
+        let mut store = SnapshotStore::new(5, true);
+        store.ingest_batch(&[Edge::new(0, 1, 1.0), Edge::new(0, 2, 1.0)]);
+        store.ingest_batch(&[Edge::new(0, 3, 1.0)]);
+        store.ingest_batch(&[Edge::new(4, 0, 1.0)]);
+        assert_eq!(store.num_snapshots(), 3);
+        assert_eq!(store.snapshot(0).out_degree(0), 2);
+        assert_eq!(store.snapshot(1).out_degree(0), 3);
+        assert_eq!(store.snapshot(2).out_degree(0), 3);
+        assert_eq!(store.snapshot(2).in_degree(0), 1);
+        assert_eq!(store.snapshot(1).in_degree(0), 0);
+        assert_eq!(store.snapshot(0).num_edges(), 2);
+        assert_eq!(store.snapshot(2).num_edges(), 4);
+    }
+
+    #[test]
+    fn duplicates_across_versions_are_rejected() {
+        let mut store = SnapshotStore::new(3, true);
+        assert_eq!(store.ingest_batch(&[Edge::new(0, 1, 1.0)]), 1);
+        assert_eq!(store.ingest_batch(&[Edge::new(0, 1, 2.0), Edge::new(1, 2, 1.0)]), 1);
+        let latest = store.latest().unwrap();
+        assert_eq!(latest.num_edges(), 2);
+        assert_eq!(latest.out_neighbors(0), vec![(1, 1.0)]);
+    }
+
+    #[test]
+    fn undirected_snapshots_mirror() {
+        let mut store = SnapshotStore::new(4, false);
+        store.ingest_batch(&[Edge::new(2, 1, 1.5), Edge::new(1, 2, 1.5)]);
+        let view = store.snapshot(0);
+        assert_eq!(view.num_edges(), 1);
+        assert_eq!(view.out_neighbors(1), vec![(2, 1.5)]);
+        assert_eq!(view.out_neighbors(2), vec![(1, 1.5)]);
+        assert_eq!(view.in_degree(1), 1);
+    }
+
+    #[test]
+    fn algorithms_run_on_historical_versions() {
+        // BFS depths on version 0 must ignore edges added later.
+        let mut store = SnapshotStore::new(4, true);
+        store.ingest_batch(&[Edge::new(0, 1, 1.0)]);
+        store.ingest_batch(&[Edge::new(1, 2, 1.0), Edge::new(2, 3, 1.0)]);
+        let v0 = store.snapshot(0);
+        let v1 = store.snapshot(1);
+        // Simple sequential BFS over the GraphTopology API.
+        let depths = |view: &SnapshotView<'_>| {
+            let mut depth = vec![u32::MAX; 4];
+            depth[0] = 0;
+            let mut frontier = vec![0u32];
+            while let Some(v) = frontier.pop() {
+                let d = depth[v as usize];
+                view.for_each_out_neighbor(v, &mut |n, _| {
+                    if depth[n as usize] > d + 1 {
+                        depth[n as usize] = d + 1;
+                        frontier.push(n);
+                    }
+                });
+            }
+            depth
+        };
+        assert_eq!(depths(&v0), vec![0, 1, u32::MAX, u32::MAX]);
+        assert_eq!(depths(&v1), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_version_panics() {
+        let store = SnapshotStore::new(2, true);
+        let _ = store.snapshot(0);
+    }
+}

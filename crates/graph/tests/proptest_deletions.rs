@@ -1,0 +1,100 @@
+//! Property-based differential tests for the deletion extension: arbitrary
+//! interleavings of insert and delete batches must leave every structure
+//! identical to the sequential oracle.
+
+use proptest::prelude::*;
+use saga_graph::oracle::GraphOracle;
+use saga_graph::{build_deletable_graph, DataStructureKind, Edge, Node};
+use saga_utils::parallel::ThreadPool;
+
+const MAX_NODES: usize = 40;
+
+#[derive(Debug, Clone)]
+enum Batch {
+    Insert(Vec<Edge>),
+    Delete(Vec<Edge>),
+}
+
+fn arb_edges(max_len: usize) -> impl Strategy<Value = Vec<Edge>> {
+    prop::collection::vec((0..MAX_NODES as Node, 0..MAX_NODES as Node), 0..max_len).prop_map(
+        |pairs| {
+            pairs
+                .into_iter()
+                .map(|(s, d)| {
+                    Edge::new(s, d, 1.0 + (saga_utils::hash::hash_edge(s, d) % 8) as f32)
+                })
+                .collect()
+        },
+    )
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Batch>> {
+    prop::collection::vec(
+        prop_oneof![
+            2 => arb_edges(80).prop_map(Batch::Insert),
+            1 => arb_edges(40).prop_map(Batch::Delete),
+        ],
+        1..8,
+    )
+}
+
+fn check(kind: DataStructureKind, directed: bool, ops: &[Batch], threads: usize) {
+    let pool = ThreadPool::new(threads);
+    let graph = build_deletable_graph(kind, MAX_NODES, directed, pool.threads());
+    let mut oracle = GraphOracle::new(MAX_NODES, directed);
+    for op in ops {
+        match op {
+            Batch::Insert(batch) => {
+                graph.update_batch(batch, &pool);
+                oracle.insert_batch(batch);
+            }
+            Batch::Delete(batch) => {
+                graph.delete_batch(batch, &pool);
+                oracle.delete_batch(batch);
+            }
+        }
+    }
+    oracle.assert_matches(graph.as_ref(), false);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn as_matches_oracle_under_churn(ops in arb_ops(), directed in any::<bool>()) {
+        check(DataStructureKind::AdjacencyShared, directed, &ops, 4);
+    }
+
+    #[test]
+    fn ac_matches_oracle_under_churn(ops in arb_ops(), directed in any::<bool>()) {
+        check(DataStructureKind::AdjacencyChunked, directed, &ops, 4);
+    }
+
+    #[test]
+    fn stinger_matches_oracle_under_churn(ops in arb_ops(), directed in any::<bool>()) {
+        check(DataStructureKind::Stinger, directed, &ops, 4);
+    }
+
+    #[test]
+    fn dah_matches_oracle_under_churn(ops in arb_ops(), directed in any::<bool>()) {
+        check(DataStructureKind::Dah, directed, &ops, 4);
+    }
+
+    #[test]
+    fn delete_everything_leaves_an_empty_graph(edges in arb_edges(120)) {
+        for kind in DataStructureKind::ALL {
+            let pool = ThreadPool::new(3);
+            let graph = build_deletable_graph(kind, MAX_NODES, true, pool.threads());
+            graph.update_batch(&edges, &pool);
+            let inserted = graph.num_edges();
+            let stats = graph.delete_batch(&edges, &pool);
+            prop_assert_eq!(stats.removed, inserted, "{:?}", kind);
+            prop_assert_eq!(graph.num_edges(), 0, "{:?}", kind);
+            for v in 0..MAX_NODES as Node {
+                prop_assert_eq!(graph.out_degree(v), 0);
+                prop_assert_eq!(graph.in_degree(v), 0);
+                prop_assert!(graph.out_neighbors(v).is_empty());
+            }
+        }
+    }
+}

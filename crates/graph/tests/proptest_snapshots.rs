@@ -1,0 +1,93 @@
+//! Property-based tests of the multi-snapshot store: every historical
+//! version must equal a reference graph built from the corresponding batch
+//! prefix.
+
+use proptest::prelude::*;
+use saga_graph::oracle::GraphOracle;
+use saga_graph::snapshots::SnapshotStore;
+use saga_graph::{Edge, GraphTopology, Node};
+
+const MAX_NODES: usize = 32;
+
+fn arb_batches() -> impl Strategy<Value = Vec<Vec<Edge>>> {
+    prop::collection::vec(
+        prop::collection::vec((0..MAX_NODES as Node, 0..MAX_NODES as Node), 0..60),
+        1..6,
+    )
+    .prop_map(|batches| {
+        batches
+            .into_iter()
+            .map(|batch| {
+                batch
+                    .into_iter()
+                    .map(|(s, d)| {
+                        Edge::new(s, d, 1.0 + (saga_utils::hash::hash_edge(s, d) % 8) as f32)
+                    })
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+fn check_version_matches_prefix(
+    store: &SnapshotStore,
+    version: usize,
+    prefix: &[Vec<Edge>],
+    directed: bool,
+) -> Result<(), TestCaseError> {
+    let mut oracle = GraphOracle::new(MAX_NODES, directed);
+    for batch in prefix {
+        oracle.insert_batch(batch);
+    }
+    let view = store.snapshot(version);
+    prop_assert_eq!(view.num_edges(), oracle.num_edges(), "version {}", version);
+    for v in 0..MAX_NODES as Node {
+        let mut got = view.out_neighbors(v);
+        got.sort_by_key(|&(n, _)| n);
+        prop_assert_eq!(
+            got,
+            oracle.out_neighbors(v),
+            "out-neighbors of {} at version {}",
+            v,
+            version
+        );
+        let mut got_in = view.in_neighbors(v);
+        got_in.sort_by_key(|&(n, _)| n);
+        prop_assert_eq!(
+            got_in,
+            oracle.in_neighbors(v),
+            "in-neighbors of {} at version {}",
+            v,
+            version
+        );
+        prop_assert_eq!(view.out_degree(v), oracle.out_degree(v));
+        prop_assert_eq!(view.in_degree(v), oracle.in_degree(v));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_version_matches_its_prefix(batches in arb_batches(), directed in any::<bool>()) {
+        let mut store = SnapshotStore::new(MAX_NODES, directed);
+        for batch in &batches {
+            store.ingest_batch(batch);
+        }
+        prop_assert_eq!(store.num_snapshots(), batches.len());
+        for version in 0..batches.len() {
+            check_version_matches_prefix(&store, version, &batches[..=version], directed)?;
+        }
+    }
+
+    #[test]
+    fn latest_is_the_last_version(batches in arb_batches()) {
+        let mut store = SnapshotStore::new(MAX_NODES, true);
+        for batch in &batches {
+            store.ingest_batch(batch);
+        }
+        let latest = store.latest().expect("at least one batch");
+        prop_assert_eq!(latest.version(), batches.len() - 1);
+    }
+}

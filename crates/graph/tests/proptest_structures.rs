@@ -1,0 +1,120 @@
+//! Property-based differential tests: every data structure must match the
+//! sequential oracle on arbitrary batched edge streams, directed and
+//! undirected, under concurrent updates.
+
+use proptest::prelude::*;
+use saga_graph::oracle::GraphOracle;
+use saga_graph::{build_graph, DataStructureKind, Edge, Node};
+use saga_utils::parallel::ThreadPool;
+
+const MAX_NODES: usize = 48;
+
+fn arb_edge() -> impl Strategy<Value = (Node, Node)> {
+    (0..MAX_NODES as Node, 0..MAX_NODES as Node)
+}
+
+/// Batches of edges; weights derived from the pair so duplicates agree.
+fn arb_batches() -> impl Strategy<Value = Vec<Vec<Edge>>> {
+    prop::collection::vec(prop::collection::vec(arb_edge(), 0..120), 1..5).prop_map(|batches| {
+        batches
+            .into_iter()
+            .map(|batch| {
+                batch
+                    .into_iter()
+                    .map(|(s, d)| {
+                        // Canonical-pair weights: undirected graphs must
+                        // weigh (a, b) and (b, a) identically.
+                        let (a, b) = if s <= d { (s, d) } else { (d, s) };
+                        Edge::new(s, d, 1.0 + (saga_utils::hash::hash_edge(a, b) % 16) as f32)
+                    })
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+fn check_structure_against_oracle(
+    kind: DataStructureKind,
+    directed: bool,
+    batches: &[Vec<Edge>],
+    threads: usize,
+) {
+    let pool = ThreadPool::new(threads);
+    let graph = build_graph(kind, MAX_NODES, directed, pool.threads());
+    let mut oracle = GraphOracle::new(MAX_NODES, directed);
+    for batch in batches {
+        graph.update_batch(batch, &pool);
+        oracle.insert_batch(batch);
+    }
+    oracle.assert_matches(graph.as_ref(), true);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn adjacency_shared_matches_oracle(batches in arb_batches(), directed in any::<bool>()) {
+        check_structure_against_oracle(DataStructureKind::AdjacencyShared, directed, &batches, 4);
+    }
+
+    #[test]
+    fn adjacency_chunked_matches_oracle(batches in arb_batches(), directed in any::<bool>()) {
+        check_structure_against_oracle(DataStructureKind::AdjacencyChunked, directed, &batches, 4);
+    }
+
+    #[test]
+    fn stinger_matches_oracle(batches in arb_batches(), directed in any::<bool>()) {
+        check_structure_against_oracle(DataStructureKind::Stinger, directed, &batches, 4);
+    }
+
+    #[test]
+    fn dah_matches_oracle(batches in arb_batches(), directed in any::<bool>()) {
+        check_structure_against_oracle(DataStructureKind::Dah, directed, &batches, 4);
+    }
+
+    #[test]
+    fn single_threaded_pool_equals_multithreaded(batches in arb_batches()) {
+        // Thread count must never change the resulting topology.
+        for kind in DataStructureKind::ALL {
+            let single = {
+                let pool = ThreadPool::new(1);
+                let g = build_graph(kind, MAX_NODES, true, pool.threads());
+                for b in &batches { g.update_batch(b, &pool); }
+                g
+            };
+            let multi = {
+                let pool = ThreadPool::new(4);
+                let g = build_graph(kind, MAX_NODES, true, pool.threads());
+                for b in &batches { g.update_batch(b, &pool); }
+                g
+            };
+            prop_assert_eq!(single.num_edges(), multi.num_edges());
+            for v in 0..MAX_NODES as Node {
+                let mut a = single.out_neighbors(v);
+                let mut b = multi.out_neighbors(v);
+                a.sort_by_key(|&(n, _)| n);
+                b.sort_by_key(|&(n, _)| n);
+                prop_assert_eq!(a, b, "kind {:?} vertex {}", kind, v);
+            }
+        }
+    }
+
+    #[test]
+    fn csr_snapshot_is_faithful(batches in arb_batches(), directed in any::<bool>()) {
+        let pool = ThreadPool::new(2);
+        let graph = build_graph(DataStructureKind::Stinger, MAX_NODES, directed, pool.threads());
+        for b in &batches {
+            graph.update_batch(b, &pool);
+        }
+        let csr = saga_graph::csr::Csr::from_graph(graph.as_ref());
+        prop_assert_eq!(csr.num_edges(), graph.num_edges());
+        for v in 0..MAX_NODES as Node {
+            let mut dynamic = graph.out_neighbors(v);
+            dynamic.sort_by_key(|&(n, _)| n);
+            prop_assert_eq!(csr.out_neighbors(v), &dynamic[..]);
+            let mut dynamic_in = graph.in_neighbors(v);
+            dynamic_in.sort_by_key(|&(n, _)| n);
+            prop_assert_eq!(csr.in_neighbors(v), &dynamic_in[..]);
+        }
+    }
+}

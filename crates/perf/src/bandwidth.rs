@@ -1,0 +1,226 @@
+//! Analytic time and bandwidth model on top of the cache simulator.
+//!
+//! The paper measures memory and QPI bandwidth *utilization* with PCM
+//! (Fig. 9b–c). Without hardware counters, utilization is estimated from
+//! the replayed trace: each thread's execution time is modeled as its
+//! access count plus miss penalties (a simple in-order overlap-free core),
+//! the phase's time is the **slowest thread's** time — which is exactly
+//! what makes an imbalanced heavy-tailed update phase show near-zero
+//! bandwidth utilization, the paper's key §VI-B observation — and traffic
+//! divided by time gives GB/s.
+
+use crate::cache::CacheReport;
+use crate::numa::Topology;
+
+/// Cycle-accounting parameters (rough Skylake-class numbers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeModel {
+    /// Core frequency in Hz.
+    pub frequency: f64,
+    /// Cycles per L1-resident access.
+    pub base_cycles: f64,
+    /// Extra cycles for an access served by L2.
+    pub l2_penalty: f64,
+    /// Extra cycles for an access served by the LLC.
+    pub llc_penalty: f64,
+    /// Extra cycles for an access served by DRAM.
+    pub dram_penalty: f64,
+    /// Additional cycles when the DRAM access is remote (QPI crossing).
+    pub remote_penalty: f64,
+    /// Cycles per unit of reported critical-section work (lock-serialized
+    /// element scans; see `saga_utils::probe::critical`).
+    pub lock_cycle_factor: f64,
+}
+
+impl Default for TimeModel {
+    fn default() -> Self {
+        Self {
+            frequency: 2.6e9, // Xeon Gold 6142 base clock
+            base_cycles: 1.0,
+            l2_penalty: 12.0,
+            llc_penalty: 30.0,
+            dram_penalty: 90.0,
+            remote_penalty: 60.0,
+            lock_cycle_factor: 2.0,
+        }
+    }
+}
+
+/// Estimated phase timing and bandwidth utilization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthEstimate {
+    /// Modeled phase duration in seconds (slowest thread).
+    pub seconds: f64,
+    /// DRAM traffic in bytes/second.
+    pub dram_gbps: f64,
+    /// Inter-socket traffic in bytes/second.
+    pub qpi_gbps: f64,
+    /// DRAM utilization as a fraction of the machine's peak.
+    pub dram_utilization: f64,
+    /// QPI utilization as a fraction of the peak (the % of Fig. 9c).
+    pub qpi_utilization: f64,
+    /// Ratio of the busiest thread's cycles to the mean — 1.0 is perfectly
+    /// balanced; heavy-tailed updates show large values (§VI-B's workload
+    /// imbalance).
+    pub imbalance: f64,
+    /// Whether the phase time was bounded by a serialized lock rather than
+    /// the busiest thread (§VI-B's thread contention).
+    pub lock_bound: bool,
+}
+
+/// Estimates bandwidth utilization for one phase.
+pub fn estimate(report: &CacheReport, model: &TimeModel, topology: &Topology) -> BandwidthEstimate {
+    let mut max_cycles = 0.0f64;
+    let mut total_cycles = 0.0f64;
+    for t in &report.threads {
+        let cycles = t.accesses as f64 * model.base_cycles
+            + t.l1_misses as f64 * model.l2_penalty
+            + t.l2_misses as f64 * model.llc_penalty
+            + t.llc_misses as f64 * model.dram_penalty
+            + t.remote_misses as f64 * model.remote_penalty;
+        total_cycles += cycles;
+        max_cycles = max_cycles.max(cycles);
+    }
+    // Phase time is the slowest thread OR the most contended lock's
+    // serialized work, whichever dominates: work under one lock cannot
+    // overlap no matter how many cores are available.
+    let lock_cycles = report.max_lock_cycles as f64 * model.lock_cycle_factor;
+    let lock_bound = lock_cycles > max_cycles;
+    let max_cycles = max_cycles.max(lock_cycles);
+    let peak_dram = topology.dram_bandwidth_per_socket * topology.sockets as f64;
+    // ... and no faster than the machine can move the phase's traffic:
+    // DRAM and QPI peaks cap throughput, which is what flattens the
+    // *compute* phase at high core counts (Fig. 9a).
+    let min_seconds = (report.dram_bytes() / peak_dram)
+        .max(report.qpi_bytes() / topology.qpi_bandwidth);
+    let seconds = (max_cycles / model.frequency)
+        .max(min_seconds)
+        .max(f64::MIN_POSITIVE);
+    let dram_gbps = report.dram_bytes() / seconds;
+    let qpi_gbps = report.qpi_bytes() / seconds;
+    // Imbalance is relative to every thread of the pool, idle ones
+    // included: a phase where one thread does all the work on a 4-thread
+    // pool is 4x imbalanced (the §VI-B heavy-tail signature).
+    let imbalance = if total_cycles == 0.0 {
+        1.0
+    } else {
+        max_cycles / (total_cycles / report.threads.len() as f64)
+    };
+    BandwidthEstimate {
+        seconds,
+        dram_gbps,
+        qpi_gbps,
+        dram_utilization: (dram_gbps / peak_dram).min(1.0),
+        qpi_utilization: (qpi_gbps / topology.qpi_bandwidth).min(1.0),
+        imbalance,
+        lock_bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::ThreadCounters;
+
+    fn report_with(threads: Vec<ThreadCounters>, dram_lines: u64, remote_lines: u64) -> CacheReport {
+        CacheReport {
+            instructions: 1000,
+            accesses: threads.iter().map(|t| t.accesses).sum(),
+            dram_lines,
+            remote_lines,
+            threads,
+            ..CacheReport::default()
+        }
+    }
+
+    #[test]
+    fn balanced_threads_have_imbalance_one() {
+        let t = ThreadCounters {
+            accesses: 1000,
+            l1_misses: 100,
+            l2_misses: 50,
+            llc_misses: 10,
+            remote_misses: 5,
+        };
+        let report = report_with(vec![t; 4], 40, 20);
+        let est = estimate(&report, &TimeModel::default(), &Topology::paper());
+        assert!((est.imbalance - 1.0).abs() < 1e-9);
+        assert!(est.seconds > 0.0);
+        assert!(est.dram_gbps > 0.0);
+    }
+
+    #[test]
+    fn imbalanced_threads_lower_bandwidth() {
+        // Same total traffic, but one thread does everything.
+        let busy = ThreadCounters {
+            accesses: 4000,
+            l1_misses: 400,
+            l2_misses: 200,
+            llc_misses: 40,
+            remote_misses: 20,
+        };
+        let idle = ThreadCounters::default();
+        let skewed = report_with(vec![busy, idle, idle, idle], 40, 20);
+        let balanced = report_with(
+            vec![ThreadCounters {
+                accesses: 1000,
+                l1_misses: 100,
+                l2_misses: 50,
+                llc_misses: 10,
+                remote_misses: 5,
+            }; 4],
+            40,
+            20,
+        );
+        let model = TimeModel::default();
+        let topo = Topology::paper();
+        let est_skewed = estimate(&skewed, &model, &topo);
+        let est_balanced = estimate(&balanced, &model, &topo);
+        assert!(
+            est_skewed.dram_gbps < est_balanced.dram_gbps / 3.0,
+            "imbalance must throttle bandwidth: {} vs {}",
+            est_skewed.dram_gbps,
+            est_balanced.dram_gbps
+        );
+        assert!(est_skewed.imbalance > 3.0);
+        assert!(est_skewed.qpi_utilization < est_balanced.qpi_utilization);
+    }
+
+    #[test]
+    fn contended_lock_bounds_phase_time() {
+        let t = ThreadCounters {
+            accesses: 1000,
+            ..ThreadCounters::default()
+        };
+        let mut report = report_with(vec![t; 4], 0, 0);
+        let model = TimeModel::default();
+        let topo = Topology::paper();
+        let uncontended = estimate(&report, &model, &topo);
+        assert!(!uncontended.lock_bound);
+        // A lock that serialized far more work than any one thread did.
+        report.max_lock_cycles = 1_000_000;
+        let contended = estimate(&report, &model, &topo);
+        assert!(contended.lock_bound);
+        assert!(contended.seconds > uncontended.seconds * 100.0);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let report = CacheReport::default();
+        let est = estimate(&report, &TimeModel::default(), &Topology::paper());
+        assert_eq!(est.dram_gbps, 0.0);
+        assert_eq!(est.imbalance, 1.0);
+    }
+
+    #[test]
+    fn utilization_is_capped_at_one() {
+        let t = ThreadCounters {
+            accesses: 1,
+            ..ThreadCounters::default()
+        };
+        let report = report_with(vec![t], u64::MAX / 128, u64::MAX / 128);
+        let est = estimate(&report, &TimeModel::default(), &Topology::paper());
+        assert!(est.dram_utilization <= 1.0);
+        assert!(est.qpi_utilization <= 1.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Core-count scaling harness (Fig. 9a).
+//!
+//! The paper sweeps physical core counts from 4 to 28 (threads pinned, SMT
+//! 2) and reports the performance of update and compute phases normalized
+//! to the smallest configuration, observing that the update phase's curve
+//! flattens much earlier. This harness runs the same sweep with real wall
+//! clocks on the host machine: lock contention (AS) and chunk imbalance
+//! (DAH) are properties of the implementations, so the *shape* of the
+//! curves survives a machine with fewer cores.
+
+use saga_utils::parallel::ThreadPool;
+
+/// One scaling curve: thread counts and the measured seconds at each.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingCurve {
+    /// Thread counts swept.
+    pub threads: Vec<usize>,
+    /// Measured seconds per thread count (same order).
+    pub seconds: Vec<f64>,
+}
+
+impl ScalingCurve {
+    /// Speedup relative to the first (smallest) configuration.
+    pub fn speedups(&self) -> Vec<f64> {
+        let base = self.seconds.first().copied().unwrap_or(1.0);
+        self.seconds.iter().map(|&s| base / s).collect()
+    }
+
+    /// Incremental improvement between successive configurations, in
+    /// percent — the paper quotes e.g. "52% (from 4 to 8 cores)".
+    pub fn incremental_improvements(&self) -> Vec<f64> {
+        self.seconds
+            .windows(2)
+            .map(|w| (w[0] / w[1] - 1.0) * 100.0)
+            .collect()
+    }
+
+    /// The thread count after which the incremental improvement stays
+    /// below `percent` — where the curve "flattens".
+    pub fn flattening_point(&self, percent: f64) -> usize {
+        let improvements = self.incremental_improvements();
+        for (i, _imp) in improvements.iter().enumerate() {
+            if improvements[i..].iter().all(|&x| x < percent) {
+                return self.threads[i];
+            }
+        }
+        *self.threads.last().unwrap_or(&0)
+    }
+}
+
+/// Runs `workload` once per thread count and records its reported seconds.
+///
+/// The workload receives a fresh pool each time and returns the measured
+/// duration of the phase of interest (so setup cost is excluded). It is
+/// invoked `repeats` times per count and the minimum is kept (standard
+/// practice for scaling studies: the minimum is the least noisy estimator
+/// of achievable performance).
+pub fn scaling_sweep<F>(thread_counts: &[usize], repeats: usize, mut workload: F) -> ScalingCurve
+where
+    F: FnMut(&ThreadPool) -> f64,
+{
+    assert!(repeats > 0, "need at least one repeat");
+    let mut seconds = Vec::with_capacity(thread_counts.len());
+    for &threads in thread_counts {
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats {
+            let pool = ThreadPool::new(threads);
+            best = best.min(workload(&pool));
+        }
+        seconds.push(best);
+    }
+    ScalingCurve {
+        threads: thread_counts.to_vec(),
+        seconds,
+    }
+}
+
+/// Default thread sweep for the host machine: powers of two up to the
+/// available parallelism.
+pub fn default_thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut counts = vec![1usize];
+    while counts.last().unwrap() * 2 <= max {
+        counts.push(counts.last().unwrap() * 2);
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedups_are_relative_to_first() {
+        let curve = ScalingCurve {
+            threads: vec![1, 2, 4],
+            seconds: vec![4.0, 2.0, 1.0],
+        };
+        assert_eq!(curve.speedups(), vec![1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn incremental_improvements_match_paper_phrasing() {
+        let curve = ScalingCurve {
+            threads: vec![4, 8, 12],
+            seconds: vec![1.52, 1.0, 0.855],
+        };
+        let imp = curve.incremental_improvements();
+        assert!((imp[0] - 52.0).abs() < 0.5);
+        assert!((imp[1] - 17.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn flattening_point_detects_plateau() {
+        let curve = ScalingCurve {
+            threads: vec![1, 2, 4, 8],
+            seconds: vec![8.0, 4.0, 3.9, 3.85],
+        };
+        // 100% improvement 1->2, then ~2.5% and ~1.3%: flattens at 2.
+        assert_eq!(curve.flattening_point(10.0), 2);
+        let steep = ScalingCurve {
+            threads: vec![1, 2, 4],
+            seconds: vec![8.0, 4.0, 2.0],
+        };
+        assert_eq!(steep.flattening_point(10.0), 4);
+    }
+
+    #[test]
+    fn sweep_runs_workload_per_count() {
+        let counts = vec![1, 2];
+        let mut invocations = 0;
+        let curve = scaling_sweep(&counts, 2, |pool| {
+            invocations += 1;
+            pool.threads() as f64
+        });
+        assert_eq!(invocations, 4);
+        assert_eq!(curve.seconds, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn default_counts_start_at_one_and_double() {
+        let counts = default_thread_counts();
+        assert_eq!(counts[0], 1);
+        for w in counts.windows(2) {
+            assert_eq!(w[1], w[0] * 2);
+        }
+    }
+}

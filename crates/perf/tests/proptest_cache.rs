@@ -1,0 +1,130 @@
+//! Property-based invariants of the cache simulator.
+
+use proptest::prelude::*;
+use saga_perf::cache::{CacheConfig, HierarchyConfig, MemoryHierarchy};
+use saga_perf::numa::Topology;
+use saga_utils::probe::{MemAccess, Trace, TraceBlock};
+
+fn tiny_hierarchy() -> HierarchyConfig {
+    HierarchyConfig {
+        l1: CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+        },
+        l2: CacheConfig {
+            size_bytes: 2048,
+            ways: 4,
+            line_bytes: 64,
+        },
+        llc: CacheConfig {
+            size_bytes: 8192,
+            ways: 4,
+            line_bytes: 64,
+        },
+        topology: Topology::paper(),
+    }
+}
+
+fn arb_trace(max_threads: usize) -> impl Strategy<Value = Trace> {
+    prop::collection::vec(
+        (
+            0..max_threads,
+            prop::collection::vec((0u64..1 << 16, 1u32..256, any::<bool>()), 1..200),
+        ),
+        1..6,
+    )
+    .prop_map(|blocks| {
+        let total: u64 = blocks.iter().map(|(_, a)| a.len() as u64).sum();
+        Trace {
+            blocks: blocks
+                .into_iter()
+                .enumerate()
+                .map(|(seq, (thread, accesses))| TraceBlock {
+                    thread,
+                    seq: seq as u64,
+                    accesses: accesses
+                        .into_iter()
+                        .map(|(addr, len, write)| MemAccess { addr, len, write })
+                        .collect(),
+                })
+                .collect(),
+            instructions: total,
+            total_accesses: total,
+            dropped: 0,
+            lock_cycles: Default::default(),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hit_miss_bookkeeping_balances(trace in arb_trace(4)) {
+        let mut h = MemoryHierarchy::new(tiny_hierarchy(), 4);
+        let r = h.replay(&trace);
+        prop_assert_eq!(r.accesses, r.l1_hits + r.l2_lookups);
+        prop_assert_eq!(r.l2_lookups, r.l2_hits + r.llc_lookups);
+        prop_assert_eq!(r.llc_lookups, r.llc_hits + r.dram_lines);
+        prop_assert!(r.remote_lines <= r.dram_lines);
+        let thread_accesses: u64 = r.threads.iter().map(|t| t.accesses).sum();
+        prop_assert_eq!(thread_accesses, r.accesses);
+        let thread_llc_misses: u64 = r.threads.iter().map(|t| t.llc_misses).sum();
+        prop_assert_eq!(thread_llc_misses, r.dram_lines);
+    }
+
+    #[test]
+    fn replay_is_deterministic(trace in arb_trace(3)) {
+        let r1 = MemoryHierarchy::new(tiny_hierarchy(), 3).replay(&trace);
+        let r2 = MemoryHierarchy::new(tiny_hierarchy(), 3).replay(&trace);
+        prop_assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn line_expansion_matches_access_geometry(trace in arb_trace(1)) {
+        // Independent line count: sum over accesses of touched lines.
+        let mut expected = 0u64;
+        for b in &trace.blocks {
+            for a in &b.accesses {
+                let first = a.addr / 64;
+                let last = (a.addr + a.len.max(1) as u64 - 1) / 64;
+                expected += last - first + 1;
+            }
+        }
+        let r = MemoryHierarchy::new(tiny_hierarchy(), 1).replay(&trace);
+        prop_assert_eq!(r.accesses, expected);
+    }
+
+    #[test]
+    fn second_replay_of_same_trace_hits_more(trace in arb_trace(1)) {
+        // Replaying a trace twice through one hierarchy can only raise the
+        // combined hit count: the second pass starts warm.
+        let mut cold = MemoryHierarchy::new(tiny_hierarchy(), 1);
+        let first = cold.replay(&trace);
+        let second = cold.replay(&trace);
+        let hits = |r: &saga_perf::cache::CacheReport| r.l1_hits + r.l2_hits + r.llc_hits;
+        prop_assert!(hits(&second) >= hits(&first),
+            "warm replay hits {} < cold replay hits {}", hits(&second), hits(&first));
+    }
+
+    #[test]
+    fn single_line_working_set_always_hits_after_first(addr in 0u64..1 << 20) {
+        let trace = Trace {
+            blocks: vec![TraceBlock {
+                thread: 0,
+                seq: 0,
+                accesses: (0..50).map(|_| MemAccess { addr, len: 4, write: false }).collect(),
+            }],
+            instructions: 50,
+            total_accesses: 50,
+            dropped: 0,
+            lock_cycles: Default::default(),
+        };
+        let r = MemoryHierarchy::new(tiny_hierarchy(), 1).replay(&trace);
+        // An unaligned 4-byte access may straddle a line boundary.
+        let lines = if addr % 64 + 4 > 64 { 2 } else { 1 };
+        prop_assert_eq!(r.l1_hits, 50 * lines - lines, "addr {}", addr);
+        prop_assert_eq!(r.dram_lines, lines);
+    }
+}

@@ -1,0 +1,136 @@
+//! Seeded shuffling and batch iteration.
+//!
+//! The paper first randomly shuffles each input file "to ensure the
+//! realistic scenario that streaming edges are not likely to come in any
+//! pre-defined order", then reads it in 500K-edge batches (§IV-B). The
+//! shuffle here is a seeded Fisher–Yates so experiments are reproducible.
+
+use rand_xoshiro::rand_core::{RngCore, SeedableRng};
+use rand_xoshiro::Xoshiro256PlusPlus;
+
+use crate::Edge;
+
+/// Shuffles edges in place with a seeded Fisher–Yates permutation.
+///
+/// # Examples
+///
+/// ```
+/// use saga_stream::batching::shuffle_edges;
+/// use saga_stream::Edge;
+///
+/// let mut a: Vec<Edge> = (0..100).map(|i| Edge::new(i, i + 1, 1.0)).collect();
+/// let mut b = a.clone();
+/// shuffle_edges(&mut a, 7);
+/// shuffle_edges(&mut b, 7);
+/// assert_eq!(a, b); // same seed, same order
+/// ```
+pub fn shuffle_edges(edges: &mut [Edge], seed: u64) {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+    for i in (1..edges.len()).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        edges.swap(i, j);
+    }
+}
+
+/// Iterator over consecutive fixed-size batches of a stream; the final
+/// batch may be short.
+#[derive(Debug, Clone)]
+pub struct BatchIter<'a> {
+    edges: &'a [Edge],
+    batch_size: usize,
+}
+
+impl<'a> BatchIter<'a> {
+    /// Creates a batch iterator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new(edges: &'a [Edge], batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Self { edges, batch_size }
+    }
+}
+
+impl<'a> Iterator for BatchIter<'a> {
+    type Item = &'a [Edge];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.edges.is_empty() {
+            return None;
+        }
+        let take = self.batch_size.min(self.edges.len());
+        let (batch, rest) = self.edges.split_at(take);
+        self.edges = rest;
+        Some(batch)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.edges.len().div_ceil(self.batch_size);
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for BatchIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges(n: u32) -> Vec<Edge> {
+        (0..n).map(|i| Edge::new(i, i + 1, i as f32)).collect()
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let original = edges(500);
+        let mut shuffled = original.clone();
+        shuffle_edges(&mut shuffled, 42);
+        assert_ne!(original, shuffled);
+        let mut o: Vec<u32> = original.iter().map(|e| e.src).collect();
+        let mut s: Vec<u32> = shuffled.iter().map(|e| e.src).collect();
+        o.sort_unstable();
+        s.sort_unstable();
+        assert_eq!(o, s);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = edges(200);
+        let mut b = edges(200);
+        shuffle_edges(&mut a, 1);
+        shuffle_edges(&mut b, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn batches_partition_the_stream() {
+        let es = edges(23);
+        let batches: Vec<&[Edge]> = BatchIter::new(&es, 5).collect();
+        assert_eq!(batches.len(), 5);
+        assert!(batches[..4].iter().all(|b| b.len() == 5));
+        assert_eq!(batches[4].len(), 3);
+        let flat: Vec<Edge> = batches.concat();
+        assert_eq!(flat, es);
+    }
+
+    #[test]
+    fn exact_size_hint() {
+        let es = edges(10);
+        let it = BatchIter::new(&es, 4);
+        assert_eq!(it.len(), 3);
+    }
+
+    #[test]
+    fn empty_stream_yields_nothing() {
+        let it = BatchIter::new(&[], 4);
+        assert_eq!(it.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_panics() {
+        let es = edges(3);
+        let _ = BatchIter::new(&es, 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Edge-stream generation, batching, and batch statistics.
+//!
+//! Streaming graph analytics consumes a stream of edges in fixed-size
+//! batches (500K edges in the paper, §IV-B). This crate provides:
+//!
+//! - [`profiles`] — seeded synthetic stand-ins for the paper's five
+//!   datasets (Table II), preserving each dataset's directedness,
+//!   edge/vertex ratio, and — crucially — its per-batch degree-distribution
+//!   tail (Table IV).
+//! - [`rmat`] — the R-MAT generator with the paper's parameters.
+//! - [`zipf`] — the power-law endpoint samplers behind the profiles.
+//! - [`batching`] — seeded shuffling (the paper randomizes input order) and
+//!   batch iteration.
+//! - [`loader`] — SNAP-format edge-list files, for running the suite on
+//!   the paper's real datasets when available.
+//! - [`batch_stats`] — per-batch max in/out degree and the short- vs
+//!   heavy-tailed classification of §V-B.
+
+#![warn(missing_docs)]
+
+pub mod batch_stats;
+pub mod batching;
+pub mod loader;
+pub mod profiles;
+pub mod rmat;
+pub mod zipf;
+
+pub use saga_graph::{Edge, Node, Weight};
+
+use saga_utils::hash::hash_edge;
+
+/// Deterministic weight for an edge, as a pure function of its endpoints.
+///
+/// Streams may carry the same `(src, dst)` pair many times (duplicates are
+/// ingested once, §III-A); deriving the weight from the pair guarantees
+/// every occurrence agrees, so the surviving topology is identical across
+/// data structures regardless of which concurrent insert wins.
+///
+/// Weights are quantized into `[1.0, 8.875]`.
+///
+/// # Examples
+///
+/// ```
+/// use saga_stream::weight_for;
+///
+/// assert_eq!(weight_for(3, 5), weight_for(3, 5));
+/// assert!(weight_for(3, 5) >= 1.0);
+/// ```
+pub fn weight_for(src: Node, dst: Node) -> Weight {
+    1.0 + (hash_edge(src, dst) % 64) as Weight / 8.0
+}
+
+/// Deterministic weight for an edge of a graph with the given
+/// directedness. Undirected graphs must weigh `(a, b)` and `(b, a)`
+/// identically — otherwise, when a stream carries both orientations,
+/// whichever concurrent insert wins would decide the surviving weight —
+/// so the pair is canonicalized first.
+///
+/// # Examples
+///
+/// ```
+/// use saga_stream::edge_weight;
+///
+/// assert_eq!(edge_weight(5, 3, false), edge_weight(3, 5, false));
+/// ```
+pub fn edge_weight(src: Node, dst: Node, directed: bool) -> Weight {
+    if directed || src <= dst {
+        weight_for(src, dst)
+    } else {
+        weight_for(dst, src)
+    }
+}
+
+/// A generated edge stream plus the metadata the driver needs.
+#[derive(Debug, Clone)]
+pub struct EdgeStream {
+    /// Dataset name (paper naming: LJ, Orkut, RMAT, Wiki, Talk).
+    pub name: String,
+    /// Vertex-id universe `0..num_nodes`.
+    pub num_nodes: usize,
+    /// Whether edges are directed (all paper datasets except Orkut).
+    pub directed: bool,
+    /// The shuffled stream, in arrival order.
+    pub edges: Vec<Edge>,
+    /// Batch size giving this dataset its intended batch count.
+    pub suggested_batch_size: usize,
+}
+
+impl EdgeStream {
+    /// Iterates the stream in batches of `batch_size` edges (the final
+    /// batch may be short).
+    pub fn batches(&self, batch_size: usize) -> batching::BatchIter<'_> {
+        batching::BatchIter::new(&self.edges, batch_size)
+    }
+
+    /// Number of batches at the suggested batch size.
+    pub fn suggested_batch_count(&self) -> usize {
+        self.edges.len().div_ceil(self.suggested_batch_size.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_are_deterministic_and_in_range() {
+        for s in 0..50u32 {
+            for d in 0..50u32 {
+                let w = weight_for(s, d);
+                assert!((1.0..=8.875).contains(&w));
+                assert_eq!(w, weight_for(s, d));
+            }
+        }
+    }
+
+    #[test]
+    fn weights_vary_across_pairs() {
+        use std::collections::HashSet;
+        let distinct: HashSet<u32> = (0..100u32)
+            .map(|i| weight_for(i, i + 1).to_bits())
+            .collect();
+        assert!(distinct.len() > 10, "weights should spread across the range");
+    }
+
+    #[test]
+    fn stream_batches_cover_all_edges() {
+        let stream = EdgeStream {
+            name: "test".into(),
+            num_nodes: 10,
+            directed: true,
+            edges: (0..25).map(|i| Edge::new(i % 10, (i + 1) % 10, 1.0)).collect(),
+            suggested_batch_size: 10,
+        };
+        let sizes: Vec<usize> = stream.batches(10).map(|b| b.len()).collect();
+        assert_eq!(sizes, vec![10, 10, 5]);
+        assert_eq!(stream.suggested_batch_count(), 3);
+    }
+}

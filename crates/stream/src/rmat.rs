@@ -1,0 +1,155 @@
+//! R-MAT recursive-matrix graph generator (Chakrabarti et al., SDM 2004).
+//!
+//! The paper's fifth dataset is a synthetic RMAT graph with parameters
+//! `a = 0.55, b = 0.15, c = 0.15, d = 0.25` (§IV-C); this module implements
+//! the generator itself, so the RMAT rows of every table and figure are
+//! produced by exactly the paper's workload.
+
+use rand::Rng;
+use rand_xoshiro::rand_core::SeedableRng;
+use rand_xoshiro::Xoshiro256PlusPlus;
+
+use crate::{weight_for, Edge, Node};
+
+/// R-MAT generator configuration.
+///
+/// # Examples
+///
+/// ```
+/// use saga_stream::rmat::Rmat;
+///
+/// let edges = Rmat::paper(1 << 10).generate(5_000, 42);
+/// assert_eq!(edges.len(), 5_000);
+/// assert!(edges.iter().all(|e| (e.src as usize) < (1 << 10)));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Rmat {
+    num_nodes: usize,
+    a: f64,
+    b: f64,
+    c: f64,
+    /// `d` is implied: `1 - a - b - c`.
+    levels: u32,
+}
+
+impl Rmat {
+    /// Creates a generator over `num_nodes` vertices (rounded up to a power
+    /// of two internally; emitted ids are clamped into range by rejection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` is zero or the probabilities are invalid.
+    pub fn new(num_nodes: usize, a: f64, b: f64, c: f64) -> Self {
+        assert!(num_nodes > 0, "rmat needs at least one vertex");
+        assert!(a > 0.0 && b >= 0.0 && c >= 0.0, "invalid rmat quadrant probabilities");
+        assert!(a + b + c < 1.0 + 1e-9, "rmat quadrant probabilities exceed 1");
+        let levels = (num_nodes.next_power_of_two()).trailing_zeros().max(1);
+        Self {
+            num_nodes,
+            a,
+            b,
+            c,
+            levels,
+        }
+    }
+
+    /// The paper's parameters: `a=0.55, b=0.15, c=0.15, d=0.25`.
+    pub fn paper(num_nodes: usize) -> Self {
+        Self::new(num_nodes, 0.55, 0.15, 0.15)
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Samples one edge by recursive quadrant descent.
+    fn sample(&self, rng: &mut Xoshiro256PlusPlus) -> (Node, Node) {
+        loop {
+            let mut src = 0usize;
+            let mut dst = 0usize;
+            for _ in 0..self.levels {
+                src <<= 1;
+                dst <<= 1;
+                let r: f64 = rng.gen();
+                if r < self.a {
+                    // top-left
+                } else if r < self.a + self.b {
+                    dst |= 1;
+                } else if r < self.a + self.b + self.c {
+                    src |= 1;
+                } else {
+                    src |= 1;
+                    dst |= 1;
+                }
+            }
+            if src < self.num_nodes && dst < self.num_nodes {
+                return (src as Node, dst as Node);
+            }
+            // Rejected: the padded power-of-two grid overshot the vertex
+            // count; resample.
+        }
+    }
+
+    /// Generates `num_edges` edges with deterministic per-pair weights.
+    pub fn generate(&self, num_edges: usize, seed: u64) -> Vec<Edge> {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        (0..num_edges)
+            .map(|_| {
+                let (src, dst) = self.sample(&mut rng);
+                Edge::new(src, dst, weight_for(src, dst))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_in_range() {
+        let g = Rmat::paper(1000); // non-power-of-two: exercises rejection
+        let edges = g.generate(20_000, 1);
+        assert_eq!(edges.len(), 20_000);
+        assert!(edges.iter().all(|e| (e.src as usize) < 1000 && (e.dst as usize) < 1000));
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let g = Rmat::paper(1 << 12);
+        assert_eq!(g.generate(1000, 7), g.generate(1000, 7));
+        assert_ne!(g.generate(1000, 7), g.generate(1000, 8));
+    }
+
+    #[test]
+    fn paper_parameters_skew_toward_low_ids() {
+        let g = Rmat::paper(1 << 14);
+        let edges = g.generate(50_000, 3);
+        let low_half = edges
+            .iter()
+            .filter(|e| (e.src as usize) < (1 << 13))
+            .count();
+        // a + b = 0.70 of the mass goes to the low-src half.
+        let frac = low_half as f64 / edges.len() as f64;
+        assert!((0.65..0.75).contains(&frac), "low-src fraction {frac}");
+    }
+
+    #[test]
+    fn duplicate_pairs_carry_identical_weights() {
+        let g = Rmat::paper(64); // tiny id space forces duplicate pairs
+        let edges = g.generate(10_000, 9);
+        use std::collections::HashMap;
+        let mut seen: HashMap<(Node, Node), f32> = HashMap::new();
+        for e in &edges {
+            let w = seen.entry((e.src, e.dst)).or_insert(e.weight);
+            assert_eq!(*w, e.weight, "weight must be a function of (src, dst)");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vertex")]
+    fn zero_nodes_panics() {
+        let _ = Rmat::paper(0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for stream generation and batching.
+
+use proptest::prelude::*;
+use saga_stream::batch_stats::degree_stats;
+use saga_stream::batching::{shuffle_edges, BatchIter};
+use saga_stream::profiles::DatasetProfile;
+use saga_stream::zipf::{permutation, AliasTable};
+use saga_stream::{weight_for, Edge};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn shuffle_is_a_seeded_permutation(n in 0usize..500, seed in any::<u64>()) {
+        let original: Vec<Edge> = (0..n as u32).map(|i| Edge::new(i, i, 1.0)).collect();
+        let mut a = original.clone();
+        let mut b = original.clone();
+        shuffle_edges(&mut a, seed);
+        shuffle_edges(&mut b, seed);
+        prop_assert_eq!(&a, &b, "same seed, same order");
+        let mut sorted: Vec<u32> = a.iter().map(|e| e.src).collect();
+        sorted.sort_unstable();
+        let expected: Vec<u32> = (0..n as u32).collect();
+        prop_assert_eq!(sorted, expected, "shuffle must be a permutation");
+    }
+
+    #[test]
+    fn batches_partition_exactly(n in 0usize..1000, batch in 1usize..200) {
+        let edges: Vec<Edge> = (0..n as u32).map(|i| Edge::new(i, i, 1.0)).collect();
+        let batches: Vec<&[Edge]> = BatchIter::new(&edges, batch).collect();
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        prop_assert_eq!(total, n);
+        for (i, b) in batches.iter().enumerate() {
+            if i + 1 < batches.len() {
+                prop_assert_eq!(b.len(), batch);
+            } else {
+                prop_assert!(b.len() <= batch && !b.is_empty());
+            }
+        }
+        let flat: Vec<Edge> = batches.concat();
+        prop_assert_eq!(flat, edges, "order preserved");
+    }
+
+    #[test]
+    fn permutation_is_bijective(n in 1usize..2000, seed in any::<u64>()) {
+        let p = permutation(n, seed);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        prop_assert!(sorted.iter().enumerate().all(|(i, &v)| v as usize == i));
+    }
+
+    #[test]
+    fn alias_table_only_emits_valid_indices(
+        weights in prop::collection::vec(0.01f64..100.0, 1..64),
+        seed in any::<u64>(),
+    ) {
+        use rand_xoshiro::rand_core::SeedableRng;
+        let table = AliasTable::new(&weights);
+        let mut rng = rand_xoshiro::Xoshiro256PlusPlus::seed_from_u64(seed);
+        for _ in 0..200 {
+            let x = table.sample(&mut rng);
+            prop_assert!(x < weights.len());
+        }
+    }
+
+    #[test]
+    fn weights_are_pure_functions(s in any::<u32>(), d in any::<u32>()) {
+        prop_assert_eq!(weight_for(s, d), weight_for(s, d));
+        let w = weight_for(s, d);
+        prop_assert!((1.0..=8.875).contains(&w));
+    }
+
+    #[test]
+    fn degree_stats_matches_naive_count(
+        edges in prop::collection::vec((0u32..50, 0u32..50), 0..300),
+    ) {
+        let batch: Vec<Edge> = edges.iter().map(|&(s, d)| Edge::new(s, d, 1.0)).collect();
+        let stats = degree_stats(&batch, 50);
+        let mut in_deg = [0usize; 50];
+        let mut out_deg = [0usize; 50];
+        for &(s, d) in &edges {
+            out_deg[s as usize] += 1;
+            in_deg[d as usize] += 1;
+        }
+        prop_assert_eq!(stats.max_in, in_deg.iter().copied().max().unwrap());
+        prop_assert_eq!(stats.max_out, out_deg.iter().copied().max().unwrap());
+        prop_assert_eq!(stats.distinct_sources, out_deg.iter().filter(|&&d| d > 0).count());
+        prop_assert_eq!(stats.distinct_destinations, in_deg.iter().filter(|&&d| d > 0).count());
+    }
+
+    #[test]
+    fn profiles_generate_in_range_edges(
+        nodes in 16usize..400,
+        edges in 16usize..2000,
+        seed in any::<u64>(),
+    ) {
+        for profile in DatasetProfile::all() {
+            let p = profile.scaled(nodes, edges);
+            let stream = p.generate(seed);
+            prop_assert_eq!(stream.edges.len(), edges);
+            let in_range = stream
+                .edges
+                .iter()
+                .all(|e| (e.src as usize) < nodes && (e.dst as usize) < nodes);
+            prop_assert!(in_range);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Atomic bitvector with compare-and-swap set.
+//!
+//! Algorithm 1 of the paper guards frontier insertion with
+//! `CAS(visited[j], false, true)` (line 14) so that each vertex enters the
+//! next frontier queue at most once per iteration. [`AtomicBitVec::try_set`]
+//! provides exactly that primitive.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-length bitvector whose bits can be set concurrently.
+///
+/// # Examples
+///
+/// ```
+/// use saga_utils::bitvec::AtomicBitVec;
+///
+/// let visited = AtomicBitVec::new(100);
+/// assert!(visited.try_set(42)); // first setter wins
+/// assert!(!visited.try_set(42)); // second setter loses
+/// assert!(visited.get(42));
+/// ```
+#[derive(Debug)]
+pub struct AtomicBitVec {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl AtomicBitVec {
+    /// Creates a bitvector of `len` zero bits.
+    pub fn new(len: usize) -> Self {
+        let words = (0..len.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+        Self { words, len }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let word = self.words[i / 64].load(Ordering::Acquire);
+        word & (1u64 << (i % 64)) != 0
+    }
+
+    /// Sets bit `i` unconditionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64].fetch_or(1u64 << (i % 64), Ordering::AcqRel);
+    }
+
+    /// Atomically sets bit `i`, returning `true` iff this call changed it
+    /// from 0 to 1 (the `CAS(visited[j], false, true)` of Algorithm 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn try_set(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        let prev = self.words[i / 64].fetch_or(mask, Ordering::AcqRel);
+        prev & mask == 0
+    }
+
+    /// Clears every bit (requires exclusive access; used between frontier
+    /// iterations, Algorithm 1 line 20).
+    pub fn clear_all(&mut self) {
+        for word in &self.words {
+            word.store(0, Ordering::Release);
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Acquire).count_ones() as usize)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn new_is_all_zero() {
+        let bv = AtomicBitVec::new(130);
+        assert_eq!(bv.len(), 130);
+        assert!(!bv.is_empty());
+        for i in 0..130 {
+            assert!(!bv.get(i));
+        }
+        assert_eq!(bv.count_ones(), 0);
+    }
+
+    #[test]
+    fn set_and_get_across_word_boundaries() {
+        let bv = AtomicBitVec::new(200);
+        for i in [0usize, 63, 64, 127, 128, 199] {
+            bv.set(i);
+            assert!(bv.get(i));
+        }
+        assert_eq!(bv.count_ones(), 6);
+    }
+
+    #[test]
+    fn try_set_returns_true_exactly_once() {
+        let bv = AtomicBitVec::new(64);
+        assert!(bv.try_set(10));
+        assert!(!bv.try_set(10));
+        assert!(bv.get(10));
+    }
+
+    #[test]
+    fn clear_all_resets() {
+        let mut bv = AtomicBitVec::new(100);
+        for i in 0..100 {
+            bv.set(i);
+        }
+        bv.clear_all();
+        assert_eq!(bv.count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let bv = AtomicBitVec::new(10);
+        bv.get(10);
+    }
+
+    #[test]
+    fn concurrent_try_set_has_single_winner() {
+        use crate::parallel::{Schedule, ThreadPool};
+        let pool = ThreadPool::new(4);
+        let bv = AtomicBitVec::new(1000);
+        let wins = AtomicUsize::new(0);
+        // Every thread races on every bit; each bit must be won exactly once.
+        pool.parallel_for(0..4000, Schedule::Dynamic(13), |i| {
+            if bv.try_set(i % 1000) {
+                wins.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(wins.load(Ordering::Relaxed), 1000);
+        assert_eq!(bv.count_ones(), 1000);
+    }
+}

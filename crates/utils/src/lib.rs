@@ -1,0 +1,34 @@
+//! Shared primitives for the SAGA-Bench suite.
+//!
+//! This crate is the bottom layer of the workspace. It provides:
+//!
+//! - [`parallel`] — a scoped worker pool with OpenMP-style `parallel for`
+//!   semantics (static and dynamic scheduling). The paper's C++ benchmark
+//!   parallelizes both the update and the compute phases with
+//!   `#pragma omp parallel for`; every multithreaded loop in this suite goes
+//!   through [`parallel::ThreadPool`] instead.
+//! - [`probe`] — a runtime-toggled memory-access probe. The graph data
+//!   structures report the addresses they touch through these hooks, which
+//!   feed the `saga-perf` memory-hierarchy simulator (the substitute for the
+//!   Intel PCM hardware counters used in the paper).
+//! - [`stats`] — mean / standard deviation / 95% confidence intervals, used
+//!   for the P1/P2/P3 stage aggregation described in §IV-B of the paper.
+//! - [`bitvec`] — an atomic bitvector with a compare-and-swap `set`, used by
+//!   the incremental compute model's `visited` vector (Algorithm 1, line 14).
+//! - [`timer`] — monotonic phase timers for the batch-latency metric (Eq. 1).
+//! - [`hash`] — small deterministic hash functions for the degree-aware
+//!   hashing data structure.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bitvec;
+pub mod hash;
+pub mod parallel;
+pub mod probe;
+pub mod stats;
+pub mod timer;
+
+pub use bitvec::AtomicBitVec;
+pub use parallel::ThreadPool;
+pub use stats::Summary;

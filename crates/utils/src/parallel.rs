@@ -1,0 +1,424 @@
+//! OpenMP-style fork-join parallelism on a persistent worker pool.
+//!
+//! The paper's C++ benchmark multithreads both phases of streaming graph
+//! analytics with `#pragma omp parallel for`. This module provides the same
+//! model: a [`ThreadPool`] is created once per experiment with a fixed thread
+//! count (the paper pins 64 threads; here the count is configurable for the
+//! core-scaling study of Fig. 9a), and every parallel loop is dispatched to
+//! it with either static or dynamic scheduling.
+//!
+//! Workers are parked between loops, so per-loop overhead is a mutex
+//! round-trip rather than a thread spawn — important because the incremental
+//! compute model runs one parallel loop per frontier iteration.
+//!
+//! # Examples
+//!
+//! ```
+//! use saga_utils::parallel::{Schedule, ThreadPool};
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//!
+//! let pool = ThreadPool::new(4);
+//! let sum = AtomicUsize::new(0);
+//! pool.parallel_for(0..1000, Schedule::Static, |i| {
+//!     sum.fetch_add(i, Ordering::Relaxed);
+//! });
+//! assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+//! ```
+
+use parking_lot::{Condvar, Mutex};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Loop-scheduling policy for [`ThreadPool::parallel_for`].
+///
+/// Mirrors OpenMP's `schedule` clause. The paper's code relies on the OpenMP
+/// default (static chunking); dynamic scheduling is provided for the
+/// frontier-driven loops of the incremental compute model where iteration
+/// costs are highly non-uniform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Contiguous equal-size ranges, one per worker (`schedule(static)`).
+    Static,
+    /// Workers grab `grain`-sized chunks from a shared counter
+    /// (`schedule(dynamic, grain)`).
+    Dynamic(usize),
+}
+
+/// A type-erased pointer to the closure currently being executed.
+///
+/// The pointer is only dereferenced while the dispatching thread is blocked
+/// in [`ThreadPool::run_on_all`], which keeps the underlying closure (and
+/// everything it borrows) alive, so the lifetime erasure is sound.
+#[derive(Clone, Copy)]
+struct Job {
+    func: *const (dyn Fn(usize) + Sync),
+}
+
+// SAFETY: the closure behind `func` is `Sync`, and the dispatcher guarantees
+// it outlives every worker's use of it (see `run_on_all`).
+unsafe impl Send for Job {}
+
+struct PoolState {
+    epoch: u64,
+    job: Option<Job>,
+    remaining: usize,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+    work_done: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A fixed-size worker pool with fork-join `parallel for` loops.
+///
+/// The calling thread always participates as worker `0`, so
+/// `ThreadPool::new(1)` spawns no OS threads and runs loops inline —
+/// convenient for the single-core point of the scaling study.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool that executes parallel loops on `threads` workers
+    /// (including the caller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "thread pool needs at least one thread");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+            }),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let mut handles = Vec::with_capacity(threads.saturating_sub(1));
+        for worker_id in 1..threads {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("saga-worker-{worker_id}"))
+                    .spawn(move || worker_loop(&shared, worker_id))
+                    .expect("failed to spawn worker thread"),
+            );
+        }
+        Self {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// Creates a pool sized to the machine's available parallelism.
+    pub fn with_available_parallelism() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::new(n)
+    }
+
+    /// Number of workers (including the calling thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(worker_id)` once on every worker, in parallel, and returns
+    /// when all invocations have finished.
+    ///
+    /// This is the fork-join primitive underneath [`parallel_for`]
+    /// (`#pragma omp parallel` without the `for`). Chunk-owned data
+    /// structures (AC, DAH) use it directly: worker `w` updates exactly the
+    /// chunks it owns.
+    ///
+    /// [`parallel_for`]: Self::parallel_for
+    pub fn run_on_all<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if self.threads == 1 {
+            f(0);
+            return;
+        }
+        let erased: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: we block below until `remaining == 0`, i.e. until every
+        // worker has finished calling the closure, so the borrow cannot
+        // dangle even though we erase its lifetime here.
+        let job = Job {
+            func: unsafe { std::mem::transmute(erased) },
+        };
+        {
+            let mut state = self.shared.state.lock();
+            debug_assert!(state.job.is_none(), "nested parallel regions are not supported");
+            state.epoch += 1;
+            state.job = Some(job);
+            state.remaining = self.threads - 1;
+            self.shared.work_ready.notify_all();
+        }
+        // The caller participates as worker 0.
+        f(0);
+        let mut state = self.shared.state.lock();
+        while state.remaining != 0 {
+            self.shared.work_done.wait(&mut state);
+        }
+        state.job = None;
+    }
+
+    /// Parallel loop over `range`, calling `f(i)` for every index exactly
+    /// once, with the given scheduling policy.
+    pub fn parallel_for<F>(&self, range: Range<usize>, schedule: Schedule, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let n = range.end.saturating_sub(range.start);
+        if n == 0 {
+            return;
+        }
+        let base = range.start;
+        match schedule {
+            Schedule::Static => {
+                let threads = self.threads;
+                self.run_on_all(|w| {
+                    let (lo, hi) = static_chunk(n, threads, w);
+                    for i in lo..hi {
+                        f(base + i);
+                    }
+                });
+            }
+            Schedule::Dynamic(grain) => {
+                let grain = grain.max(1);
+                let next = AtomicUsize::new(0);
+                self.run_on_all(|_| loop {
+                    let start = next.fetch_add(grain, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + grain).min(n);
+                    for i in start..end {
+                        f(base + i);
+                    }
+                });
+            }
+        }
+    }
+
+    /// Parallel loop over the items of a slice (static schedule).
+    pub fn parallel_for_each<T, F>(&self, items: &[T], schedule: Schedule, f: F)
+    where
+        T: Sync,
+        F: Fn(&T) + Sync,
+    {
+        self.parallel_for(0..items.len(), schedule, |i| f(&items[i]));
+    }
+
+    /// Splits `range` into one contiguous sub-range per worker and calls
+    /// `f(worker_id, sub_range)` on each worker in parallel.
+    ///
+    /// Unlike [`parallel_for`](Self::parallel_for) this exposes the chunk
+    /// boundary, which the chunked data structures use for ownership.
+    pub fn parallel_ranges<F>(&self, range: Range<usize>, f: F)
+    where
+        F: Fn(usize, Range<usize>) + Sync,
+    {
+        let n = range.end.saturating_sub(range.start);
+        let base = range.start;
+        let threads = self.threads;
+        self.run_on_all(|w| {
+            let (lo, hi) = static_chunk(n, threads, w);
+            f(w, base + lo..base + hi);
+        });
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _state = self.shared.state.lock();
+            self.shared.work_ready.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The contiguous `[lo, hi)` sub-range of `0..n` assigned to worker `w` out
+/// of `threads` under static scheduling.
+fn static_chunk(n: usize, threads: usize, w: usize) -> (usize, usize) {
+    let lo = n * w / threads;
+    let hi = n * (w + 1) / threads;
+    (lo, hi)
+}
+
+/// A dynamic-schedule grain that keeps every worker busy: roughly eight
+/// chunks per worker, clamped to `[1, 64]`. Fixed grains starve workers
+/// when the iteration space (e.g. an incremental frontier) is smaller than
+/// `grain * threads`.
+pub fn adaptive_grain(n: usize, threads: usize) -> usize {
+    (n / (threads.max(1) * 8)).clamp(1, 64)
+}
+
+fn worker_loop(shared: &Shared, worker_id: usize) {
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut state = shared.state.lock();
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if state.epoch != last_epoch {
+                    last_epoch = state.epoch;
+                    break state.job.expect("epoch advanced without a job");
+                }
+                shared.work_ready.wait(&mut state);
+            }
+        };
+        // SAFETY: the dispatcher blocks until `remaining == 0`, so the
+        // closure behind this pointer is alive for the duration of the call.
+        let func = unsafe { &*job.func };
+        func(worker_id);
+        let mut state = shared.state.lock();
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            shared.work_done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let hits = AtomicUsize::new(0);
+        pool.parallel_for(0..100, Schedule::Static, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn static_schedule_covers_every_index_once() {
+        let pool = ThreadPool::new(4);
+        let counts: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(0..1000, Schedule::Static, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn dynamic_schedule_covers_every_index_once() {
+        let pool = ThreadPool::new(4);
+        let counts: Vec<AtomicUsize> = (0..1003).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(0..1003, Schedule::Dynamic(7), |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn offset_range_respected() {
+        let pool = ThreadPool::new(3);
+        let sum = AtomicUsize::new(0);
+        pool.parallel_for(100..200, Schedule::Static, |i| {
+            assert!((100..200).contains(&i));
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (100..200).sum::<usize>());
+    }
+
+    #[test]
+    fn empty_range_is_a_noop() {
+        let pool = ThreadPool::new(2);
+        pool.parallel_for(5..5, Schedule::Static, |_| panic!("should not run"));
+        pool.parallel_for(5..5, Schedule::Dynamic(4), |_| panic!("should not run"));
+    }
+
+    #[test]
+    fn run_on_all_sees_every_worker_id() {
+        let pool = ThreadPool::new(5);
+        let seen: Vec<AtomicUsize> = (0..5).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_on_all(|w| {
+            seen[w].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(seen.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_ranges_partition_is_exact() {
+        let pool = ThreadPool::new(4);
+        let counts: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_ranges(0..257, |_, r| {
+            for i in r {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn pool_survives_many_dispatches() {
+        let pool = ThreadPool::new(4);
+        let total = AtomicUsize::new(0);
+        for _ in 0..200 {
+            pool.parallel_for(0..64, Schedule::Static, |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 200 * 64);
+    }
+
+    #[test]
+    fn static_chunk_partitions() {
+        for n in [0usize, 1, 7, 64, 1001] {
+            for t in [1usize, 2, 3, 8] {
+                let mut covered = 0;
+                for w in 0..t {
+                    let (lo, hi) = static_chunk(n, t, w);
+                    assert!(lo <= hi);
+                    covered += hi - lo;
+                    if w > 0 {
+                        let (_, prev_hi) = static_chunk(n, t, w - 1);
+                        assert_eq!(prev_hi, lo);
+                    }
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    fn borrows_local_data() {
+        let pool = ThreadPool::new(3);
+        let data: Vec<usize> = (0..100).collect();
+        let sum = AtomicUsize::new(0);
+        pool.parallel_for_each(&data, Schedule::Static, |x| {
+            sum.fetch_add(*x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), data.iter().sum::<usize>());
+    }
+}

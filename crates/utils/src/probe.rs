@@ -1,0 +1,383 @@
+//! Runtime-toggled memory-access tracing.
+//!
+//! The paper characterizes the architecture behaviour of streaming graph
+//! analytics with Intel Processor Counter Monitor on a dual-socket Xeon.
+//! This suite has no PCM, so the graph data structures and compute engines
+//! report every significant memory access through the hooks in this module;
+//! `saga-perf` then replays the collected trace through a model of the
+//! paper's cache hierarchy.
+//!
+//! Probing is **off by default** and compiles to a single relaxed atomic
+//! load on the fast path, so the software-level experiments (Tables III/IV,
+//! Figs. 6–8) run untraced at full speed while the architecture-level
+//! experiments (Figs. 9b–10) enable it.
+//!
+//! Accesses are buffered per thread and flushed in blocks tagged with a
+//! dense thread index and a global sequence number; `saga-perf` interleaves
+//! blocks by sequence to approximate the true cross-thread ordering.
+//!
+//! # Examples
+//!
+//! ```
+//! use saga_utils::probe;
+//!
+//! probe::reset();
+//! probe::set_enabled(true);
+//! let data = vec![1u64, 2, 3, 4];
+//! probe::slice_read(&data);
+//! probe::set_enabled(false);
+//! let trace = probe::take_trace();
+//! assert_eq!(trace.total_accesses, 1);
+//! ```
+
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// One traced memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Starting byte address of the access.
+    pub addr: u64,
+    /// Length of the access in bytes.
+    pub len: u32,
+    /// `true` for stores, `false` for loads.
+    pub write: bool,
+}
+
+/// A flushed buffer of accesses from one thread.
+#[derive(Debug)]
+pub struct TraceBlock {
+    /// Dense index of the thread that produced the block (stable for the
+    /// lifetime of the thread).
+    pub thread: usize,
+    /// Global flush sequence number; blocks sorted by this approximate the
+    /// real cross-thread interleaving.
+    pub seq: u64,
+    /// The accesses, in program order within the thread.
+    pub accesses: Vec<MemAccess>,
+}
+
+/// Everything collected between [`reset`] and [`take_trace`].
+#[derive(Debug, Default)]
+pub struct Trace {
+    /// Flushed access blocks (sort by [`TraceBlock::seq`] to interleave).
+    pub blocks: Vec<TraceBlock>,
+    /// Retired-instruction estimate (one per traced access plus any counts
+    /// reported through [`instructions`]).
+    pub instructions: u64,
+    /// Total accesses *observed*, including ones dropped past the budget.
+    pub total_accesses: u64,
+    /// Accesses not recorded because the trace budget was exhausted.
+    pub dropped: u64,
+    /// Cycles spent inside critical sections, keyed by lock id (see
+    /// [`critical`]). Work under the same lock cannot overlap, so the
+    /// maximum entry lower-bounds the phase's execution time regardless of
+    /// thread count — the thread-contention term of Fig. 9a.
+    pub lock_cycles: std::collections::HashMap<u64, u64>,
+}
+
+impl Trace {
+    /// Highest thread index present plus one, i.e. the number of distinct
+    /// hardware contexts to model.
+    pub fn thread_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.thread + 1).max().unwrap_or(0)
+    }
+}
+
+const FLUSH_THRESHOLD: usize = 1 << 14;
+const DEFAULT_BUDGET: u64 = 16_000_000;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static INSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
+static TOTAL: AtomicU64 = AtomicU64::new(0);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static BUDGET: AtomicU64 = AtomicU64::new(DEFAULT_BUDGET);
+static RECORDED: AtomicU64 = AtomicU64::new(0);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static NEXT_THREAD_INDEX: AtomicUsize = AtomicUsize::new(0);
+
+static SINK: Mutex<Vec<TraceBlock>> = Mutex::new(Vec::new());
+
+static LOCK_CYCLES: Mutex<Option<std::collections::HashMap<u64, u64>>> = Mutex::new(None);
+
+thread_local! {
+    static THREAD_INDEX: usize = NEXT_THREAD_INDEX.fetch_add(1, Ordering::Relaxed);
+    static BUFFER: RefCell<Vec<MemAccess>> = const { RefCell::new(Vec::new()) };
+    static LOCAL_LOCKS: RefCell<std::collections::HashMap<u64, u64>> =
+        RefCell::new(std::collections::HashMap::new());
+}
+
+/// Turns tracing on or off. Cheap enough to toggle around each phase.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::SeqCst);
+}
+
+/// Whether accesses are currently being recorded.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Caps the number of accesses recorded before further ones are counted but
+/// dropped. Protects memory on very large runs; the simulator reports
+/// ratios, which remain meaningful on the recorded prefix.
+pub fn set_budget(max_accesses: u64) {
+    BUDGET.store(max_accesses, Ordering::SeqCst);
+}
+
+/// Clears every buffer and counter. Call before each traced phase.
+pub fn reset() {
+    SINK.lock().clear();
+    *LOCK_CYCLES.lock() = None;
+    INSTRUCTIONS.store(0, Ordering::SeqCst);
+    TOTAL.store(0, Ordering::SeqCst);
+    DROPPED.store(0, Ordering::SeqCst);
+    RECORDED.store(0, Ordering::SeqCst);
+    SEQ.store(0, Ordering::SeqCst);
+    // Thread-local buffers of other threads are flushed (not cleared) by
+    // `flush_thread`; stale contents are prevented by draining in
+    // `take_trace` before `reset` in the harness.
+}
+
+#[inline]
+fn record(addr: u64, len: u32, write: bool) {
+    TOTAL.fetch_add(1, Ordering::Relaxed);
+    INSTRUCTIONS.fetch_add(1, Ordering::Relaxed);
+    if RECORDED.fetch_add(1, Ordering::Relaxed) >= BUDGET.load(Ordering::Relaxed) {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    BUFFER.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        buf.push(MemAccess { addr, len, write });
+        if buf.len() >= FLUSH_THRESHOLD {
+            flush_locked(&mut buf);
+        }
+    });
+}
+
+fn flush_locked(buf: &mut Vec<MemAccess>) {
+    if buf.is_empty() {
+        return;
+    }
+    let block = TraceBlock {
+        thread: THREAD_INDEX.with(|t| *t),
+        seq: SEQ.fetch_add(1, Ordering::Relaxed),
+        accesses: std::mem::take(buf),
+    };
+    SINK.lock().push(block);
+}
+
+/// Records a load of `count` elements of `T` starting at `ptr`.
+#[inline]
+pub fn read<T>(ptr: *const T, count: usize) {
+    if is_enabled() {
+        record(ptr as u64, (count * std::mem::size_of::<T>()) as u32, false);
+    }
+}
+
+/// Records a store of `count` elements of `T` starting at `ptr`.
+#[inline]
+pub fn write<T>(ptr: *const T, count: usize) {
+    if is_enabled() {
+        record(ptr as u64, (count * std::mem::size_of::<T>()) as u32, true);
+    }
+}
+
+/// Records a load of an entire slice.
+#[inline]
+pub fn slice_read<T>(slice: &[T]) {
+    if is_enabled() && !slice.is_empty() {
+        record(
+            slice.as_ptr() as u64,
+            std::mem::size_of_val(slice) as u32,
+            false,
+        );
+    }
+}
+
+/// Records a load of a single value.
+#[inline]
+pub fn value_read<T>(value: &T) {
+    if is_enabled() {
+        record(value as *const T as u64, std::mem::size_of::<T>() as u32, false);
+    }
+}
+
+/// Records a store to a single value.
+#[inline]
+pub fn value_write<T>(value: &T) {
+    if is_enabled() {
+        record(value as *const T as u64, std::mem::size_of::<T>() as u32, true);
+    }
+}
+
+/// Adds `n` to the retired-instruction estimate (for non-memory work such
+/// as hashing or comparisons).
+#[inline]
+pub fn instructions(n: u64) {
+    if is_enabled() {
+        INSTRUCTIONS.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Reports `cycles` of work performed while holding the lock identified by
+/// `lock_id`. Such work serializes across threads, so the per-lock totals
+/// bound achievable speedup — the mechanism behind the update phase's poor
+/// core scaling on shared-style structures (§VI-B thread contention).
+#[inline]
+pub fn critical(lock_id: u64, cycles: u64) {
+    if is_enabled() {
+        LOCAL_LOCKS.with(|m| {
+            *m.borrow_mut().entry(lock_id).or_insert(0) += cycles;
+        });
+    }
+}
+
+/// Flushes the calling thread's partial buffer (and per-lock cycle tally)
+/// into the global sink.
+///
+/// The harness runs this on every pool worker (via
+/// `ThreadPool::run_on_all`) before calling [`take_trace`].
+pub fn flush_thread() {
+    BUFFER.with(|buf| flush_locked(&mut buf.borrow_mut()));
+    LOCAL_LOCKS.with(|m| {
+        let mut local = m.borrow_mut();
+        if local.is_empty() {
+            return;
+        }
+        let mut global = LOCK_CYCLES.lock();
+        let global = global.get_or_insert_with(std::collections::HashMap::new);
+        for (k, v) in local.drain() {
+            *global.entry(k).or_insert(0) += v;
+        }
+    });
+}
+
+/// Removes and returns everything collected so far.
+pub fn take_trace() -> Trace {
+    flush_thread();
+    let blocks = std::mem::take(&mut *SINK.lock());
+    let lock_cycles = LOCK_CYCLES.lock().take().unwrap_or_default();
+    Trace {
+        blocks,
+        instructions: INSTRUCTIONS.load(Ordering::SeqCst),
+        total_accesses: TOTAL.load(Ordering::SeqCst),
+        dropped: DROPPED.load(Ordering::SeqCst),
+        lock_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Probe state is global; run these serially under one lock.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_probe_records_nothing() {
+        let _guard = TEST_LOCK.lock();
+        reset();
+        set_enabled(false);
+        read(&0u64 as *const u64, 1);
+        let trace = take_trace();
+        assert_eq!(trace.total_accesses, 0);
+        assert!(trace.blocks.is_empty());
+    }
+
+    #[test]
+    fn enabled_probe_records_reads_and_writes() {
+        let _guard = TEST_LOCK.lock();
+        reset();
+        set_enabled(true);
+        let x = 5u32;
+        value_read(&x);
+        value_write(&x);
+        set_enabled(false);
+        let trace = take_trace();
+        assert_eq!(trace.total_accesses, 2);
+        let all: Vec<_> = trace.blocks.iter().flat_map(|b| b.accesses.iter()).collect();
+        assert_eq!(all.len(), 2);
+        assert!(!all[0].write);
+        assert!(all[1].write);
+        assert_eq!(all[0].addr, &x as *const u32 as u64);
+        assert_eq!(all[0].len, 4);
+    }
+
+    #[test]
+    fn budget_drops_excess_accesses() {
+        let _guard = TEST_LOCK.lock();
+        reset();
+        set_budget(10);
+        set_enabled(true);
+        let x = 0u8;
+        for _ in 0..25 {
+            value_read(&x);
+        }
+        set_enabled(false);
+        let trace = take_trace();
+        set_budget(super::DEFAULT_BUDGET);
+        assert_eq!(trace.total_accesses, 25);
+        assert_eq!(trace.dropped, 15);
+        let recorded: usize = trace.blocks.iter().map(|b| b.accesses.len()).sum();
+        assert_eq!(recorded, 10);
+    }
+
+    #[test]
+    fn instructions_counter_accumulates() {
+        let _guard = TEST_LOCK.lock();
+        reset();
+        set_enabled(true);
+        instructions(100);
+        let x = 1u64;
+        value_read(&x); // +1 instruction
+        set_enabled(false);
+        let trace = take_trace();
+        assert_eq!(trace.instructions, 101);
+    }
+
+    #[test]
+    fn critical_sections_accumulate_per_lock() {
+        let _guard = TEST_LOCK.lock();
+        reset();
+        set_enabled(true);
+        critical(7, 10);
+        critical(7, 5);
+        critical(9, 3);
+        set_enabled(false);
+        let trace = take_trace();
+        assert_eq!(trace.lock_cycles.get(&7), Some(&15));
+        assert_eq!(trace.lock_cycles.get(&9), Some(&3));
+        // Cleared on take.
+        reset();
+        set_enabled(true);
+        set_enabled(false);
+        let trace = take_trace();
+        assert!(trace.lock_cycles.is_empty());
+    }
+
+    #[test]
+    fn critical_disabled_records_nothing() {
+        let _guard = TEST_LOCK.lock();
+        reset();
+        set_enabled(false);
+        critical(1, 100);
+        let trace = take_trace();
+        assert!(trace.lock_cycles.is_empty());
+    }
+
+    #[test]
+    fn slice_read_len_covers_whole_slice() {
+        let _guard = TEST_LOCK.lock();
+        reset();
+        set_enabled(true);
+        let data = [0u64; 8];
+        slice_read(&data);
+        set_enabled(false);
+        let trace = take_trace();
+        let all: Vec<_> = trace.blocks.iter().flat_map(|b| b.accesses.iter()).collect();
+        assert_eq!(all[0].len, 64);
+    }
+}

@@ -1,0 +1,203 @@
+//! Summary statistics with 95% confidence intervals.
+//!
+//! The paper reports every latency as the average over one third of the
+//! batches of three repeated runs, "computed with 95% confidence intervals"
+//! (§IV-B), and declares two configurations *competitive* when their
+//! intervals overlap (Table III). This module provides exactly those
+//! operations.
+
+/// Mean, spread, and a 95% confidence interval for a set of samples.
+///
+/// # Examples
+///
+/// ```
+/// use saga_utils::stats::Summary;
+///
+/// let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean, 2.5);
+/// assert!(s.ci95 > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected).
+    pub std_dev: f64,
+    /// Half-width of the 95% confidence interval around the mean.
+    pub ci95: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            std_dev: 0.0,
+            ci95: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Summary {
+    /// Computes a summary over `samples` using Welford's online algorithm.
+    ///
+    /// Returns the [`Default`] (empty) summary when `samples` is empty.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut mean = 0.0f64;
+        let mut m2 = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for (i, &x) in samples.iter().enumerate() {
+            let delta = x - mean;
+            mean += delta / (i + 1) as f64;
+            m2 += delta * (x - mean);
+            min = min.min(x);
+            max = max.max(x);
+        }
+        let n = samples.len();
+        let std_dev = if n > 1 { (m2 / (n - 1) as f64).sqrt() } else { 0.0 };
+        let ci95 = if n > 1 {
+            t_critical_95(n - 1) * std_dev / (n as f64).sqrt()
+        } else {
+            0.0
+        };
+        Self {
+            n,
+            mean,
+            std_dev,
+            ci95,
+            min,
+            max,
+        }
+    }
+
+    /// Lower bound of the 95% confidence interval.
+    pub fn ci_low(&self) -> f64 {
+        self.mean - self.ci95
+    }
+
+    /// Upper bound of the 95% confidence interval.
+    pub fn ci_high(&self) -> f64 {
+        self.mean + self.ci95
+    }
+
+    /// Whether the 95% confidence intervals of `self` and `other` overlap —
+    /// the paper's criterion for reporting two configurations as
+    /// *competitive* (Table III caption).
+    pub fn competitive_with(&self, other: &Summary) -> bool {
+        self.ci_low() <= other.ci_high() && other.ci_low() <= self.ci_high()
+    }
+}
+
+/// Two-sided 95% critical value of Student's t distribution with `df`
+/// degrees of freedom. Exact table for small `df`, 1.96 asymptotically.
+fn t_critical_95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        return f64::INFINITY;
+    }
+    if df <= TABLE.len() {
+        TABLE[df - 1]
+    } else if df <= 60 {
+        2.000
+    } else {
+        1.96
+    }
+}
+
+/// Geometric mean of strictly positive samples; `NaN` if any sample is
+/// non-positive, `0.0` for an empty slice.
+pub fn geometric_mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = samples.iter().map(|&x| x.ln()).sum();
+    (log_sum / samples.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_default() {
+        assert_eq!(Summary::from_samples(&[]), Summary::default());
+    }
+
+    #[test]
+    fn single_sample_has_zero_spread() {
+        let s = Summary::from_samples(&[7.5]);
+        assert_eq!(s.mean, 7.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.min, 7.5);
+        assert_eq!(s.max, 7.5);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample variance = 32/7.
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_more_samples() {
+        let small: Vec<f64> = (0..10).map(|i| (i % 3) as f64).collect();
+        let large: Vec<f64> = (0..1000).map(|i| (i % 3) as f64).collect();
+        let s_small = Summary::from_samples(&small);
+        let s_large = Summary::from_samples(&large);
+        assert!(s_large.ci95 < s_small.ci95);
+    }
+
+    #[test]
+    fn overlapping_intervals_are_competitive() {
+        let a = Summary::from_samples(&[1.0, 2.0, 3.0]);
+        let b = Summary::from_samples(&[2.0, 3.0, 4.0]);
+        assert!(a.competitive_with(&b));
+        assert!(b.competitive_with(&a));
+    }
+
+    #[test]
+    fn distant_intervals_are_not_competitive() {
+        let a = Summary::from_samples(&[1.0, 1.01, 0.99, 1.0]);
+        let b = Summary::from_samples(&[9.0, 9.01, 8.99, 9.0]);
+        assert!(!a.competitive_with(&b));
+    }
+
+    #[test]
+    fn t_table_is_monotone_decreasing() {
+        let mut prev = f64::INFINITY;
+        for df in 1..=100 {
+            let t = t_critical_95(df);
+            assert!(t <= prev, "t({df}) = {t} > {prev}");
+            prev = t;
+        }
+        assert!((t_critical_95(1000) - 1.96).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometric_mean_of_powers() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Monotonic phase timers.
+//!
+//! The performance metric of streaming graph analytics is the *batch
+//! processing latency* — the sum of the update latency and the compute
+//! latency for each batch (Eq. 1 of the paper). The driver wraps each phase
+//! in a [`Stopwatch`].
+
+use std::time::{Duration, Instant};
+
+/// A simple monotonic stopwatch.
+///
+/// # Examples
+///
+/// ```
+/// use saga_utils::timer::Stopwatch;
+///
+/// let sw = Stopwatch::start();
+/// let secs = sw.elapsed_secs();
+/// assert!(secs >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed seconds as a float, the unit used throughout the paper's
+    /// tables.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Restarts the stopwatch and returns the time elapsed up to now.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let elapsed = now - self.start;
+        self.start = now;
+        elapsed
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_secs();
+        let b = sw.elapsed_secs();
+        assert!(b >= a);
+        assert!(a >= 0.0);
+    }
+
+    #[test]
+    fn lap_resets_the_clock() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(2));
+        let first = sw.lap();
+        assert!(first >= Duration::from_millis(2));
+        // Immediately after a lap the elapsed time is near zero.
+        assert!(sw.elapsed() < first);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the shared primitives.
+
+use proptest::prelude::*;
+use saga_utils::bitvec::AtomicBitVec;
+use saga_utils::parallel::{Schedule, ThreadPool};
+use saga_utils::stats::Summary;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn summary_matches_naive_formulas(samples in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::from_samples(&samples);
+        let n = samples.len() as f64;
+        let mean: f64 = samples.iter().sum::<f64>() / n;
+        prop_assert!((s.mean - mean).abs() < 1e-6 * (1.0 + mean.abs()), "mean {} vs {}", s.mean, mean);
+        if samples.len() > 1 {
+            let var: f64 = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            prop_assert!((s.std_dev - var.sqrt()).abs() < 1e-4 * (1.0 + var.sqrt()));
+        }
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.min, min);
+        prop_assert_eq!(s.max, max);
+        prop_assert!(s.ci_low() <= s.mean && s.mean <= s.ci_high());
+    }
+
+    #[test]
+    fn competitive_is_symmetric_and_reflexive(
+        a in prop::collection::vec(0.0f64..100.0, 2..30),
+        b in prop::collection::vec(0.0f64..100.0, 2..30),
+    ) {
+        let sa = Summary::from_samples(&a);
+        let sb = Summary::from_samples(&b);
+        prop_assert!(sa.competitive_with(&sa));
+        prop_assert_eq!(sa.competitive_with(&sb), sb.competitive_with(&sa));
+    }
+
+    #[test]
+    fn bitvec_matches_bool_vec_model(ops in prop::collection::vec((0usize..200, any::<bool>()), 0..400)) {
+        let bv = AtomicBitVec::new(200);
+        let mut model = vec![false; 200];
+        for &(i, use_try) in &ops {
+            if use_try {
+                let newly = bv.try_set(i);
+                prop_assert_eq!(newly, !model[i]);
+            } else {
+                bv.set(i);
+            }
+            model[i] = true;
+        }
+        for i in 0..200 {
+            prop_assert_eq!(bv.get(i), model[i]);
+        }
+        prop_assert_eq!(bv.count_ones(), model.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn parallel_for_touches_each_index_once(
+        n in 0usize..2000,
+        threads in 1usize..6,
+        dynamic in any::<bool>(),
+        grain in 1usize..64,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let schedule = if dynamic { Schedule::Dynamic(grain) } else { Schedule::Static };
+        pool.parallel_for(0..n, schedule, |i| {
+            counters[i].fetch_add(1, Ordering::Relaxed);
+        });
+        prop_assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+}

@@ -1,0 +1,59 @@
+//! Data-structure showdown: the paper's primary software finding, live.
+//!
+//! §V-B: *"The best data structure for a streaming graph depends on the
+//! per-batch degree distribution of the graph"* — short-tailed streams
+//! update fastest on the shared adjacency list (AS), heavy-tailed streams
+//! on degree-aware hashing (DAH). This example streams one short-tailed
+//! and one heavy-tailed dataset through all four structures and prints the
+//! update-latency flip.
+//!
+//! ```text
+//! cargo run --release --example data_structure_showdown
+//! ```
+
+use saga_bench_suite::graph::build_graph;
+use saga_bench_suite::prelude::*;
+use saga_bench_suite::stream::batch_stats::{classify, degree_stats};
+use saga_bench_suite::utils::parallel::ThreadPool;
+use saga_bench_suite::utils::timer::Stopwatch;
+
+fn main() {
+    let pool = ThreadPool::with_available_parallelism();
+    let datasets = [
+        DatasetProfile::livejournal().scaled(30_000, 300_000),
+        DatasetProfile::talk().scaled(30_000, 300_000),
+    ];
+    for profile in datasets {
+        let stream = profile.generate(5);
+        let batch_size = 30_000;
+        let first: Vec<_> = stream.edges[..batch_size].to_vec();
+        let stats = degree_stats(&first, stream.num_nodes);
+        println!(
+            "\n{}: per-batch max in/out degree = {}/{} -> {}",
+            stream.name,
+            stats.max_in,
+            stats.max_out,
+            classify(&stats, batch_size)
+        );
+        println!("  structure  total update latency");
+        let mut results: Vec<(String, f64)> = Vec::new();
+        for kind in DataStructureKind::ALL {
+            let graph = build_graph(kind, stream.num_nodes, stream.directed, pool.threads());
+            let sw = Stopwatch::start();
+            for batch in stream.batches(batch_size) {
+                graph.update_batch(batch, &pool);
+            }
+            let secs = sw.elapsed_secs();
+            results.push((kind.abbrev().to_string(), secs));
+            println!("  {:<9}  {:>8.1} ms", kind.abbrev(), secs * 1e3);
+        }
+        let best = results
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        println!("  -> fastest: {}", best.0);
+    }
+    println!("\nExpected flip (paper §V-B): AS wins the short-tailed stream,");
+    println!("DAH wins the heavy-tailed one, with AS collapsing under the");
+    println!("hub's lock contention.");
+}

@@ -1,0 +1,90 @@
+//! Real-time fraud detection on a transaction stream — one of the paper's
+//! headline applications (§I cites real-time financial fraud detection).
+//!
+//! Transactions form a heavy-tailed directed graph (a few accounts fan out
+//! enormously, like the wiki-Talk profile). A known-bad account is
+//! watched; after every ingested batch, incremental SSSP maintains the
+//! "transaction distance" from that account, and any account that comes
+//! within the alert radius is flagged — with latency that depends only on
+//! the affected region, not the graph size.
+//!
+//! ```text
+//! cargo run --release --example fraud_detection
+//! ```
+
+use saga_bench_suite::algorithms::{
+    AffectedTracker, AlgorithmKind, AlgorithmParams, AlgorithmState, ComputeModelKind,
+    VertexValues,
+};
+use saga_bench_suite::graph::build_graph;
+use saga_bench_suite::prelude::*;
+use saga_bench_suite::utils::parallel::ThreadPool;
+use saga_bench_suite::utils::timer::Stopwatch;
+
+const ALERT_RADIUS: f32 = 6.0; // maximum suspicious transaction distance
+
+fn main() {
+    // A Talk-like stream: heavy-tailed out-degree (hub spray pattern).
+    let profile = DatasetProfile::talk().scaled(15_000, 90_000);
+    let stream = profile.generate(99);
+    let pool = ThreadPool::with_available_parallelism();
+    let n = stream.num_nodes;
+
+    // Watch the stream's most prolific account: the first edge's source is
+    // guaranteed present; in this profile it is very likely the hub.
+    let suspect = stream.edges[0].src;
+    println!("watching account {suspect} (alert radius: {ALERT_RADIUS} hops of weighted distance)\n");
+
+    // DAH is the paper's best structure for heavy-tailed streams (§V-B).
+    let graph = build_graph(DataStructureKind::Dah, n, stream.directed, pool.threads());
+    let mut distances = AlgorithmState::new(
+        AlgorithmKind::Sssp,
+        ComputeModelKind::Incremental,
+        n,
+        AlgorithmParams {
+            root: suspect,
+            ..AlgorithmParams::default()
+        },
+    );
+    let mut tracker = AffectedTracker::new(n);
+    let mut already_flagged = vec![false; n];
+    already_flagged[suspect as usize] = true;
+
+    println!("batch  latency(ms)  newly flagged accounts");
+    println!("-------------------------------------------");
+    for (i, batch) in stream.batches(stream.suggested_batch_size).enumerate() {
+        let sw = Stopwatch::start();
+        graph.update_batch(batch, &pool);
+        let impact = tracker.process_batch(graph.as_ref(), batch, false);
+        distances.perform_alg(graph.as_ref(), &impact.affected, &impact.new_vertices, &pool);
+        let latency = sw.elapsed_secs();
+
+        let VertexValues::F32(dist) = distances.values() else {
+            unreachable!("SSSP distances are f32")
+        };
+        let mut newly: Vec<u32> = dist
+            .iter()
+            .enumerate()
+            .filter(|&(v, &d)| d <= ALERT_RADIUS && !already_flagged[v])
+            .map(|(v, _)| v as u32)
+            .collect();
+        for &v in &newly {
+            already_flagged[v as usize] = true;
+        }
+        newly.truncate(6);
+        let flagged_total = already_flagged.iter().filter(|&&f| f).count() - 1;
+        println!(
+            "{i:>5}  {:>11.2}  +{} (total {flagged_total}){}",
+            latency * 1e3,
+            newly.len(),
+            if newly.is_empty() {
+                String::new()
+            } else {
+                format!("  e.g. {newly:?}")
+            }
+        );
+    }
+    println!("\nEvery batch the alert set expands only through the incremental");
+    println!("frontier — the compute phase touches the affected subgraph, not");
+    println!("all {n} accounts.");
+}

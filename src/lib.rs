@@ -1,0 +1,58 @@
+//! # SAGA-Bench (Rust)
+//!
+//! Umbrella crate for the Rust reproduction of *SAGA-Bench: Software and
+//! Hardware Characterization of StreAming Graph Analytics Workloads*
+//! (Basak et al., ISPASS 2020).
+//!
+//! The suite is organized as a workspace; this crate re-exports every member
+//! so downstream users (and the root-level examples and integration tests)
+//! can depend on a single package:
+//!
+//! - [`graph`] — the four dynamic graph data structures (AS, AC, Stinger,
+//!   DAH) behind the [`graph::DynamicGraph`] trait, plus CSR snapshots.
+//! - [`stream`] — edge-stream generation (RMAT and SNAP-like dataset
+//!   profiles), shuffling, batching, and per-batch degree statistics.
+//! - [`algorithms`] — six vertex-centric algorithms in both the
+//!   recomputation-from-scratch (FS) and incremental (INC) compute models.
+//! - [`core`] — the streaming driver (interleaved update/compute), the
+//!   experiment harness, P1/P2/P3 stage aggregation, and report formatting.
+//! - [`perf`] — the trace-driven memory-hierarchy simulator substituting for
+//!   the paper's Intel PCM hardware counters.
+//! - [`utils`] — the parallel runtime, memory-access probes, statistics, and
+//!   small shared primitives.
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use saga_bench_suite::prelude::*;
+//!
+//! // A small LiveJournal-like stream, batched.
+//! let dataset = DatasetProfile::livejournal().scaled(1_000, 20_000);
+//! let stream = dataset.generate(7);
+//!
+//! // Stream it into a DAH structure, running incremental PageRank per batch.
+//! let mut driver = StreamDriver::builder(DataStructureKind::Dah, dataset.num_nodes())
+//!     .algorithm(AlgorithmKind::PageRank)
+//!     .compute_model(ComputeModelKind::Incremental)
+//!     .batch_size(4_000)
+//!     .threads(2)
+//!     .build();
+//! let outcome = driver.run(&stream);
+//! assert_eq!(outcome.batches.len(), 5);
+//! ```
+
+pub use saga_algorithms as algorithms;
+pub use saga_core as core;
+pub use saga_graph as graph;
+pub use saga_perf as perf;
+pub use saga_stream as stream;
+pub use saga_utils as utils;
+
+/// Convenient glob-import surface used by the examples and tests.
+pub mod prelude {
+    pub use saga_algorithms::{AlgorithmKind, ComputeModelKind};
+    pub use saga_core::driver::{StreamDriver, StreamOutcome};
+    pub use saga_core::stages::{Stage, StageSummary};
+    pub use saga_graph::{DataStructureKind, DynamicGraph, Edge, Node};
+    pub use saga_stream::{batching::BatchIter, profiles::DatasetProfile};
+}

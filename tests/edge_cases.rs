@@ -1,0 +1,160 @@
+//! Edge-case integration tests: degenerate streams, tiny universes, and
+//! configuration corners the main pipeline tests do not reach.
+
+use saga_bench_suite::algorithms::{AlgorithmKind, VertexValues};
+use saga_bench_suite::core::driver::StreamDriver;
+use saga_bench_suite::core::pipelined::run_pipelined;
+use saga_bench_suite::graph::{build_graph, DataStructureKind, Edge};
+use saga_bench_suite::stream::EdgeStream;
+use saga_bench_suite::utils::parallel::ThreadPool;
+
+fn stream_of(edges: Vec<Edge>, num_nodes: usize, directed: bool) -> EdgeStream {
+    EdgeStream {
+        name: "edge-case".into(),
+        num_nodes,
+        directed,
+        edges,
+        suggested_batch_size: 2,
+    }
+}
+
+#[test]
+fn empty_stream_produces_no_batches() {
+    let stream = stream_of(vec![], 4, true);
+    let mut driver = StreamDriver::builder(DataStructureKind::AdjacencyShared, 4)
+        .algorithm(AlgorithmKind::Bfs)
+        .threads(2)
+        .build();
+    let outcome = driver.run(&stream);
+    assert!(outcome.batches.is_empty());
+    assert_eq!(outcome.total_edges, 0);
+}
+
+#[test]
+fn single_edge_stream_works_on_every_structure() {
+    for ds in DataStructureKind::ALL {
+        let stream = stream_of(vec![Edge::new(0, 1, 1.0)], 2, true);
+        let mut driver = StreamDriver::builder(ds, 2)
+            .algorithm(AlgorithmKind::Bfs)
+            .threads(2)
+            .build();
+        let outcome = driver.run(&stream);
+        assert_eq!(outcome.batches.len(), 1);
+        assert_eq!(outcome.total_edges, 1);
+        match outcome.final_values {
+            VertexValues::U32(d) => assert_eq!(d, vec![0, 1]),
+            _ => panic!("BFS yields depths"),
+        }
+    }
+}
+
+#[test]
+fn batch_larger_than_stream_is_one_batch() {
+    let stream = stream_of(
+        (0..10).map(|i| Edge::new(i, (i + 1) % 10, 1.0)).collect(),
+        10,
+        true,
+    );
+    let mut driver = StreamDriver::builder(DataStructureKind::Stinger, 10)
+        .algorithm(AlgorithmKind::Cc)
+        .batch_size(1_000_000)
+        .threads(2)
+        .build();
+    let outcome = driver.run(&stream);
+    assert_eq!(outcome.batches.len(), 1);
+    // A directed 10-cycle is one weak component.
+    match outcome.final_values {
+        VertexValues::U32(labels) => assert!(labels.iter().all(|&l| l == 0)),
+        _ => panic!("CC yields labels"),
+    }
+}
+
+#[test]
+fn self_loops_only_stream() {
+    for directed in [true, false] {
+        let stream = stream_of(
+            (0..6).map(|i| Edge::new(i, i, 2.0)).collect(),
+            6,
+            directed,
+        );
+        for ds in DataStructureKind::ALL {
+            let mut driver = StreamDriver::builder(ds, 6)
+                .algorithm(AlgorithmKind::Mc)
+                .threads(2)
+                .build();
+            let outcome = driver.run(&stream);
+            assert_eq!(outcome.total_edges, 6, "{ds:?} directed={directed}");
+            match outcome.final_values {
+                VertexValues::U32(v) => {
+                    assert_eq!(v, (0..6u32).collect::<Vec<_>>(), "MC fixpoint is the id")
+                }
+                _ => panic!("MC yields u32"),
+            }
+        }
+    }
+}
+
+#[test]
+fn threads_exceeding_vertices_is_fine() {
+    let pool = ThreadPool::new(8);
+    let g = build_graph(DataStructureKind::Dah, 3, true, pool.threads());
+    let stats = g.update_batch(&[Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0)], &pool);
+    assert_eq!(stats.inserted, 2);
+    assert_eq!(g.out_degree(1), 1);
+}
+
+#[test]
+fn root_override_controls_search_source() {
+    let stream = stream_of(
+        vec![Edge::new(0, 1, 1.0), Edge::new(2, 3, 1.0)],
+        4,
+        true,
+    );
+    let mut driver = StreamDriver::builder(DataStructureKind::AdjacencyShared, 4)
+        .algorithm(AlgorithmKind::Bfs)
+        .root(2)
+        .batch_size(10)
+        .threads(1)
+        .build();
+    let outcome = driver.run(&stream);
+    match outcome.final_values {
+        VertexValues::U32(d) => {
+            assert_eq!(d[2], 0);
+            assert_eq!(d[3], 1);
+            assert_eq!(d[0], u32::MAX, "0 unreachable from root 2");
+        }
+        _ => panic!("BFS yields depths"),
+    }
+}
+
+#[test]
+fn pipelined_single_batch_stream() {
+    let stream = stream_of(vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0)], 3, true);
+    let outcome = run_pipelined(
+        &stream,
+        DataStructureKind::AdjacencyShared,
+        AlgorithmKind::Bfs,
+        100,
+        1,
+        1,
+    );
+    assert_eq!(outcome.batches.len(), 1);
+    match outcome.final_values {
+        VertexValues::U32(d) => assert_eq!(d, vec![0, 1, 2]),
+        _ => panic!("BFS yields depths"),
+    }
+}
+
+#[test]
+fn duplicate_only_batches_after_first() {
+    let pool = ThreadPool::new(2);
+    for ds in DataStructureKind::ALL {
+        let g = build_graph(ds, 4, true, pool.threads());
+        let batch: Vec<Edge> = vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0)];
+        g.update_batch(&batch, &pool);
+        let stats = g.update_batch(&batch, &pool);
+        assert_eq!(stats.inserted, 0, "{ds:?}");
+        assert_eq!(stats.duplicates, 2, "{ds:?}");
+        assert_eq!(g.num_edges(), 2, "{ds:?}");
+    }
+}

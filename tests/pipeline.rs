@@ -1,0 +1,150 @@
+//! End-to-end integration tests across all crates: generate a dataset
+//! profile, stream it through the driver on each data structure, and check
+//! the paper's qualitative claims at test scale.
+
+use saga_bench_suite::algorithms::{AlgorithmKind, ComputeModelKind, VertexValues};
+use saga_bench_suite::core::driver::StreamDriver;
+use saga_bench_suite::graph::DataStructureKind;
+use saga_bench_suite::stream::batch_stats::{table4_row, TailClass};
+use saga_bench_suite::stream::profiles::DatasetProfile;
+
+fn run(
+    stream: &saga_bench_suite::stream::EdgeStream,
+    ds: DataStructureKind,
+    alg: AlgorithmKind,
+    cm: ComputeModelKind,
+) -> saga_bench_suite::core::StreamOutcome {
+    let mut driver = StreamDriver::builder(ds, stream.num_nodes)
+        .algorithm(alg)
+        .compute_model(cm)
+        .threads(4)
+        .build();
+    driver.run(stream)
+}
+
+#[test]
+fn every_profile_streams_on_every_structure() {
+    for profile in DatasetProfile::all() {
+        let p = profile.clone().scaled(600, 4_000).with_batch_target(4);
+        let stream = p.generate(3);
+        let mut edge_counts = Vec::new();
+        for ds in DataStructureKind::ALL {
+            let outcome = run(&stream, ds, AlgorithmKind::Cc, ComputeModelKind::Incremental);
+            assert_eq!(outcome.batches.len(), 4, "{} on {ds:?}", p.name());
+            edge_counts.push(outcome.total_edges);
+        }
+        // All four structures must agree on the deduplicated edge count.
+        assert!(
+            edge_counts.windows(2).all(|w| w[0] == w[1]),
+            "{}: structures disagree on edge count: {edge_counts:?}",
+            p.name()
+        );
+    }
+}
+
+#[test]
+fn fs_equals_inc_end_to_end_for_monotone_algorithms() {
+    let stream = DatasetProfile::wiki().scaled(500, 4_000).generate(11);
+    for alg in [
+        AlgorithmKind::Bfs,
+        AlgorithmKind::Cc,
+        AlgorithmKind::Mc,
+        AlgorithmKind::Sssp,
+        AlgorithmKind::Sswp,
+    ] {
+        let fs = run(&stream, DataStructureKind::Stinger, alg, ComputeModelKind::FromScratch);
+        let inc = run(&stream, DataStructureKind::Stinger, alg, ComputeModelKind::Incremental);
+        assert_eq!(fs.final_values, inc.final_values, "{alg} diverged");
+    }
+}
+
+#[test]
+fn pagerank_inc_tracks_fs_closely() {
+    let stream = DatasetProfile::livejournal().scaled(400, 3_000).generate(5);
+    let fs = run(
+        &stream,
+        DataStructureKind::AdjacencyShared,
+        AlgorithmKind::PageRank,
+        ComputeModelKind::FromScratch,
+    );
+    let inc = run(
+        &stream,
+        DataStructureKind::AdjacencyShared,
+        AlgorithmKind::PageRank,
+        ComputeModelKind::Incremental,
+    );
+    let (VertexValues::F64(a), VertexValues::F64(b)) = (&fs.final_values, &inc.final_values)
+    else {
+        panic!("PageRank values are f64");
+    };
+    let l1: f64 = a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum();
+    assert!(l1 < 1e-2, "PR INC drifted from FS: L1 = {l1}");
+}
+
+#[test]
+fn table4_tail_classification_shape() {
+    // The qualitative Table IV claim at default node universes.
+    for (profile, expected) in [
+        (DatasetProfile::livejournal(), TailClass::Short),
+        (DatasetProfile::orkut(), TailClass::Short),
+        (DatasetProfile::rmat(), TailClass::Short),
+        (DatasetProfile::wiki(), TailClass::Heavy),
+        (DatasetProfile::talk(), TailClass::Heavy),
+    ] {
+        let p = profile.clone().scaled(profile.num_nodes(), 40_000);
+        let stream = p.generate(17);
+        let row = table4_row(&stream.edges, stream.num_nodes, 10_000);
+        assert_eq!(row.tail, expected, "{}", p.name());
+    }
+}
+
+#[test]
+fn inc_compute_beats_fs_compute_on_a_growing_graph() {
+    // Fig. 7's shape at test scale: by the final stage, incremental
+    // PageRank compute should be substantially cheaper than from-scratch.
+    let stream = DatasetProfile::rmat().scaled(20_000, 120_000).generate(21);
+    let fs = run(
+        &stream,
+        DataStructureKind::AdjacencyShared,
+        AlgorithmKind::PageRank,
+        ComputeModelKind::FromScratch,
+    );
+    let inc = run(
+        &stream,
+        DataStructureKind::AdjacencyShared,
+        AlgorithmKind::PageRank,
+        ComputeModelKind::Incremental,
+    );
+    let last_third = |o: &saga_bench_suite::core::StreamOutcome| -> f64 {
+        let n = o.batches.len();
+        o.batches[2 * n / 3..]
+            .iter()
+            .map(|b| b.compute_seconds)
+            .sum()
+    };
+    let fs_compute = last_third(&fs);
+    let inc_compute = last_third(&inc);
+    assert!(
+        inc_compute < fs_compute,
+        "INC compute ({inc_compute:.4}s) should beat FS ({fs_compute:.4}s) at P3"
+    );
+}
+
+#[test]
+fn update_is_a_large_latency_fraction_for_small_datasets() {
+    // Fig. 8's shape: on small datasets the bottleneck shifts to update.
+    let stream = DatasetProfile::talk().scaled(2_000, 20_000).generate(33);
+    let outcome = run(
+        &stream,
+        DataStructureKind::Dah,
+        AlgorithmKind::Bfs,
+        ComputeModelKind::Incremental,
+    );
+    let update: f64 = outcome.batches.iter().map(|b| b.update_seconds).sum();
+    let total: f64 = outcome.batches.iter().map(|b| b.batch_seconds()).sum();
+    assert!(
+        update / total > 0.25,
+        "update fraction {:.2} unexpectedly small",
+        update / total
+    );
+}
