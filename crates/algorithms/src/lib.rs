@@ -33,10 +33,13 @@ pub mod program;
 pub mod sssp;
 pub mod sswp;
 
+use parking_lot::Mutex;
 use program::{ValueStore, VertexProgram};
 use saga_graph::properties::{AtomicF32Array, AtomicF64Array, AtomicU32Array};
 use saga_graph::{Edge, GraphTopology, Node};
-use saga_utils::parallel::ThreadPool;
+use saga_utils::bitvec::{AtomicBitVec, GenerationMarks};
+use saga_utils::parallel::{adaptive_grain, ThreadPool};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The six algorithms (§III-C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -472,9 +475,31 @@ impl AlgorithmState {
 
 /// The per-batch affected/new-vertex bookkeeping the update phase hands to
 /// Algorithm 1 (its `affected` array and "new vertex" test).
+///
+/// Marking is parallel and allocation-free in steady state: `flagged` is a
+/// generation-stamped mark set (`O(1)` reset per batch instead of a
+/// `vec![false; V]` allocation), `seen` an atomic bitvector, and each pool
+/// worker appends first-touch wins to its own reusable output buffer; the
+/// buffers are stitched in worker order, so a single-threaded pool
+/// reproduces the sequential first-touch order exactly.
 #[derive(Debug)]
 pub struct AffectedTracker {
-    seen: Vec<bool>,
+    seen: AtomicBitVec,
+    flagged: GenerationMarks,
+    /// Dedup marks for batch sources (only used when seeding
+    /// neighborhoods); separate from `flagged` so source collection does
+    /// not depend on cross-worker marking order.
+    src_marks: GenerationMarks,
+    worker_out: Vec<Mutex<WorkerOut>>,
+    sources: Vec<Node>,
+}
+
+/// One worker's share of a batch's output, reused across batches.
+#[derive(Debug, Default)]
+struct WorkerOut {
+    affected: Vec<Node>,
+    new_vertices: Vec<Node>,
+    sources: Vec<Node>,
 }
 
 /// Affected and first-seen vertices of one batch.
@@ -490,54 +515,111 @@ impl AffectedTracker {
     /// Creates a tracker for a `capacity`-vertex universe.
     pub fn new(capacity: usize) -> Self {
         Self {
-            seen: vec![false; capacity],
+            seen: AtomicBitVec::new(capacity),
+            flagged: GenerationMarks::new(capacity),
+            src_marks: GenerationMarks::new(capacity),
+            worker_out: Vec::new(),
+            sources: Vec::new(),
         }
     }
 
     /// Computes the affected set of `batch`. When
     /// `include_source_neighborhoods` is set (PageRank), the existing
-    /// out-neighbors of every batch source are seeded as well; call this
-    /// *after* the update phase so the query sees the new topology.
+    /// out-neighbors of every distinct batch source are seeded as well
+    /// (their contribution denominators changed); call this *after* the
+    /// update phase so the query sees the new topology.
     pub fn process_batch(
         &mut self,
         graph: &dyn GraphTopology,
         batch: &[Edge],
         include_source_neighborhoods: bool,
+        pool: &ThreadPool,
     ) -> BatchImpact {
-        fn mark(
-            v: Node,
-            flagged: &mut [bool],
-            seen: &mut [bool],
-            impact: &mut BatchImpact,
-        ) {
-            if !flagged[v as usize] {
-                flagged[v as usize] = true;
-                impact.affected.push(v);
-                if !seen[v as usize] {
-                    seen[v as usize] = true;
-                    impact.new_vertices.push(v);
+        self.flagged.next_generation();
+        self.src_marks.next_generation();
+        let threads = pool.threads();
+        while self.worker_out.len() < threads {
+            self.worker_out.push(Mutex::new(WorkerOut::default()));
+        }
+        let flagged = &self.flagged;
+        let src_marks = &self.src_marks;
+        let seen = &self.seen;
+        let worker_out = &self.worker_out;
+
+        // Phase 1: mark the batch endpoints. Each worker scans a contiguous
+        // range; `try_mark` gives every vertex exactly one winner, which
+        // appends it to that worker's buffer.
+        pool.parallel_ranges(0..batch.len(), |w, range| {
+            let mut out = worker_out[w].lock();
+            let out = &mut *out;
+            for e in &batch[range] {
+                if include_source_neighborhoods && src_marks.try_mark(e.src as usize) {
+                    out.sources.push(e.src);
                 }
+                if flagged.try_mark(e.src as usize) {
+                    out.affected.push(e.src);
+                    if seen.try_set(e.src as usize) {
+                        out.new_vertices.push(e.src);
+                    }
+                }
+                if flagged.try_mark(e.dst as usize) {
+                    out.affected.push(e.dst);
+                    if seen.try_set(e.dst as usize) {
+                        out.new_vertices.push(e.dst);
+                    }
+                }
+            }
+        });
+
+        // Phase 2: seed the sources' existing out-neighborhoods. Sources
+        // are stitched in worker order first (phase 1's barrier makes that
+        // safe), then distributed by a dynamic cursor so one hub's big
+        // neighborhood does not serialize the rest.
+        if include_source_neighborhoods {
+            self.sources.clear();
+            for slot in worker_out.iter().take(threads) {
+                self.sources.append(&mut slot.lock().sources);
+            }
+            if !self.sources.is_empty() {
+                let sources = &self.sources;
+                let grain = adaptive_grain(sources.len(), threads);
+                let cursor = AtomicUsize::new(0);
+                pool.run_on_all(|w| {
+                    let mut out = worker_out[w].lock();
+                    let out = &mut *out;
+                    let mut neighbors: Vec<Node> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(grain, Ordering::Relaxed);
+                        if start >= sources.len() {
+                            break;
+                        }
+                        let end = (start + grain).min(sources.len());
+                        for &src in &sources[start..end] {
+                            neighbors.clear();
+                            graph.for_each_out_neighbor(src, &mut |nb, _| neighbors.push(nb));
+                            for &nb in &neighbors {
+                                if flagged.try_mark(nb as usize) {
+                                    out.affected.push(nb);
+                                    if seen.try_set(nb as usize) {
+                                        out.new_vertices.push(nb);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                });
             }
         }
 
-        let mut flagged = vec![false; self.seen.len()];
+        // Stitch per-worker buffers in worker order: deterministic for any
+        // fixed thread count, and identical to the sequential first-touch
+        // order when the pool has one thread.
         let mut impact = BatchImpact::default();
-        let mut sources: Vec<Node> = Vec::new();
-        for e in batch {
-            if include_source_neighborhoods && !flagged[e.src as usize] {
-                sources.push(e.src);
-            }
-            mark(e.src, &mut flagged, &mut self.seen, &mut impact);
-            mark(e.dst, &mut flagged, &mut self.seen, &mut impact);
-        }
-        if include_source_neighborhoods {
-            for &src in &sources {
-                let mut extra: Vec<Node> = Vec::new();
-                graph.for_each_out_neighbor(src, &mut |nb, _| extra.push(nb));
-                for nb in extra {
-                    mark(nb, &mut flagged, &mut self.seen, &mut impact);
-                }
-            }
+        for slot in &self.worker_out {
+            let mut out = slot.lock();
+            impact.affected.append(&mut out.affected);
+            impact.new_vertices.append(&mut out.new_vertices);
+            out.sources.clear();
         }
         impact
     }
@@ -563,12 +645,12 @@ mod tests {
         let mut tracker = AffectedTracker::new(6);
         let b1 = [Edge::new(0, 1, 1.0), Edge::new(0, 2, 1.0), Edge::new(0, 1, 1.0)];
         g.update_batch(&b1, &pool);
-        let i1 = tracker.process_batch(g.as_ref(), &b1, false);
+        let i1 = tracker.process_batch(g.as_ref(), &b1, false, &pool);
         assert_eq!(i1.affected, vec![0, 1, 2]);
         assert_eq!(i1.new_vertices, vec![0, 1, 2]);
         let b2 = [Edge::new(1, 3, 1.0)];
         g.update_batch(&b2, &pool);
-        let i2 = tracker.process_batch(g.as_ref(), &b2, false);
+        let i2 = tracker.process_batch(g.as_ref(), &b2, false, &pool);
         assert_eq!(i2.affected, vec![1, 3]);
         assert_eq!(i2.new_vertices, vec![3]);
     }
@@ -580,15 +662,37 @@ mod tests {
         let b0 = [Edge::new(0, 1, 1.0), Edge::new(0, 2, 1.0)];
         g.update_batch(&b0, &pool);
         let mut tracker = AffectedTracker::new(6);
-        tracker.process_batch(g.as_ref(), &b0, true);
+        tracker.process_batch(g.as_ref(), &b0, true, &pool);
         // New batch adds 0 -> 3: vertices 1 and 2 pull stale contributions
         // (0's out-degree changed) unless seeded.
         let b = [Edge::new(0, 3, 1.0)];
         g.update_batch(&b, &pool);
-        let impact = tracker.process_batch(g.as_ref(), &b, true);
+        let impact = tracker.process_batch(g.as_ref(), &b, true, &pool);
         let mut affected = impact.affected.clone();
         affected.sort_unstable();
         assert_eq!(affected, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn parallel_tracker_matches_single_thread_sets() {
+        let n = 256;
+        let batch: Vec<Edge> = (0..600)
+            .map(|i| Edge::new((i * 7) % n, (i * 13 + 1) % n, 1.0))
+            .collect();
+        let build = |threads: usize| {
+            let pool = ThreadPool::new(threads);
+            let g = build_graph(DataStructureKind::AdjacencyShared, n as usize, true, 1);
+            g.update_batch(&batch, &pool);
+            let mut tracker = AffectedTracker::new(n as usize);
+            let mut impact = tracker.process_batch(g.as_ref(), &batch, true, &pool);
+            impact.affected.sort_unstable();
+            impact.new_vertices.sort_unstable();
+            impact
+        };
+        let reference = build(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(build(threads), reference, "threads={threads}");
+        }
     }
 
     #[test]

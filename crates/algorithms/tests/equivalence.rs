@@ -27,7 +27,7 @@ fn stream(seed: u64, directed: bool) -> Vec<Vec<Edge>> {
             (0..BATCH_SIZE)
                 .map(|i| {
                     let r = mix64(seed ^ ((b * BATCH_SIZE + i) as u64));
-                    let src = if r % 17 == 0 {
+                    let src = if r.is_multiple_of(17) {
                         7 // hub
                     } else {
                         ((r >> 8) % NODES as u64) as Node
@@ -84,6 +84,7 @@ fn run_equivalence(kind: AlgorithmKind, ds: DataStructureKind, directed: bool) {
             graph.as_ref(),
             batch,
             inc_state.affects_source_neighborhood(),
+            &pool,
         );
         fs_state.perform_alg(graph.as_ref(), &impact.affected, &impact.new_vertices, &pool);
         inc_state.perform_alg(graph.as_ref(), &impact.affected, &impact.new_vertices, &pool);
@@ -156,7 +157,7 @@ fn all_structures_agree_with_each_other() {
         let mut tracker = AffectedTracker::new(NODES);
         for batch in &batches {
             graph.update_batch(batch, &pool);
-            let impact = tracker.process_batch(graph.as_ref(), batch, false);
+            let impact = tracker.process_batch(graph.as_ref(), batch, false, &pool);
             state.perform_alg(graph.as_ref(), &impact.affected, &impact.new_vertices, &pool);
         }
         results.push(state.values());

@@ -49,7 +49,7 @@ fn check_equivalence(
     let mut tracker = AffectedTracker::new(NODES);
     for (i, batch) in batches.iter().enumerate() {
         graph.update_batch(batch, &pool);
-        let impact = tracker.process_batch(graph.as_ref(), batch, false);
+        let impact = tracker.process_batch(graph.as_ref(), batch, false, &pool);
         fs.perform_alg(graph.as_ref(), &impact.affected, &impact.new_vertices, &pool);
         inc.perform_alg(graph.as_ref(), &impact.affected, &impact.new_vertices, &pool);
         match (fs.values(), inc.values()) {

@@ -54,6 +54,75 @@ fn bench_update(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tentpole comparison: partitioned `O(batch)` routing versus the
+/// `O(batch × chunks)` rescan baseline, on the chunk-owned structures, for
+/// a heavy-tailed (Talk-profile) batch across thread counts.
+fn bench_update_ingest(c: &mut Criterion) {
+    use saga_graph::adjacency_chunked::AdjacencyChunked;
+    use saga_graph::dah::Dah;
+    use saga_graph::DynamicGraph;
+
+    let batch = heavy_tail_batch();
+    let mut group = c.benchmark_group("update_ingest");
+    group.sample_size(10);
+    for threads in [1usize, 4, 8] {
+        let pool = ThreadPool::new(threads);
+        group.bench_with_input(
+            BenchmarkId::new("AC_rescan", threads),
+            &batch,
+            |b, batch| {
+                b.iter_with_setup(
+                    || AdjacencyChunked::new(NODES, true, pool.threads()),
+                    |graph| {
+                        graph.update_batch_rescan(batch, &pool);
+                        graph
+                    },
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("AC_partitioned", threads),
+            &batch,
+            |b, batch| {
+                b.iter_with_setup(
+                    || AdjacencyChunked::new(NODES, true, pool.threads()),
+                    |graph| {
+                        graph.update_batch(batch, &pool);
+                        graph
+                    },
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("DAH_rescan", threads),
+            &batch,
+            |b, batch| {
+                b.iter_with_setup(
+                    || Dah::new(NODES, true, pool.threads()),
+                    |graph| {
+                        graph.update_batch_rescan(batch, &pool);
+                        graph
+                    },
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("DAH_partitioned", threads),
+            &batch,
+            |b, batch| {
+                b.iter_with_setup(
+                    || Dah::new(NODES, true, pool.threads()),
+                    |graph| {
+                        graph.update_batch(batch, &pool);
+                        graph
+                    },
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_traversal(c: &mut Criterion) {
     let pool = ThreadPool::new(4);
     let batch = short_tail_batch();
@@ -81,7 +150,7 @@ fn bench_compute(c: &mut Criterion) {
     let graph = build_graph(DataStructureKind::AdjacencyShared, NODES, true, pool.threads());
     graph.update_batch(&batch, &pool);
     let mut tracker = AffectedTracker::new(NODES);
-    let impact = tracker.process_batch(graph.as_ref(), &batch, true);
+    let impact = tracker.process_batch(graph.as_ref(), &batch, true, &pool);
 
     let mut group = c.benchmark_group("compute");
     group.sample_size(10);
@@ -127,6 +196,7 @@ fn bench_cache_replay(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_update,
+    bench_update_ingest,
     bench_traversal,
     bench_compute,
     bench_cache_replay

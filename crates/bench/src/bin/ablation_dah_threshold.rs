@@ -52,7 +52,7 @@ fn main() {
             for batch in stream.batches(stream.suggested_batch_size) {
                 let sw = Stopwatch::start();
                 graph.update_batch(batch, &pool);
-                let impact = tracker.process_batch(&graph, batch, true);
+                let impact = tracker.process_batch(&graph, batch, true, &pool);
                 update_s += sw.elapsed_secs();
                 let sw = Stopwatch::start();
                 state.perform_alg(&graph, &impact.affected, &impact.new_vertices, &pool);

@@ -1,0 +1,104 @@
+//! Update-phase ingestion benchmark: radix-partitioned `O(batch)` routing
+//! versus the `O(batch × chunks)` rescan baseline on the chunk-owned
+//! structures (AC, DAH), over a Talk-profile heavy-tailed batch.
+//!
+//! Emits `results/BENCH_update.json`.
+//!
+//! ```text
+//! cargo run -p saga-bench --release --bin bench_update
+//! ```
+
+use saga_bench::{config_from_env, emit};
+use saga_graph::adjacency_chunked::AdjacencyChunked;
+use saga_graph::dah::Dah;
+use saga_graph::{DynamicGraph, Edge};
+use saga_stream::profiles::DatasetProfile;
+use saga_utils::parallel::ThreadPool;
+use saga_utils::timer::Stopwatch;
+
+const NODES: usize = 20_000;
+const BATCH: usize = 20_000;
+const REPS: usize = 5;
+/// Chunks per worker. Oversubscribing chunks softens the hub-imbalance of
+/// chunk ownership (more, smaller chunks per worker), and is exactly the
+/// regime where rescan routing collapses: its cost is `O(batch × chunks)`
+/// while the ingest work itself stays fixed.
+const CHUNKS_PER_WORKER: usize = 16;
+
+fn time_best<F: FnMut() -> f64>(mut run: F) -> f64 {
+    (0..REPS).map(|_| run()).fold(f64::INFINITY, f64::min)
+}
+
+fn bench_pair(
+    structure: &str,
+    threads: usize,
+    batch: &[Edge],
+    build_run_rescan: &dyn Fn(&ThreadPool, &[Edge]) -> f64,
+    build_run_partitioned: &dyn Fn(&ThreadPool, &[Edge]) -> f64,
+) -> String {
+    let pool = ThreadPool::new(threads);
+    let rescan_s = time_best(|| build_run_rescan(&pool, batch));
+    let partitioned_s = time_best(|| build_run_partitioned(&pool, batch));
+    let speedup = rescan_s / partitioned_s;
+    eprintln!(
+        "[bench_update] {structure} @ {threads} threads: rescan {rescan_s:.6}s, \
+         partitioned {partitioned_s:.6}s, speedup {speedup:.2}x"
+    );
+    format!(
+        "    {{\"structure\": \"{structure}\", \"threads\": {threads}, \
+         \"rescan_seconds\": {rescan_s:.6}, \"partitioned_seconds\": {partitioned_s:.6}, \
+         \"speedup\": {speedup:.3}}}"
+    )
+}
+
+fn main() {
+    let cfg = config_from_env();
+    let batch = DatasetProfile::talk()
+        .scaled(NODES, BATCH)
+        .generate(cfg.seed)
+        .edges;
+
+    let ac_rescan = |pool: &ThreadPool, batch: &[Edge]| {
+        let g = AdjacencyChunked::new(NODES, true, pool.threads() * CHUNKS_PER_WORKER);
+        let sw = Stopwatch::start();
+        g.update_batch_rescan(batch, pool);
+        sw.elapsed_secs()
+    };
+    let ac_partitioned = |pool: &ThreadPool, batch: &[Edge]| {
+        let g = AdjacencyChunked::new(NODES, true, pool.threads() * CHUNKS_PER_WORKER);
+        let sw = Stopwatch::start();
+        g.update_batch(batch, pool);
+        sw.elapsed_secs()
+    };
+    let dah_rescan = |pool: &ThreadPool, batch: &[Edge]| {
+        let g = Dah::new(NODES, true, pool.threads() * CHUNKS_PER_WORKER);
+        let sw = Stopwatch::start();
+        g.update_batch_rescan(batch, pool);
+        sw.elapsed_secs()
+    };
+    let dah_partitioned = |pool: &ThreadPool, batch: &[Edge]| {
+        let g = Dah::new(NODES, true, pool.threads() * CHUNKS_PER_WORKER);
+        let sw = Stopwatch::start();
+        g.update_batch(batch, pool);
+        sw.elapsed_secs()
+    };
+
+    let mut rows = Vec::new();
+    for threads in [1usize, 4, 8] {
+        rows.push(bench_pair("AC", threads, &batch, &ac_rescan, &ac_partitioned));
+        rows.push(bench_pair("DAH", threads, &batch, &dah_rescan, &dah_partitioned));
+    }
+
+    let body = format!(
+        "{{\n  \"benchmark\": \"update_ingest\",\n  \"profile\": \"talk\",\n  \
+         \"nodes\": {NODES},\n  \"batch_edges\": {BATCH},\n  \"reps\": {REPS},\n  \"chunks_per_worker\": {CHUNKS_PER_WORKER},\n  \
+         \"seed\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        cfg.seed,
+        rows.join(",\n")
+    );
+    emit(
+        "Update-phase ingestion: partitioned vs rescan (heavy-tailed batch)",
+        "BENCH_update.json",
+        &body,
+    );
+}

@@ -17,7 +17,7 @@ use saga_algorithms::{
     AffectedTracker, AlgorithmKind, AlgorithmParams, AlgorithmState, ComputeModelKind,
     ComputeOutcome, VertexValues,
 };
-use saga_graph::{build_graph, DataStructureKind, Node};
+use saga_graph::{build_graph_with, DataStructureKind, Node};
 use saga_perf::bandwidth::{estimate, BandwidthEstimate, TimeModel};
 use saga_perf::cache::{CacheReport, HierarchyConfig, MemoryHierarchy};
 use saga_perf::trace_phase;
@@ -125,6 +125,7 @@ pub struct StreamDriverBuilder {
     root: Option<Node>,
     params: AlgorithmParams,
     arch_sim: Option<ArchSimConfig>,
+    partitioned_ingest: bool,
 }
 
 impl StreamDriverBuilder {
@@ -168,6 +169,14 @@ impl StreamDriverBuilder {
     /// Enables the architecture simulator for both phases.
     pub fn arch_sim(mut self, config: ArchSimConfig) -> Self {
         self.arch_sim = Some(config);
+        self
+    }
+
+    /// Routes AS/Stinger batches through the radix partitioner instead of
+    /// per-edge shared-memory ingestion (default: off, the paper's design).
+    /// AC and DAH always partition, so the flag is a no-op there.
+    pub fn partitioned_ingest(mut self, enabled: bool) -> Self {
+        self.partitioned_ingest = enabled;
         self
     }
 
@@ -224,6 +233,7 @@ impl StreamDriver {
             root: None,
             params: AlgorithmParams::default(),
             arch_sim: None,
+            partitioned_ingest: false,
         }
     }
 
@@ -237,11 +247,12 @@ impl StreamDriver {
     pub fn run(&mut self, stream: &EdgeStream) -> StreamOutcome {
         let cfg = &self.builder;
         let capacity = cfg.capacity.max(stream.num_nodes);
-        let graph = build_graph(
+        let graph = build_graph_with(
             cfg.data_structure,
             capacity,
             stream.directed,
             self.pool.threads(),
+            cfg.partitioned_ingest,
         );
         let mut params = cfg.params;
         params.root = cfg
@@ -262,6 +273,9 @@ impl StreamDriver {
 
         let needs_seed_neighborhood = state.affects_source_neighborhood();
         let incremental = cfg.compute_model == ComputeModelKind::Incremental;
+        // The bandwidth model always prices against the paper's machine,
+        // regardless of any cache_scale override of the hierarchy itself.
+        let topo = HierarchyConfig::paper().topology;
         let mut batches = Vec::new();
         for (index, batch) in stream.batches(batch_size).enumerate() {
             // --- Update phase ---
@@ -280,7 +294,7 @@ impl StreamDriver {
             // Deriving the affected array is part of the update phase's
             // bookkeeping (Algorithm 1 receives it from the update).
             let impact = if incremental {
-                tracker.process_batch(graph.as_ref(), batch, needs_seed_neighborhood)
+                tracker.process_batch(graph.as_ref(), batch, needs_seed_neighborhood, &self.pool)
             } else {
                 Default::default()
             };
@@ -315,7 +329,6 @@ impl StreamDriver {
                 let a = cfg.arch_sim.as_ref().unwrap();
                 let update = h.replay(update_trace.as_ref().unwrap());
                 let compute = h.replay(compute_trace.as_ref().unwrap());
-                let topo = HierarchyConfig::paper().topology;
                 ArchRecord {
                     update_bw: estimate(&update, &a.time_model, &topo),
                     compute_bw: estimate(&compute, &a.time_model, &topo),

@@ -142,6 +142,7 @@ pub fn run_pipelined(
             &snapshot,
             batches[i],
             state.affects_source_neighborhood(),
+            &compute_pool,
         );
         let wall = Stopwatch::start();
         let mut compute_seconds = 0.0;

@@ -7,14 +7,27 @@
 //! is taken (the rest of the intra-chunk operation — search then insert in a
 //! contiguous vector — is the same as AS, Fig. 3).
 //!
+//! Routing a batch to its chunks uses a two-pass counting sort
+//! ([`saga_utils::partition::Partitioner`]): the batch is partitioned once
+//! into per-chunk buckets of edge indices (`O(batch)` key evaluations,
+//! exactly one per edge per direction), then worker `w` drains the buckets
+//! of the chunks it owns (`c % threads == w`) in batch order. The naive
+//! alternative — every chunk owner rescanning the whole batch and skipping
+//! foreign edges — costs `O(batch × chunks)` key evaluations and is kept as
+//! [`AdjacencyChunked::update_batch_rescan`] for benchmarking.
+//!
 //! Multithreading comes only from having multiple chunks. This trades the
-//! lock contention of AS for workload imbalance: a heavy-tailed batch keeps
-//! the single worker owning the hub's chunk busy while the rest idle, which
-//! is the behaviour the paper measures in Fig. 9.
+//! lock contention of AS for workload imbalance: a heavy-tailed batch fills
+//! the hub chunk's bucket while the others stay small, keeping the single
+//! worker that owns the hub's chunk busy while the rest idle — the
+//! behaviour the paper measures in Fig. 9. Partitioning changes how edges
+//! *find* their chunk, not which chunk does the work, so that imbalance is
+//! deliberately preserved.
 
 use crate::{DataStructureKind, DynamicGraph, Edge, GraphTopology, Node, UpdateStats, Weight};
 use parking_lot::Mutex;
 use saga_utils::parallel::ThreadPool;
+use saga_utils::partition::Partitioner;
 use saga_utils::probe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -118,6 +131,7 @@ pub struct AdjacencyChunked {
     capacity: usize,
     directed: bool,
     edges: AtomicUsize,
+    scratch: Mutex<IngestScratch>,
 }
 
 impl std::fmt::Debug for AdjacencyChunked {
@@ -141,15 +155,195 @@ impl AdjacencyChunked {
             capacity,
             directed,
             edges: AtomicUsize::new(0),
+            scratch: Mutex::new(IngestScratch::new()),
+        }
+    }
+
+    /// The chunk that must ingest `edge` in the given direction. For
+    /// undirected graphs both the canonical and mirror directions live in
+    /// the out-structure, keyed by their own source.
+    fn key_chunk(&self, edge: &Edge, into_in: bool) -> usize {
+        if self.directed {
+            if into_in {
+                self.inn.as_ref().unwrap().chunk_of(edge.dst)
+            } else {
+                self.out.chunk_of(edge.src)
+            }
+        } else if into_in {
+            self.out.chunk_of(edge.dst)
+        } else {
+            self.out.chunk_of(edge.src)
+        }
+    }
+
+    fn ingest_insert(&self, chunk: usize, edge: &Edge, into_in: bool) -> bool {
+        let chunk_count = self.out.chunk_count();
+        let lists = if self.directed && into_in {
+            self.inn.as_ref().unwrap()
+        } else {
+            &self.out
+        };
+        let (src, dst) = if into_in {
+            (edge.dst, edge.src)
+        } else {
+            (edge.src, edge.dst)
+        };
+        if !self.directed && into_in && src == dst {
+            return false; // self-loop mirror is the same entry
+        }
+        let mut guard = lists.chunks[chunk].lock();
+        let newly = guard.insert(src as usize / chunk_count, dst, edge.weight);
+        // Count a logical edge exactly once: directed edges count on the
+        // out-insert; undirected edges count on whichever pass stored the
+        // canonical (small → large) direction.
+        if self.directed {
+            newly && !into_in
+        } else {
+            newly && src <= dst
+        }
+    }
+
+    fn ingest_remove(&self, chunk: usize, edge: &Edge, into_in: bool) -> bool {
+        let chunk_count = self.out.chunk_count();
+        let lists = if self.directed && into_in {
+            self.inn.as_ref().unwrap()
+        } else {
+            &self.out
+        };
+        let (src, dst) = if into_in {
+            (edge.dst, edge.src)
+        } else {
+            (edge.src, edge.dst)
+        };
+        if !self.directed && into_in && src == dst {
+            return false;
+        }
+        let mut guard = lists.chunks[chunk].lock();
+        let removed = guard.remove(src as usize / chunk_count, dst);
+        if self.directed {
+            removed && !into_in
+        } else {
+            removed && src <= dst
+        }
+    }
+
+    /// The pre-partitioning update path: every chunk owner rescans the full
+    /// batch and skips foreign edges, costing `O(batch × chunks)` key
+    /// evaluations. Kept (not wired into [`DynamicGraph::update_batch`]) as
+    /// the baseline for the `update_ingest` microbenchmark and the key-count
+    /// regression test.
+    pub fn update_batch_rescan(&self, batch: &[Edge], pool: &ThreadPool) -> UpdateStats {
+        let inserted = chunked_update_rescan(
+            batch,
+            pool,
+            self.out.chunk_count(),
+            |edge, into_in| self.key_chunk(edge, into_in),
+            |chunk, edge, into_in| self.ingest_insert(chunk, edge, into_in),
+        );
+        self.edges.fetch_add(inserted, Ordering::AcqRel);
+        UpdateStats {
+            inserted,
+            duplicates: batch.len() - inserted,
         }
     }
 }
 
-/// Runs a chunk-partitioned update pass: worker `w` handles every chunk `c`
-/// with `c % threads == w`, scanning the whole batch and ingesting the edges
-/// whose *key* vertex (source for out-lists, destination for in-lists) it
-/// owns. Shared by AC and DAH, whose multithreading style is identical.
+/// Reusable partitioning scratch for the chunked update phase: one
+/// [`Partitioner`] per direction (out-keys and in-keys of the same batch).
+/// Each chunked structure holds one behind a mutex so `update_batch(&self)`
+/// reaches steady state with zero per-batch allocation.
+pub(crate) struct IngestScratch {
+    pub(crate) out: Partitioner,
+    pub(crate) inn: Partitioner,
+}
+
+impl IngestScratch {
+    pub(crate) fn new() -> Self {
+        Self {
+            out: Partitioner::new(),
+            inn: Partitioner::new(),
+        }
+    }
+}
+
+/// Runs a chunk-partitioned update pass shared by AC and DAH, whose
+/// multithreading style is identical.
+///
+/// The batch is first partitioned into per-chunk buckets of edge indices —
+/// once per direction, evaluating `key_chunk` exactly twice per edge — then
+/// worker `w` drains the buckets of every chunk `c` with
+/// `c % threads == w`, ingesting that chunk's out-keyed edges and then its
+/// in-keyed edges in batch order. Total work is `O(batch)` key evaluations
+/// instead of the rescan loop's `O(batch × chunks)`; chunk ownership (and
+/// therefore the paper's imbalance behaviour) is unchanged.
+///
+/// `ingest` returns whether the call accounts for a new logical edge
+/// (directed: the out-insert; undirected: the pass that stored the
+/// canonical direction).
 pub(crate) fn chunked_update<FKey, FIns>(
+    batch: &[Edge],
+    pool: &ThreadPool,
+    chunk_count: usize,
+    scratch: &Mutex<IngestScratch>,
+    key_chunk: FKey,
+    ingest: FIns,
+) -> usize
+where
+    FKey: Fn(&Edge, /*into_in:*/ bool) -> usize + Sync,
+    FIns: Fn(usize, &Edge, /*into_in:*/ bool) -> bool + Sync,
+{
+    let mut scratch = scratch.lock();
+    let IngestScratch { out, inn } = &mut *scratch;
+    out.partition(pool, batch.len(), chunk_count, |i| {
+        key_chunk(&batch[i], false)
+    });
+    inn.partition(pool, batch.len(), chunk_count, |i| {
+        key_chunk(&batch[i], true)
+    });
+    let inserted = AtomicUsize::new(0);
+    let threads = pool.threads();
+    pool.run_on_all(|w| {
+        let mut local_inserted = 0;
+        let mut chunk = w;
+        while chunk < chunk_count {
+            // Merge the chunk's two buckets back into global batch order
+            // (each bucket is stable, so a two-pointer merge on the edge
+            // index suffices; ties apply the out pass first, like the
+            // rescan). Order matters: when a batch carries duplicate edges
+            // whose mirrors land in different chunks, every chunk must pick
+            // the same first-in-batch winner or an undirected graph ends up
+            // with asymmetric mirror weights.
+            let (ob, ib) = (out.bucket(chunk), inn.bucket(chunk));
+            let (mut oi, mut ii) = (0, 0);
+            while oi < ob.len() || ii < ib.len() {
+                let into_in = match (ob.get(oi), ib.get(ii)) {
+                    (Some(o), Some(i)) => o > i,
+                    (Some(_), None) => false,
+                    _ => true,
+                };
+                let i = if into_in {
+                    ii += 1;
+                    ib[ii - 1]
+                } else {
+                    oi += 1;
+                    ob[oi - 1]
+                };
+                if ingest(chunk, &batch[i as usize], into_in) {
+                    local_inserted += 1;
+                }
+            }
+            chunk += threads;
+        }
+        inserted.fetch_add(local_inserted, Ordering::Relaxed);
+    });
+    inserted.load(Ordering::Relaxed)
+}
+
+/// The legacy rescan update pass: worker `w` handles every chunk `c` with
+/// `c % threads == w`, scanning the whole batch per chunk and ingesting the
+/// edges whose key vertex it owns. `O(batch × chunks)` key evaluations —
+/// kept only as the microbenchmark baseline for [`chunked_update`].
+pub(crate) fn chunked_update_rescan<FKey, FIns>(
     batch: &[Edge],
     pool: &ThreadPool,
     chunk_count: usize,
@@ -167,9 +361,6 @@ where
         let mut chunk = w;
         while chunk < chunk_count {
             for edge in batch {
-                // `ingest` returns whether this call accounts for a new
-                // logical edge (directed: the out-insert; undirected: the
-                // pass that stored the canonical direction).
                 if key_chunk(edge, false) == chunk && ingest(chunk, edge, false) {
                     local_inserted += 1;
                 }
@@ -226,53 +417,13 @@ impl GraphTopology for AdjacencyChunked {
 
 impl DynamicGraph for AdjacencyChunked {
     fn update_batch(&self, batch: &[Edge], pool: &ThreadPool) -> UpdateStats {
-        let chunk_count = self.out.chunk_count();
-        let directed = self.directed;
         let inserted = chunked_update(
             batch,
             pool,
-            chunk_count,
-            |edge, into_in| {
-                // The vertex whose chunk must ingest this edge. For
-                // undirected graphs both the canonical and mirror directions
-                // live in the out-structure, keyed by their own source.
-                if directed {
-                    if into_in {
-                        self.inn.as_ref().unwrap().chunk_of(edge.dst)
-                    } else {
-                        self.out.chunk_of(edge.src)
-                    }
-                } else if into_in {
-                    self.out.chunk_of(edge.dst)
-                } else {
-                    self.out.chunk_of(edge.src)
-                }
-            },
-            |chunk, edge, into_in| {
-                let lists = if directed && into_in {
-                    self.inn.as_ref().unwrap()
-                } else {
-                    &self.out
-                };
-                let (src, dst) = if into_in {
-                    (edge.dst, edge.src)
-                } else {
-                    (edge.src, edge.dst)
-                };
-                if !directed && into_in && src == dst {
-                    return false; // self-loop mirror is the same entry
-                }
-                let mut guard = lists.chunks[chunk].lock();
-                let newly = guard.insert(src as usize / chunk_count, dst, edge.weight);
-                // Count a logical edge exactly once: directed edges count on
-                // the out-insert; undirected edges count on whichever pass
-                // stored the canonical (small → large) direction.
-                if directed {
-                    newly && !into_in
-                } else {
-                    newly && src <= dst
-                }
-            },
+            self.out.chunk_count(),
+            &self.scratch,
+            |edge, into_in| self.key_chunk(edge, into_in),
+            |chunk, edge, into_in| self.ingest_insert(chunk, edge, into_in),
         );
         self.edges.fetch_add(inserted, Ordering::AcqRel);
         UpdateStats {
@@ -288,49 +439,15 @@ impl DynamicGraph for AdjacencyChunked {
 
 impl crate::DeletableGraph for AdjacencyChunked {
     fn delete_batch(&self, batch: &[Edge], pool: &ThreadPool) -> crate::DeleteStats {
-        let chunk_count = self.out.chunk_count();
-        let directed = self.directed;
         // Deletion is chunk-partitioned exactly like insertion: one owner
         // thread per chunk, no per-edge locks.
         let removed = chunked_update(
             batch,
             pool,
-            chunk_count,
-            |edge, into_in| {
-                if directed {
-                    if into_in {
-                        self.inn.as_ref().unwrap().chunk_of(edge.dst)
-                    } else {
-                        self.out.chunk_of(edge.src)
-                    }
-                } else if into_in {
-                    self.out.chunk_of(edge.dst)
-                } else {
-                    self.out.chunk_of(edge.src)
-                }
-            },
-            |chunk, edge, into_in| {
-                let lists = if directed && into_in {
-                    self.inn.as_ref().unwrap()
-                } else {
-                    &self.out
-                };
-                let (src, dst) = if into_in {
-                    (edge.dst, edge.src)
-                } else {
-                    (edge.src, edge.dst)
-                };
-                if !directed && into_in && src == dst {
-                    return false;
-                }
-                let mut guard = lists.chunks[chunk].lock();
-                let removed = guard.remove(src as usize / chunk_count, dst);
-                if directed {
-                    removed && !into_in
-                } else {
-                    removed && src <= dst
-                }
-            },
+            self.out.chunk_count(),
+            &self.scratch,
+            |edge, into_in| self.key_chunk(edge, into_in),
+            |chunk, edge, into_in| self.ingest_remove(chunk, edge, into_in),
         );
         self.edges.fetch_sub(removed, Ordering::AcqRel);
         crate::DeleteStats {
@@ -431,5 +548,79 @@ mod tests {
         let stats = g.update_batch(&batch, &pool());
         assert_eq!(stats.inserted, 100);
         assert_eq!(g.out_degree(0), 100);
+    }
+
+    #[test]
+    fn rescan_path_matches_partitioned_path() {
+        let p = pool();
+        let batch: Vec<Edge> = (0..500)
+            .map(|i| Edge::new(i % 37, (i * 13) % 41, 1.0 + (i % 5) as f32))
+            .collect();
+        for directed in [true, false] {
+            let fast = AdjacencyChunked::new(64, directed, 4);
+            let slow = AdjacencyChunked::new(64, directed, 4);
+            let s1 = fast.update_batch(&batch, &p);
+            let s2 = slow.update_batch_rescan(&batch, &p);
+            assert_eq!(s1.inserted, s2.inserted, "directed = {directed}");
+            assert_eq!(fast.num_edges(), slow.num_edges());
+            for v in 0..64u32 {
+                let mut a = fast.out_neighbors(v);
+                let mut b = slow.out_neighbors(v);
+                a.sort_by_key(|&(n, _)| n);
+                b.sort_by_key(|&(n, _)| n);
+                assert_eq!(
+                    a.iter().map(|&(n, _)| n).collect::<Vec<_>>(),
+                    b.iter().map(|&(n, _)| n).collect::<Vec<_>>(),
+                    "out({v}), directed = {directed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_update_evaluates_each_key_once() {
+        // The O(batch) acceptance check: the partitioned path evaluates the
+        // chunk key exactly twice per edge (once per direction) no matter
+        // how many chunks exist, while the rescan path pays 2 × batch ×
+        // chunks evaluations.
+        let p = pool();
+        let batch: Vec<Edge> = (0..200).map(|i| Edge::new(i % 13, i % 7, 1.0)).collect();
+        for chunk_count in [1usize, 4, 16] {
+            let scratch = Mutex::new(IngestScratch::new());
+            let evals = AtomicUsize::new(0);
+            chunked_update(
+                &batch,
+                &p,
+                chunk_count,
+                &scratch,
+                |edge, into_in| {
+                    evals.fetch_add(1, Ordering::Relaxed);
+                    (if into_in { edge.dst } else { edge.src }) as usize % chunk_count
+                },
+                |_, _, _| false,
+            );
+            assert_eq!(
+                evals.load(Ordering::Relaxed),
+                2 * batch.len(),
+                "partitioned, chunks = {chunk_count}"
+            );
+
+            let evals = AtomicUsize::new(0);
+            chunked_update_rescan(
+                &batch,
+                &p,
+                chunk_count,
+                |edge, into_in| {
+                    evals.fetch_add(1, Ordering::Relaxed);
+                    (if into_in { edge.dst } else { edge.src }) as usize % chunk_count
+                },
+                |_, _, _| false,
+            );
+            assert_eq!(
+                evals.load(Ordering::Relaxed),
+                2 * batch.len() * chunk_count,
+                "rescan, chunks = {chunk_count}"
+            );
+        }
     }
 }

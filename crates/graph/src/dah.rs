@@ -21,7 +21,7 @@
 //! (update 2.3–3.2× slower, §V-B) while its lockless hash-based update wins
 //! by 5.6–12.8× on heavy-tailed ones.
 
-use crate::adjacency_chunked::chunked_update;
+use crate::adjacency_chunked::{chunked_update, chunked_update_rescan, IngestScratch};
 use crate::hash_tables::{OpenEdgeTable, RobinHoodEdgeTable};
 use crate::{DataStructureKind, DynamicGraph, Edge, GraphTopology, Node, UpdateStats, Weight};
 use parking_lot::Mutex;
@@ -199,6 +199,7 @@ pub struct Dah {
     capacity: usize,
     directed: bool,
     edges: AtomicUsize,
+    scratch: Mutex<IngestScratch>,
 }
 
 impl std::fmt::Debug for Dah {
@@ -228,6 +229,96 @@ impl Dah {
             capacity,
             directed,
             edges: AtomicUsize::new(0),
+            scratch: Mutex::new(IngestScratch::new()),
+        }
+    }
+
+    /// The chunk that must ingest `edge` in the given direction (same
+    /// routing rule as AC).
+    fn key_chunk(&self, edge: &Edge, into_in: bool) -> usize {
+        if self.directed {
+            if into_in {
+                self.inn.as_ref().unwrap().chunk_of(edge.dst)
+            } else {
+                self.out.chunk_of(edge.src)
+            }
+        } else if into_in {
+            self.out.chunk_of(edge.dst)
+        } else {
+            self.out.chunk_of(edge.src)
+        }
+    }
+
+    fn ingest_insert(&self, chunk: usize, edge: &Edge, into_in: bool) -> bool {
+        let chunk_count = self.out.chunk_count();
+        let threshold = self.out.threshold;
+        let lists = if self.directed && into_in {
+            self.inn.as_ref().unwrap()
+        } else {
+            &self.out
+        };
+        let (src, dst) = if into_in {
+            (edge.dst, edge.src)
+        } else {
+            (edge.src, edge.dst)
+        };
+        if !self.directed && into_in && src == dst {
+            return false;
+        }
+        let mut guard = lists.chunks[chunk].lock();
+        let newly = guard.insert(
+            src as usize / chunk_count,
+            src,
+            dst,
+            edge.weight,
+            threshold,
+        );
+        if self.directed {
+            newly && !into_in
+        } else {
+            newly && src <= dst
+        }
+    }
+
+    fn ingest_remove(&self, chunk: usize, edge: &Edge, into_in: bool) -> bool {
+        let chunk_count = self.out.chunk_count();
+        let lists = if self.directed && into_in {
+            self.inn.as_ref().unwrap()
+        } else {
+            &self.out
+        };
+        let (src, dst) = if into_in {
+            (edge.dst, edge.src)
+        } else {
+            (edge.src, edge.dst)
+        };
+        if !self.directed && into_in && src == dst {
+            return false;
+        }
+        let mut guard = lists.chunks[chunk].lock();
+        let removed = guard.remove(src as usize / chunk_count, src, dst);
+        if self.directed {
+            removed && !into_in
+        } else {
+            removed && src <= dst
+        }
+    }
+
+    /// The pre-partitioning `O(batch × chunks)` update path, kept as the
+    /// baseline for the `update_ingest` microbenchmark (see
+    /// [`crate::adjacency_chunked::AdjacencyChunked::update_batch_rescan`]).
+    pub fn update_batch_rescan(&self, batch: &[Edge], pool: &ThreadPool) -> UpdateStats {
+        let inserted = chunked_update_rescan(
+            batch,
+            pool,
+            self.out.chunk_count(),
+            |edge, into_in| self.key_chunk(edge, into_in),
+            |chunk, edge, into_in| self.ingest_insert(chunk, edge, into_in),
+        );
+        self.edges.fetch_add(inserted, Ordering::AcqRel);
+        UpdateStats {
+            inserted,
+            duplicates: batch.len() - inserted,
         }
     }
 }
@@ -274,54 +365,13 @@ impl GraphTopology for Dah {
 
 impl DynamicGraph for Dah {
     fn update_batch(&self, batch: &[Edge], pool: &ThreadPool) -> UpdateStats {
-        let chunk_count = self.out.chunk_count();
-        let directed = self.directed;
-        let threshold = self.out.threshold;
         let inserted = chunked_update(
             batch,
             pool,
-            chunk_count,
-            |edge, into_in| {
-                if directed {
-                    if into_in {
-                        self.inn.as_ref().unwrap().chunk_of(edge.dst)
-                    } else {
-                        self.out.chunk_of(edge.src)
-                    }
-                } else if into_in {
-                    self.out.chunk_of(edge.dst)
-                } else {
-                    self.out.chunk_of(edge.src)
-                }
-            },
-            |chunk, edge, into_in| {
-                let lists = if directed && into_in {
-                    self.inn.as_ref().unwrap()
-                } else {
-                    &self.out
-                };
-                let (src, dst) = if into_in {
-                    (edge.dst, edge.src)
-                } else {
-                    (edge.src, edge.dst)
-                };
-                if !directed && into_in && src == dst {
-                    return false;
-                }
-                let mut guard = lists.chunks[chunk].lock();
-                let newly = guard.insert(
-                    src as usize / chunk_count,
-                    src,
-                    dst,
-                    edge.weight,
-                    threshold,
-                );
-                if directed {
-                    newly && !into_in
-                } else {
-                    newly && src <= dst
-                }
-            },
+            self.out.chunk_count(),
+            &self.scratch,
+            |edge, into_in| self.key_chunk(edge, into_in),
+            |chunk, edge, into_in| self.ingest_insert(chunk, edge, into_in),
         );
         self.edges.fetch_add(inserted, Ordering::AcqRel);
         UpdateStats {
@@ -337,47 +387,13 @@ impl DynamicGraph for Dah {
 
 impl crate::DeletableGraph for Dah {
     fn delete_batch(&self, batch: &[Edge], pool: &ThreadPool) -> crate::DeleteStats {
-        let chunk_count = self.out.chunk_count();
-        let directed = self.directed;
         let removed = chunked_update(
             batch,
             pool,
-            chunk_count,
-            |edge, into_in| {
-                if directed {
-                    if into_in {
-                        self.inn.as_ref().unwrap().chunk_of(edge.dst)
-                    } else {
-                        self.out.chunk_of(edge.src)
-                    }
-                } else if into_in {
-                    self.out.chunk_of(edge.dst)
-                } else {
-                    self.out.chunk_of(edge.src)
-                }
-            },
-            |chunk, edge, into_in| {
-                let lists = if directed && into_in {
-                    self.inn.as_ref().unwrap()
-                } else {
-                    &self.out
-                };
-                let (src, dst) = if into_in {
-                    (edge.dst, edge.src)
-                } else {
-                    (edge.src, edge.dst)
-                };
-                if !directed && into_in && src == dst {
-                    return false;
-                }
-                let mut guard = lists.chunks[chunk].lock();
-                let removed = guard.remove(src as usize / chunk_count, src, dst);
-                if directed {
-                    removed && !into_in
-                } else {
-                    removed && src <= dst
-                }
-            },
+            self.out.chunk_count(),
+            &self.scratch,
+            |edge, into_in| self.key_chunk(edge, into_in),
+            |chunk, edge, into_in| self.ingest_remove(chunk, edge, into_in),
         );
         self.edges.fetch_sub(removed, Ordering::AcqRel);
         crate::DeleteStats {

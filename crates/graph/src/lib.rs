@@ -252,14 +252,36 @@ pub fn build_graph(
     directed: bool,
     chunks: usize,
 ) -> Box<dyn DynamicGraph> {
+    build_graph_with(kind, capacity, directed, chunks, false)
+}
+
+/// [`build_graph`] with an explicit partitioned-ingest choice.
+///
+/// `partitioned_ingest` routes AS and Stinger batches through the
+/// counting-sort partitioner so each vertex is updated by exactly one
+/// worker (no lock contention); it departs from the paper's shared-style
+/// multithreading and is off in `build_graph`. AC and DAH always partition
+/// — for them routing is an implementation detail of finding each chunk's
+/// edges, not a change to the paper's chunked ownership — so the flag is a
+/// no-op there.
+pub fn build_graph_with(
+    kind: DataStructureKind,
+    capacity: usize,
+    directed: bool,
+    chunks: usize,
+    partitioned_ingest: bool,
+) -> Box<dyn DynamicGraph> {
     match kind {
         DataStructureKind::AdjacencyShared => Box::new(
-            adjacency_shared::AdjacencyShared::new(capacity, directed),
+            adjacency_shared::AdjacencyShared::new(capacity, directed)
+                .with_partitioned_ingest(partitioned_ingest),
         ),
         DataStructureKind::AdjacencyChunked => Box::new(
             adjacency_chunked::AdjacencyChunked::new(capacity, directed, chunks),
         ),
-        DataStructureKind::Stinger => Box::new(stinger::Stinger::new(capacity, directed)),
+        DataStructureKind::Stinger => Box::new(
+            stinger::Stinger::new(capacity, directed).with_partitioned_ingest(partitioned_ingest),
+        ),
         DataStructureKind::Dah => Box::new(dah::Dah::new(capacity, directed, chunks)),
     }
 }
@@ -272,14 +294,29 @@ pub fn build_deletable_graph(
     directed: bool,
     chunks: usize,
 ) -> Box<dyn DeletableGraph> {
+    build_deletable_graph_with(kind, capacity, directed, chunks, false)
+}
+
+/// [`build_deletable_graph`] with an explicit partitioned-ingest choice
+/// (see [`build_graph_with`]).
+pub fn build_deletable_graph_with(
+    kind: DataStructureKind,
+    capacity: usize,
+    directed: bool,
+    chunks: usize,
+    partitioned_ingest: bool,
+) -> Box<dyn DeletableGraph> {
     match kind {
         DataStructureKind::AdjacencyShared => Box::new(
-            adjacency_shared::AdjacencyShared::new(capacity, directed),
+            adjacency_shared::AdjacencyShared::new(capacity, directed)
+                .with_partitioned_ingest(partitioned_ingest),
         ),
         DataStructureKind::AdjacencyChunked => Box::new(
             adjacency_chunked::AdjacencyChunked::new(capacity, directed, chunks),
         ),
-        DataStructureKind::Stinger => Box::new(stinger::Stinger::new(capacity, directed)),
+        DataStructureKind::Stinger => Box::new(
+            stinger::Stinger::new(capacity, directed).with_partitioned_ingest(partitioned_ingest),
+        ),
         DataStructureKind::Dah => Box::new(dah::Dah::new(capacity, directed, chunks)),
     }
 }

@@ -99,7 +99,7 @@ mod tests {
     #[test]
     fn pages_interleave_across_sockets() {
         let t = Topology::paper();
-        let lines_per_page = (t.page_bytes / 64) as u64;
+        let lines_per_page = t.page_bytes / 64;
         assert_eq!(t.home_socket(0), 0);
         assert_eq!(t.home_socket(lines_per_page), 1);
         assert_eq!(t.home_socket(2 * lines_per_page), 0);

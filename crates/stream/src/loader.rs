@@ -16,7 +16,7 @@
 //! ```
 
 use crate::batching::shuffle_edges;
-use crate::{edge_weight, weight_for, Edge, EdgeStream, Node};
+use crate::{edge_weight, Edge, EdgeStream, Node};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read};
 use std::path::Path;
@@ -126,6 +126,7 @@ pub fn load_snap_text<P: AsRef<Path>>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::weight_for;
 
     const SAMPLE: &str = "\
 # Directed graph (each unordered pair of nodes is saved once)

@@ -256,7 +256,7 @@ mod tests {
     fn uniform_covers_everything() {
         let d = EndpointDist::uniform(50, 1);
         let mut r = rng(2);
-        let mut seen = vec![false; 50];
+        let mut seen = [false; 50];
         for _ in 0..5000 {
             seen[d.sample(&mut r) as usize] = true;
         }

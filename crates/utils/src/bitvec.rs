@@ -96,6 +96,114 @@ impl AtomicBitVec {
     }
 }
 
+/// Generation-stamped concurrent marks: an `O(1)`-reset alternative to
+/// `vec![false; n]` per batch.
+///
+/// Each slot stores the generation in which it was last marked. Bumping the
+/// generation (one integer increment) unmarks every slot at once, so a
+/// tracker that processes thousands of batches never re-allocates or
+/// re-zeroes its scratch. [`try_mark`](GenerationMarks::try_mark) is the
+/// same first-setter-wins CAS primitive as [`AtomicBitVec::try_set`].
+///
+/// # Examples
+///
+/// ```
+/// use saga_utils::bitvec::GenerationMarks;
+///
+/// let mut marks = GenerationMarks::new(100);
+/// marks.next_generation();
+/// assert!(marks.try_mark(7));
+/// assert!(!marks.try_mark(7)); // already marked this generation
+/// marks.next_generation(); // O(1) reset
+/// assert!(!marks.is_marked(7));
+/// assert!(marks.try_mark(7));
+/// ```
+pub struct GenerationMarks {
+    stamps: Vec<AtomicU64>,
+    generation: u64,
+}
+
+impl std::fmt::Debug for GenerationMarks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GenerationMarks")
+            .field("len", &self.stamps.len())
+            .field("generation", &self.generation)
+            .finish()
+    }
+}
+
+impl GenerationMarks {
+    /// Creates `len` unmarked slots. Generation 0 is reserved as "never
+    /// marked"; call [`next_generation`](Self::next_generation) before the
+    /// first marking round.
+    pub fn new(len: usize) -> Self {
+        Self {
+            stamps: (0..len).map(|_| AtomicU64::new(0)).collect(),
+            generation: 0,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// Whether there are zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.stamps.is_empty()
+    }
+
+    /// Starts a new generation, logically unmarking every slot in `O(1)`.
+    /// Requires exclusive access: marking and resetting never race.
+    pub fn next_generation(&mut self) {
+        self.generation += 1;
+    }
+
+    /// Grows to at least `len` slots (new slots are unmarked). Existing
+    /// marks are preserved.
+    pub fn resize(&mut self, len: usize) {
+        while self.stamps.len() < len {
+            self.stamps.push(AtomicU64::new(0));
+        }
+    }
+
+    /// Atomically marks slot `i` for the current generation, returning
+    /// `true` iff this call is the generation's first mark of `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn try_mark(&self, i: usize) -> bool {
+        let stamp = &self.stamps[i];
+        let mut seen = stamp.load(Ordering::Acquire);
+        while seen != self.generation {
+            match stamp.compare_exchange_weak(
+                seen,
+                self.generation,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                // Another thread raced us; if it installed the current
+                // generation we lost, otherwise retry from its value.
+                Err(now) => seen = now,
+            }
+        }
+        false
+    }
+
+    /// Whether slot `i` is marked in the current generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn is_marked(&self, i: usize) -> bool {
+        self.stamps[i].load(Ordering::Acquire) == self.generation
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +253,58 @@ mod tests {
     fn out_of_range_get_panics() {
         let bv = AtomicBitVec::new(10);
         bv.get(10);
+    }
+
+    #[test]
+    fn generation_marks_fresh_are_unmarked() {
+        let mut marks = GenerationMarks::new(64);
+        assert_eq!(marks.len(), 64);
+        marks.next_generation();
+        for i in 0..64 {
+            assert!(!marks.is_marked(i));
+        }
+    }
+
+    #[test]
+    fn generation_bump_is_an_o1_reset() {
+        let mut marks = GenerationMarks::new(16);
+        marks.next_generation();
+        assert!(marks.try_mark(3));
+        assert!(!marks.try_mark(3));
+        assert!(marks.is_marked(3));
+        marks.next_generation();
+        assert!(!marks.is_marked(3));
+        assert!(marks.try_mark(3));
+    }
+
+    #[test]
+    fn generation_marks_resize_preserves_marks() {
+        let mut marks = GenerationMarks::new(4);
+        marks.next_generation();
+        assert!(marks.try_mark(1));
+        marks.resize(10);
+        assert_eq!(marks.len(), 10);
+        assert!(marks.is_marked(1));
+        assert!(!marks.is_marked(9));
+        assert!(marks.try_mark(9));
+    }
+
+    #[test]
+    fn concurrent_try_mark_has_single_winner() {
+        use crate::parallel::{Schedule, ThreadPool};
+        let pool = ThreadPool::new(4);
+        let mut marks = GenerationMarks::new(500);
+        for _round in 0..3 {
+            marks.next_generation();
+            let wins = AtomicUsize::new(0);
+            let marks_ref = &marks;
+            pool.parallel_for(0..2000, Schedule::Dynamic(11), |i| {
+                if marks_ref.try_mark(i % 500) {
+                    wins.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert_eq!(wins.load(Ordering::Relaxed), 500);
+        }
     }
 
     #[test]

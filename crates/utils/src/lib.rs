@@ -14,7 +14,11 @@
 //! - [`stats`] — mean / standard deviation / 95% confidence intervals, used
 //!   for the P1/P2/P3 stage aggregation described in §IV-B of the paper.
 //! - [`bitvec`] — an atomic bitvector with a compare-and-swap `set`, used by
-//!   the incremental compute model's `visited` vector (Algorithm 1, line 14).
+//!   the incremental compute model's `visited` vector (Algorithm 1, line 14),
+//!   plus generation-stamped marks for `O(1)`-reset batch scratch.
+//! - [`partition`] — a reusable two-pass parallel counting-sort partitioner
+//!   that groups a batch's edges by destination chunk in `O(batch)` key
+//!   evaluations, replacing the per-chunk batch rescan in the update phase.
 //! - [`timer`] — monotonic phase timers for the batch-latency metric (Eq. 1).
 //! - [`hash`] — small deterministic hash functions for the degree-aware
 //!   hashing data structure.
@@ -25,6 +29,7 @@
 pub mod bitvec;
 pub mod hash;
 pub mod parallel;
+pub mod partition;
 pub mod probe;
 pub mod stats;
 pub mod timer;

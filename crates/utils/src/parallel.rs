@@ -263,10 +263,23 @@ impl Drop for ThreadPool {
 
 /// The contiguous `[lo, hi)` sub-range of `0..n` assigned to worker `w` out
 /// of `threads` under static scheduling.
-fn static_chunk(n: usize, threads: usize, w: usize) -> (usize, usize) {
+///
+/// Deterministic in `(n, threads, w)`: multi-pass algorithms (e.g. the
+/// histogram and scatter passes of [`crate::partition::Partitioner`]) rely
+/// on each worker seeing the identical range in every pass.
+pub(crate) fn static_chunk(n: usize, threads: usize, w: usize) -> (usize, usize) {
     let lo = n * w / threads;
     let hi = n * (w + 1) / threads;
     (lo, hi)
+}
+
+/// Floor share of `n` items per worker across `threads` workers.
+///
+/// The one sizing primitive shared by [`adaptive_grain`] and the batch
+/// partitioner's sequential cutoff ([`crate::partition::Partitioner`]), so
+/// both answer "how much work does one worker see?" identically.
+pub fn per_worker_share(n: usize, threads: usize) -> usize {
+    n / threads.max(1)
 }
 
 /// A dynamic-schedule grain that keeps every worker busy: roughly eight
@@ -274,7 +287,7 @@ fn static_chunk(n: usize, threads: usize, w: usize) -> (usize, usize) {
 /// when the iteration space (e.g. an incremental frontier) is smaller than
 /// `grain * threads`.
 pub fn adaptive_grain(n: usize, threads: usize) -> usize {
-    (n / (threads.max(1) * 8)).clamp(1, 64)
+    (per_worker_share(n, threads) / 8).clamp(1, 64)
 }
 
 fn worker_loop(shared: &Shared, worker_id: usize) {
@@ -409,6 +422,36 @@ mod tests {
                 assert_eq!(covered, n);
             }
         }
+    }
+
+    #[test]
+    fn per_worker_share_boundaries() {
+        // Zero items: nobody gets work.
+        assert_eq!(per_worker_share(0, 4), 0);
+        // Fewer items than workers: floor share is zero.
+        assert_eq!(per_worker_share(3, 4), 0);
+        // Zero threads is treated as one worker, never a division by zero.
+        assert_eq!(per_worker_share(10, 0), 10);
+        // Exact and inexact splits.
+        assert_eq!(per_worker_share(64, 4), 16);
+        assert_eq!(per_worker_share(65, 4), 16);
+        // Huge n does not overflow.
+        assert_eq!(per_worker_share(usize::MAX, 1), usize::MAX);
+    }
+
+    #[test]
+    fn adaptive_grain_boundaries() {
+        // Empty and tiny iteration spaces clamp to the minimum grain.
+        assert_eq!(adaptive_grain(0, 4), 1);
+        assert_eq!(adaptive_grain(3, 4), 1);
+        assert_eq!(adaptive_grain(31, 4), 1);
+        // Huge n clamps to the maximum grain.
+        assert_eq!(adaptive_grain(1 << 30, 4), 64);
+        assert_eq!(adaptive_grain(usize::MAX, 1), 64);
+        // Interior: eight chunks per worker.
+        assert_eq!(adaptive_grain(320, 4), 10);
+        // Zero threads behaves like one worker.
+        assert_eq!(adaptive_grain(320, 0), 40);
     }
 
     #[test]

@@ -40,7 +40,7 @@ proptest! {
     #[test]
     fn bitvec_matches_bool_vec_model(ops in prop::collection::vec((0usize..200, any::<bool>()), 0..400)) {
         let bv = AtomicBitVec::new(200);
-        let mut model = vec![false; 200];
+        let mut model = [false; 200];
         for &(i, use_try) in &ops {
             if use_try {
                 let newly = bv.try_set(i);
@@ -50,8 +50,8 @@ proptest! {
             }
             model[i] = true;
         }
-        for i in 0..200 {
-            prop_assert_eq!(bv.get(i), model[i]);
+        for (i, &m) in model.iter().enumerate() {
+            prop_assert_eq!(bv.get(i), m);
         }
         prop_assert_eq!(bv.count_ones(), model.iter().filter(|&&b| b).count());
     }

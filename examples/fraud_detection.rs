@@ -55,7 +55,7 @@ fn main() {
     for (i, batch) in stream.batches(stream.suggested_batch_size).enumerate() {
         let sw = Stopwatch::start();
         graph.update_batch(batch, &pool);
-        let impact = tracker.process_batch(graph.as_ref(), batch, false);
+        let impact = tracker.process_batch(graph.as_ref(), batch, false, &pool);
         distances.perform_alg(graph.as_ref(), &impact.affected, &impact.new_vertices, &pool);
         let latency = sw.elapsed_secs();
 

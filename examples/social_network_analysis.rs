@@ -68,9 +68,9 @@ fn main() {
             active[e.src as usize] = true;
             active[e.dst as usize] = true;
         }
-        let cc_impact = cc_tracker.process_batch(graph.as_ref(), batch, false);
+        let cc_impact = cc_tracker.process_batch(graph.as_ref(), batch, false, &pool);
         communities.perform_alg(graph.as_ref(), &cc_impact.affected, &cc_impact.new_vertices, &pool);
-        let pr_impact = pr_tracker.process_batch(graph.as_ref(), batch, true);
+        let pr_impact = pr_tracker.process_batch(graph.as_ref(), batch, true, &pool);
         influence.perform_alg(graph.as_ref(), &pr_impact.affected, &pr_impact.new_vertices, &pool);
 
         let members = active.iter().filter(|&&a| a).count();

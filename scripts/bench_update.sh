@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Update-phase ingestion benchmark: partitioned vs rescan routing on the
+# chunk-owned structures. Writes results/BENCH_update.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run -p saga-bench --release --bin bench_update "$@"
