@@ -11,7 +11,7 @@
 use crate::program::{ValueStore, VertexProgram};
 use saga_graph::GraphTopology;
 use saga_utils::parallel::{Schedule, ThreadPool};
-use std::sync::atomic::{AtomicBool, Ordering};
+use saga_utils::sync::atomic::{AtomicBool, Ordering};
 
 /// Resets every vertex to the program's initial value (the "oblivious"
 /// restart of the FS model).

@@ -17,7 +17,7 @@ use crossbeam::queue::SegQueue;
 use saga_graph::{GraphTopology, Node};
 use saga_utils::bitvec::AtomicBitVec;
 use saga_utils::parallel::{Schedule, ThreadPool};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use saga_utils::sync::atomic::{AtomicUsize, Ordering};
 
 /// What an incremental compute phase did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

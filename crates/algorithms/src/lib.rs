@@ -39,7 +39,7 @@ use saga_graph::properties::{AtomicF32Array, AtomicF64Array, AtomicU32Array};
 use saga_graph::{Edge, GraphTopology, Node};
 use saga_utils::bitvec::{AtomicBitVec, GenerationMarks};
 use saga_utils::parallel::{adaptive_grain, ThreadPool};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use saga_utils::sync::atomic::{AtomicUsize, Ordering};
 
 /// The six algorithms (§III-C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -19,7 +19,7 @@ use crate::program::{ValueStore, VertexProgram};
 use saga_graph::properties::AtomicF64Array;
 use saga_graph::{GraphTopology, Node};
 use saga_utils::parallel::{Schedule, ThreadPool};
-use std::sync::atomic::{AtomicU64, Ordering};
+use saga_utils::sync::atomic::{AtomicU64, Ordering};
 
 /// Default damping factor (the paper's 0.85).
 pub const DAMPING: f64 = 0.85;

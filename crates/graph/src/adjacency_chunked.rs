@@ -29,7 +29,7 @@ use parking_lot::Mutex;
 use saga_utils::parallel::ThreadPool;
 use saga_utils::partition::Partitioner;
 use saga_utils::probe;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use saga_utils::sync::atomic::{AtomicUsize, Ordering};
 
 /// Neighbor vectors for the vertices owned by one chunk, indexed by
 /// `v / chunks` (the local index of vertex `v` in chunk `v % chunks`).

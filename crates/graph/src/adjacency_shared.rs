@@ -27,7 +27,7 @@ use crate::{DataStructureKind, DynamicGraph, Edge, GraphTopology, Node, UpdateSt
 use parking_lot::{Mutex, MutexGuard};
 use saga_utils::parallel::{Schedule, ThreadPool};
 use saga_utils::probe;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use saga_utils::sync::atomic::{AtomicUsize, Ordering};
 
 /// Buckets per pool worker in partitioned-ingest mode: more buckets than
 /// workers lets the dynamic bucket cursor balance skewed batches.

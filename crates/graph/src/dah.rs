@@ -27,7 +27,7 @@ use crate::{DataStructureKind, DynamicGraph, Edge, GraphTopology, Node, UpdateSt
 use parking_lot::Mutex;
 use saga_utils::parallel::ThreadPool;
 use saga_utils::probe;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use saga_utils::sync::atomic::{AtomicUsize, Ordering};
 
 /// Low-table degree beyond which a vertex's edges are flushed to the
 /// high-degree table.

@@ -8,7 +8,7 @@
 //! `fetch_max`.
 
 use saga_utils::probe;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use saga_utils::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Shared array of `f64` values (PageRank scores).
 ///

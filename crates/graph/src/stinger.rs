@@ -25,7 +25,7 @@ use crate::{DataStructureKind, DynamicGraph, Edge, GraphTopology, Node, UpdateSt
 use parking_lot::{Mutex, RwLock};
 use saga_utils::parallel::{Schedule, ThreadPool};
 use saga_utils::probe;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use saga_utils::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Edges per block, matching the paper's Stinger configuration.

@@ -61,26 +61,31 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
     #[test]
+    #[cfg_attr(miri, ignore)] // proptest persistence + case counts are not Miri-sized
     fn as_matches_oracle_under_churn(ops in arb_ops(), directed in any::<bool>()) {
         check(DataStructureKind::AdjacencyShared, directed, &ops, 4);
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // proptest persistence + case counts are not Miri-sized
     fn ac_matches_oracle_under_churn(ops in arb_ops(), directed in any::<bool>()) {
         check(DataStructureKind::AdjacencyChunked, directed, &ops, 4);
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // proptest persistence + case counts are not Miri-sized
     fn stinger_matches_oracle_under_churn(ops in arb_ops(), directed in any::<bool>()) {
         check(DataStructureKind::Stinger, directed, &ops, 4);
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // proptest persistence + case counts are not Miri-sized
     fn dah_matches_oracle_under_churn(ops in arb_ops(), directed in any::<bool>()) {
         check(DataStructureKind::Dah, directed, &ops, 4);
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // proptest persistence + case counts are not Miri-sized
     fn delete_everything_leaves_an_empty_graph(edges in arb_edges(120)) {
         for kind in DataStructureKind::ALL {
             let pool = ThreadPool::new(3);

@@ -27,6 +27,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
+    #[cfg_attr(miri, ignore)] // proptest persistence + case counts are not Miri-sized
     fn robin_hood_matches_btree_model(ops in arb_rh_ops()) {
         let mut table = RobinHoodEdgeTable::new();
         let mut model: BTreeMap<(u32, u32), f32> = BTreeMap::new();
@@ -70,6 +71,7 @@ proptest! {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // proptest persistence + case counts are not Miri-sized
     fn open_table_matches_set_model(dsts in prop::collection::vec(0u32..500, 0..600)) {
         let mut table = OpenEdgeTable::new();
         let mut model: BTreeSet<u32> = BTreeSet::new();

@@ -70,6 +70,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
+    #[cfg_attr(miri, ignore)] // proptest persistence + case counts are not Miri-sized
     fn as_partitioned_matches_oracle(
         ops in arb_ops(),
         directed in any::<bool>(),
@@ -79,6 +80,7 @@ proptest! {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // proptest persistence + case counts are not Miri-sized
     fn ac_partitioned_matches_oracle(
         ops in arb_ops(),
         directed in any::<bool>(),
@@ -88,6 +90,7 @@ proptest! {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // proptest persistence + case counts are not Miri-sized
     fn stinger_partitioned_matches_oracle(
         ops in arb_ops(),
         directed in any::<bool>(),
@@ -97,6 +100,7 @@ proptest! {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // proptest persistence + case counts are not Miri-sized
     fn dah_partitioned_matches_oracle(
         ops in arb_ops(),
         directed in any::<bool>(),
@@ -106,6 +110,7 @@ proptest! {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // proptest persistence + case counts are not Miri-sized
     fn rescan_and_partitioned_chunked_paths_agree(
         edges in arb_edges(120),
         directed in any::<bool>(),

@@ -70,6 +70,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
+    #[cfg_attr(miri, ignore)] // proptest persistence + case counts are not Miri-sized
     fn every_version_matches_its_prefix(batches in arb_batches(), directed in any::<bool>()) {
         let mut store = SnapshotStore::new(MAX_NODES, directed);
         for batch in &batches {
@@ -82,6 +83,7 @@ proptest! {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // proptest persistence + case counts are not Miri-sized
     fn latest_is_the_last_version(batches in arb_batches()) {
         let mut store = SnapshotStore::new(MAX_NODES, true);
         for batch in &batches {

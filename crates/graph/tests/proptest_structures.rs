@@ -53,26 +53,31 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
+    #[cfg_attr(miri, ignore)] // proptest persistence + case counts are not Miri-sized
     fn adjacency_shared_matches_oracle(batches in arb_batches(), directed in any::<bool>()) {
         check_structure_against_oracle(DataStructureKind::AdjacencyShared, directed, &batches, 4);
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // proptest persistence + case counts are not Miri-sized
     fn adjacency_chunked_matches_oracle(batches in arb_batches(), directed in any::<bool>()) {
         check_structure_against_oracle(DataStructureKind::AdjacencyChunked, directed, &batches, 4);
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // proptest persistence + case counts are not Miri-sized
     fn stinger_matches_oracle(batches in arb_batches(), directed in any::<bool>()) {
         check_structure_against_oracle(DataStructureKind::Stinger, directed, &batches, 4);
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // proptest persistence + case counts are not Miri-sized
     fn dah_matches_oracle(batches in arb_batches(), directed in any::<bool>()) {
         check_structure_against_oracle(DataStructureKind::Dah, directed, &batches, 4);
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // proptest persistence + case counts are not Miri-sized
     fn single_threaded_pool_equals_multithreaded(batches in arb_batches()) {
         // Thread count must never change the resulting topology.
         for kind in DataStructureKind::ALL {
@@ -100,6 +105,7 @@ proptest! {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // proptest persistence + case counts are not Miri-sized
     fn csr_snapshot_is_faithful(batches in arb_batches(), directed in any::<bool>()) {
         let pool = ThreadPool::new(2);
         let graph = build_graph(DataStructureKind::Stinger, MAX_NODES, directed, pool.threads());

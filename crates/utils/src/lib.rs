@@ -22,6 +22,10 @@
 //! - [`timer`] — monotonic phase timers for the batch-latency metric (Eq. 1).
 //! - [`hash`] — small deterministic hash functions for the degree-aware
 //!   hashing data structure.
+//! - [`sync`] — the synchronization facade: `std`/`parking_lot` primitives
+//!   normally, the `saga-loom` model checker's instrumented versions under
+//!   `--cfg loom`. All other modules (and crates) take their atomics,
+//!   locks, and thread spawns from here.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -32,6 +36,7 @@ pub mod parallel;
 pub mod partition;
 pub mod probe;
 pub mod stats;
+pub mod sync;
 pub mod timer;
 
 pub use bitvec::AtomicBitVec;

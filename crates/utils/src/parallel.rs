@@ -15,7 +15,7 @@
 //!
 //! ```
 //! use saga_utils::parallel::{Schedule, ThreadPool};
-//! use std::sync::atomic::{AtomicUsize, Ordering};
+//! use saga_utils::sync::atomic::{AtomicUsize, Ordering};
 //!
 //! let pool = ThreadPool::new(4);
 //! let sum = AtomicUsize::new(0);
@@ -25,11 +25,10 @@
 //! assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
 //! ```
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::thread::JoinHandle;
+use crate::sync::{thread, Arc, Condvar, Mutex};
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// Loop-scheduling policy for [`ThreadPool::parallel_for`].
 ///
@@ -46,19 +45,64 @@ pub enum Schedule {
     Dynamic(usize),
 }
 
-/// A type-erased pointer to the closure currently being executed.
+/// A type-erased pointer to the closure currently being executed, plus the
+/// monomorphized shim that calls it.
 ///
+/// Type and lifetime erasure happen by plain thin-pointer casts (`*const F`
+/// → `*const ()`), never `transmute`, so pointer provenance is preserved
+/// and Miri/TSan can track the access back to the dispatcher's stack frame.
 /// The pointer is only dereferenced while the dispatching thread is blocked
 /// in [`ThreadPool::run_on_all`], which keeps the underlying closure (and
-/// everything it borrows) alive, so the lifetime erasure is sound.
+/// everything it borrows) alive.
 #[derive(Clone, Copy)]
 struct Job {
-    func: *const (dyn Fn(usize) + Sync),
+    /// Thin pointer to the dispatcher's closure (`*const F`, erased).
+    data: *const (),
+    /// Monomorphized trampoline that casts `data` back to `*const F` and
+    /// calls it with the worker id.
+    call: unsafe fn(*const (), usize),
 }
 
-// SAFETY: the closure behind `func` is `Sync`, and the dispatcher guarantees
-// it outlives every worker's use of it (see `run_on_all`).
+// SAFETY: `data` points to a closure that is `Sync` (bound enforced by
+// `Job::new`), and the dispatcher guarantees it outlives every worker's
+// use of it (see `run_on_all`), so sending the pointer to workers is sound.
 unsafe impl Send for Job {}
+
+impl Job {
+    /// Erases `f` into a thin pointer + trampoline pair.
+    ///
+    /// The cast chain `&F → *const F → *const ()` is safe code; the
+    /// soundness obligation (the pointee must still be alive at call time)
+    /// is carried by [`Self::call_on`]'s contract.
+    fn new<F: Fn(usize) + Sync>(f: &F) -> Self {
+        /// # Safety
+        ///
+        /// `data` must be the still-live `F` this trampoline was
+        /// monomorphized for (guaranteed by [`Job::call_on`]'s contract).
+        unsafe fn trampoline<F: Fn(usize) + Sync>(data: *const (), worker: usize) {
+            // SAFETY: `call_on`'s contract guarantees `data` is the still
+            // live `F` this trampoline was monomorphized for.
+            let f = unsafe { &*data.cast::<F>() };
+            f(worker);
+        }
+        Self {
+            data: (f as *const F).cast::<()>(),
+            call: trampoline::<F>,
+        }
+    }
+
+    /// Calls the erased closure with `worker`.
+    ///
+    /// # Safety
+    ///
+    /// The closure passed to [`Job::new`] must still be alive, and must not
+    /// be accessed mutably by anyone for the duration of the call.
+    unsafe fn call_on(&self, worker: usize) {
+        // SAFETY: forwarded contract — the caller guarantees liveness and
+        // the `F: Sync` bound in `Job::new` makes shared calls sound.
+        unsafe { (self.call)(self.data, worker) };
+    }
+}
 
 struct PoolState {
     epoch: u64,
@@ -80,7 +124,7 @@ struct Shared {
 /// convenient for the single-core point of the scaling study.
 pub struct ThreadPool {
     shared: Arc<Shared>,
-    handles: Vec<JoinHandle<()>>,
+    handles: Vec<JoinHandle>,
     threads: usize,
 }
 
@@ -114,12 +158,10 @@ impl ThreadPool {
         let mut handles = Vec::with_capacity(threads.saturating_sub(1));
         for worker_id in 1..threads {
             let shared = Arc::clone(&shared);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("saga-worker-{worker_id}"))
-                    .spawn(move || worker_loop(&shared, worker_id))
-                    .expect("failed to spawn worker thread"),
-            );
+            handles.push(thread::spawn_named(
+                format!("saga-worker-{worker_id}"),
+                move || worker_loop(&shared, worker_id),
+            ));
         }
         Self {
             shared,
@@ -130,10 +172,7 @@ impl ThreadPool {
 
     /// Creates a pool sized to the machine's available parallelism.
     pub fn with_available_parallelism() -> Self {
-        let n = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        Self::new(n)
+        Self::new(thread::available_parallelism())
     }
 
     /// Number of workers (including the calling thread).
@@ -158,13 +197,12 @@ impl ThreadPool {
             f(0);
             return;
         }
-        let erased: &(dyn Fn(usize) + Sync) = &f;
-        // SAFETY: we block below until `remaining == 0`, i.e. until every
-        // worker has finished calling the closure, so the borrow cannot
-        // dangle even though we erase its lifetime here.
-        let job = Job {
-            func: unsafe { std::mem::transmute(erased) },
-        };
+        // INVARIANT: the erased pointer inside `job` is dereferenced only
+        // by workers between the `work_ready` notification below and the
+        // `remaining == 0` wait that follows, during which this frame (and
+        // therefore `f`) is pinned — see the SAFETY comment at the
+        // `call_on` in `worker_loop`.
+        let job = Job::new(&f);
         {
             let mut state = self.shared.state.lock();
             debug_assert!(state.job.is_none(), "nested parallel regions are not supported");
@@ -307,9 +345,9 @@ fn worker_loop(shared: &Shared, worker_id: usize) {
             }
         };
         // SAFETY: the dispatcher blocks until `remaining == 0`, so the
-        // closure behind this pointer is alive for the duration of the call.
-        let func = unsafe { &*job.func };
-        func(worker_id);
+        // closure behind the job's pointer is alive for the duration of
+        // the call, and `run_on_all` only shares it immutably.
+        unsafe { job.call_on(worker_id) };
         let mut state = shared.state.lock();
         state.remaining -= 1;
         if state.remaining == 0 {
@@ -321,7 +359,17 @@ fn worker_loop(shared: &Shared, worker_id: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use crate::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Miri interprets every instruction; shrink iteration counts so the
+    /// suite stays Miri-sized while native runs keep full coverage.
+    const fn scaled(n: usize) -> usize {
+        if cfg!(miri) {
+            n / 10
+        } else {
+            n
+        }
+    }
 
     #[test]
     fn single_thread_runs_inline() {
@@ -336,8 +384,8 @@ mod tests {
     #[test]
     fn static_schedule_covers_every_index_once() {
         let pool = ThreadPool::new(4);
-        let counts: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
-        pool.parallel_for(0..1000, Schedule::Static, |i| {
+        let counts: Vec<AtomicUsize> = (0..scaled(1000)).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(0..scaled(1000), Schedule::Static, |i| {
             counts[i].fetch_add(1, Ordering::Relaxed);
         });
         assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
@@ -346,8 +394,8 @@ mod tests {
     #[test]
     fn dynamic_schedule_covers_every_index_once() {
         let pool = ThreadPool::new(4);
-        let counts: Vec<AtomicUsize> = (0..1003).map(|_| AtomicUsize::new(0)).collect();
-        pool.parallel_for(0..1003, Schedule::Dynamic(7), |i| {
+        let counts: Vec<AtomicUsize> = (0..scaled(1000) + 3).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(0..scaled(1000) + 3, Schedule::Dynamic(7), |i| {
             counts[i].fetch_add(1, Ordering::Relaxed);
         });
         assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
@@ -397,12 +445,12 @@ mod tests {
     fn pool_survives_many_dispatches() {
         let pool = ThreadPool::new(4);
         let total = AtomicUsize::new(0);
-        for _ in 0..200 {
+        for _ in 0..scaled(200) {
             pool.parallel_for(0..64, Schedule::Static, |_| {
                 total.fetch_add(1, Ordering::Relaxed);
             });
         }
-        assert_eq!(total.load(Ordering::Relaxed), 200 * 64);
+        assert_eq!(total.load(Ordering::Relaxed), scaled(200) * 64);
     }
 
     #[test]

@@ -44,7 +44,13 @@ use std::marker::PhantomData;
 
 /// Below this many items per worker the two parallel passes are not worth
 /// two fork-joins; the partitioner runs both passes inline on the caller.
+#[cfg(not(loom))]
 const SEQUENTIAL_CUTOFF: usize = 64;
+
+/// Under the loom model the cutoff drops to 1 so that tiny model-checked
+/// batches still exercise the parallel histogram/scatter path.
+#[cfg(loom)]
+const SEQUENTIAL_CUTOFF: usize = 1;
 
 /// A writable slice view that can be shared across pool workers.
 ///
@@ -58,6 +64,9 @@ struct SharedSlice<'a, T> {
     _marker: PhantomData<&'a mut [T]>,
 }
 
+// SAFETY: workers only touch disjoint positions (enforced by each caller's
+// `SAFETY` note) and the fork-join barrier sequences their writes before
+// the dispatcher's reads, so sharing the raw view is sound for `T: Send`.
 unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
 
 impl<'a, T> SharedSlice<'a, T> {
@@ -76,6 +85,8 @@ impl<'a, T> SharedSlice<'a, T> {
     #[inline]
     unsafe fn write(&self, i: usize, value: T) {
         debug_assert!(i < self.len);
+        // SAFETY: forwarded contract — `i < len` and exclusivity of
+        // position `i` are the caller's obligations (see `# Safety`).
         unsafe { self.ptr.add(i).write(value) };
     }
 
@@ -88,6 +99,8 @@ impl<'a, T> SharedSlice<'a, T> {
         T: Copy,
     {
         debug_assert!(i < self.len);
+        // SAFETY: forwarded contract — same disjointness obligation as
+        // `write` (see `# Safety`).
         unsafe { self.ptr.add(i).read() }
     }
 }
@@ -218,6 +231,8 @@ impl Partitioner {
                 }
                 // The cached keys are the pass's working set (one store per
                 // item); recorded coarsely for the cache simulator.
+                // SAFETY: `lo <= len`, so the offset pointer stays within
+                // (one past) the allocation; it is only used as an address.
                 probe::write(unsafe { keys.ptr.add(lo) } as *const u32, hi - lo);
             };
             if workers == 1 {
@@ -261,6 +276,8 @@ impl Partitioner {
                         cursors.write(row, pos + 1);
                     }
                 }
+                // SAFETY: as in pass 1 — `lo <= len` keeps the offset in
+                // bounds; the pointer is only recorded as an address.
                 probe::read(unsafe { keys.ptr.add(lo) } as *const u32, hi - lo);
                 // The scatter writes land across the whole index array;
                 // record this worker's share at item granularity.
@@ -292,6 +309,16 @@ mod tests {
         assert_eq!(collect(&p), vec![Vec::<u32>::new(); 3]);
     }
 
+    /// Miri interprets every instruction; shrink batch sizes so the suite
+    /// stays Miri-sized while native runs keep full coverage.
+    const fn scaled(n: usize) -> usize {
+        if cfg!(miri) {
+            n / 50
+        } else {
+            n
+        }
+    }
+
     #[test]
     fn single_bucket_keeps_order() {
         let pool = ThreadPool::new(2);
@@ -303,7 +330,7 @@ mod tests {
     #[test]
     fn partition_is_stable_and_exact() {
         let pool = ThreadPool::new(4);
-        let n = 10_000;
+        let n = scaled(10_000);
         let buckets = 7;
         let key = |i: usize| (i * 31 + i / 13) % buckets;
         let mut p = Partitioner::new();
@@ -321,7 +348,7 @@ mod tests {
 
     #[test]
     fn matches_sequential_reference_across_thread_counts() {
-        let n = 4_097;
+        let n = scaled(4_000) + 97;
         let buckets = 5;
         let key = |i: usize| (i * 7919) % buckets;
         let mut expected: Vec<Vec<u32>> = vec![Vec::new(); buckets];
@@ -340,7 +367,7 @@ mod tests {
     fn scratch_is_reused_across_batches() {
         let pool = ThreadPool::new(2);
         let mut p = Partitioner::new();
-        p.partition(&pool, 1_000, 4, |i| i % 4);
+        p.partition(&pool, scaled(1_000), 4, |i| i % 4);
         let first: Vec<_> = collect(&p);
         // A smaller batch with different geometry must fully overwrite the
         // previous result.
@@ -350,16 +377,16 @@ mod tests {
         assert_eq!(p.bucket(0), &[0, 2, 4, 6, 8]);
         assert_eq!(p.bucket(1), &[1, 3, 5, 7, 9]);
         // And re-running the first geometry reproduces it exactly.
-        p.partition(&pool, 1_000, 4, |i| i % 4);
+        p.partition(&pool, scaled(1_000), 4, |i| i % 4);
         assert_eq!(collect(&p), first);
     }
 
     #[test]
     fn key_evaluated_exactly_once_per_item() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
+        use crate::sync::atomic::{AtomicUsize, Ordering};
         let pool = ThreadPool::new(4);
         let evals = AtomicUsize::new(0);
-        let n = 10_000;
+        let n = scaled(10_000);
         let mut p = Partitioner::new();
         p.partition(&pool, n, 16, |i| {
             evals.fetch_add(1, Ordering::Relaxed);
@@ -379,7 +406,7 @@ mod tests {
     #[test]
     fn heavy_skew_single_bucket_holds_everything() {
         let pool = ThreadPool::new(4);
-        let n = 5_000;
+        let n = scaled(5_000);
         let mut p = Partitioner::new();
         // Hub pattern: every item lands in bucket 3.
         p.partition(&pool, n, 8, |_| 3);

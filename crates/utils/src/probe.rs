@@ -30,9 +30,9 @@
 //! assert_eq!(trace.total_accesses, 1);
 //! ```
 
-use parking_lot::Mutex;
+use crate::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::Mutex;
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// One traced memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

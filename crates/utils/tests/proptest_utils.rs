@@ -4,12 +4,13 @@ use proptest::prelude::*;
 use saga_utils::bitvec::AtomicBitVec;
 use saga_utils::parallel::{Schedule, ThreadPool};
 use saga_utils::stats::Summary;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use saga_utils::sync::atomic::{AtomicUsize, Ordering};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
+    #[cfg_attr(miri, ignore)] // proptest persistence + case counts are not Miri-sized
     fn summary_matches_naive_formulas(samples in prop::collection::vec(-1e6f64..1e6, 1..200)) {
         let s = Summary::from_samples(&samples);
         let n = samples.len() as f64;
@@ -27,6 +28,7 @@ proptest! {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // proptest persistence + case counts are not Miri-sized
     fn competitive_is_symmetric_and_reflexive(
         a in prop::collection::vec(0.0f64..100.0, 2..30),
         b in prop::collection::vec(0.0f64..100.0, 2..30),
@@ -38,6 +40,7 @@ proptest! {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // proptest persistence + case counts are not Miri-sized
     fn bitvec_matches_bool_vec_model(ops in prop::collection::vec((0usize..200, any::<bool>()), 0..400)) {
         let bv = AtomicBitVec::new(200);
         let mut model = [false; 200];
@@ -57,6 +60,7 @@ proptest! {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // proptest persistence + case counts are not Miri-sized
     fn parallel_for_touches_each_index_once(
         n in 0usize..2000,
         threads in 1usize..6,

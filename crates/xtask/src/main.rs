@@ -1,0 +1,470 @@
+//! Workspace automation tasks (`cargo xtask <task>`).
+//!
+//! The only task today is `lint`: a SAFETY-invariant pass over every `.rs`
+//! file in the workspace that enforces the conventions the compiler cannot
+//! (see DESIGN.md §7):
+//!
+//! 1. every `unsafe` block and `unsafe impl` is annotated with a
+//!    `// SAFETY:` comment (immediately above, or trailing on the line);
+//! 2. every `unsafe fn` declaration carries a `# Safety` section in its
+//!    doc comment;
+//! 3. `std::thread::spawn` / `std::thread::Builder` appear only inside the
+//!    pool (`crates/utils/src/parallel.rs`), the sync facade
+//!    (`crates/utils/src/sync.rs`), and the model checker (`crates/loom/`)
+//!    — all other code must go through `saga_utils::parallel`;
+//! 4. `std::sync::atomic` is imported only by the sync facade and the
+//!    model checker — all other code must use `saga_utils::sync::atomic`
+//!    so that `--cfg loom` swaps in the model-checked types everywhere;
+//! 5. (informational) every `Ordering::Relaxed` site is listed for audit.
+//!
+//! The scanner is deliberately line-based (no full parser is available
+//! offline): block comments, line comments, and string literals are
+//! stripped before matching, which is exact enough for the workspace's
+//! code style and errs on the side of flagging.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("unknown task `{other}`; available tasks: lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask <task>\n\ntasks:\n  lint    SAFETY-invariant pass");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Workspace root, derived from this crate's manifest directory.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    for top in ["crates", "src", "benches", "tests"] {
+        collect_rs_files(&root.join(top), &mut files);
+    }
+    files.sort();
+
+    let mut violations = Vec::new();
+    let mut relaxed = Vec::new();
+    for path in &files {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("warning: skipping unreadable {}: {e}", path.display());
+                continue;
+            }
+        };
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let report = scan_file(&rel, &source);
+        violations.extend(report.violations);
+        relaxed.extend(report.relaxed_sites);
+    }
+
+    println!("xtask lint: scanned {} files", files.len());
+    if !relaxed.is_empty() {
+        println!("\nOrdering::Relaxed audit ({} sites — informational):", relaxed.len());
+        for site in &relaxed {
+            println!("  {site}");
+        }
+    }
+    if violations.is_empty() {
+        println!("\nxtask lint: OK (no SAFETY-invariant violations)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nxtask lint: {} violation(s):", violations.len());
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Result of scanning one file.
+#[derive(Debug, Default)]
+struct Report {
+    /// Convention violations (fail the lint).
+    violations: Vec<String>,
+    /// `Ordering::Relaxed` sites (informational audit).
+    relaxed_sites: Vec<String>,
+}
+
+/// Files allowed to spawn OS threads directly.
+const THREAD_ALLOWLIST: &[&str] = &["crates/utils/src/parallel.rs", "crates/utils/src/sync.rs"];
+
+/// Files allowed to name `std::sync::atomic` directly.
+const ATOMIC_ALLOWLIST: &[&str] = &["crates/utils/src/sync.rs"];
+
+/// Directory prefixes exempt from the facade bans (the model checker IS the
+/// other side of the facade, and must use the real primitives).
+const FACADE_EXEMPT_DIRS: &[&str] = &["crates/loom/"];
+
+/// One source line after comment/string stripping.
+struct Line {
+    /// Code with comments and string-literal contents removed.
+    code: String,
+    /// Comment text on the line (contents after `//`, or inside `/* */`).
+    comment: String,
+    /// True when the line holds only a comment (and/or whitespace).
+    pure_comment: bool,
+}
+
+/// Scans one file's source and reports violations. Pure function of its
+/// inputs so the unit tests can seed violations from string literals.
+fn scan_file(rel_path: &str, source: &str) -> Report {
+    let mut report = Report::default();
+    let exempt = FACADE_EXEMPT_DIRS.iter().any(|d| rel_path.starts_with(d));
+    let lines = strip(source);
+
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let code = line.code.as_str();
+
+        if !exempt {
+            if (contains_token_path(code, "std::thread::spawn")
+                || contains_token_path(code, "std::thread::Builder"))
+                && !THREAD_ALLOWLIST.contains(&rel_path)
+            {
+                report.violations.push(format!(
+                    "{rel_path}:{lineno}: direct OS-thread spawn outside \
+                     saga_utils::parallel (use the pool or the sync facade)"
+                ));
+            }
+            if code.contains("std::sync::atomic") && !ATOMIC_ALLOWLIST.contains(&rel_path) {
+                report.violations.push(format!(
+                    "{rel_path}:{lineno}: direct `std::sync::atomic` use outside the sync \
+                     facade (use `saga_utils::sync::atomic` so `--cfg loom` applies)"
+                ));
+            }
+        }
+
+        if code.contains("Ordering::Relaxed") {
+            report.relaxed_sites.push(format!("{rel_path}:{lineno}"));
+        }
+
+        for site in unsafe_sites(code) {
+            match site {
+                UnsafeSite::Fn => {
+                    if !doc_block_above(&lines, idx).contains("# Safety") {
+                        report.violations.push(format!(
+                            "{rel_path}:{lineno}: `unsafe fn` without a `# Safety` doc section"
+                        ));
+                    }
+                }
+                UnsafeSite::Impl | UnsafeSite::Block => {
+                    let here = line.comment.contains("SAFETY:");
+                    let above = comment_block_above(&lines, idx).contains("SAFETY:");
+                    if !here && !above {
+                        let what = if site == UnsafeSite::Impl { "impl" } else { "block" };
+                        report.violations.push(format!(
+                            "{rel_path}:{lineno}: `unsafe {what}` without a `// SAFETY:` comment"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Kind of `unsafe` occurrence found on a line.
+#[derive(Debug, PartialEq, Eq)]
+enum UnsafeSite {
+    /// `unsafe fn name(...)` declaration (fn-pointer types don't count).
+    Fn,
+    /// `unsafe impl Trait for T`.
+    Impl,
+    /// `unsafe { ... }` block (or any other `unsafe` use).
+    Block,
+}
+
+/// Finds every `unsafe` keyword on a stripped code line and classifies it.
+fn unsafe_sites(code: &str) -> Vec<UnsafeSite> {
+    let mut sites = Vec::new();
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find("unsafe") {
+        let at = start + pos;
+        start = at + "unsafe".len();
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let after = &code[at + "unsafe".len()..];
+        let after_ok = after.is_empty() || !is_ident_byte(after.as_bytes()[0]);
+        if !(before_ok && after_ok) {
+            continue; // part of an identifier like `unsafe_op_in_unsafe_fn`
+        }
+        let rest = after.trim_start();
+        if let Some(rest) = rest.strip_prefix("fn") {
+            // `unsafe fn(` is a function-pointer *type*; a declaration has
+            // an identifier (or generics) after `fn`.
+            let is_decl = rest
+                .trim_start()
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+            if is_decl {
+                sites.push(UnsafeSite::Fn);
+            }
+        } else if rest.starts_with("impl") || rest.starts_with("extern") {
+            sites.push(UnsafeSite::Impl);
+        } else {
+            sites.push(UnsafeSite::Block);
+        }
+    }
+    sites
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// `std::thread::spawn`-style path match with identifier boundaries, so
+/// that e.g. `my_std::thread::spawner` doesn't count.
+fn contains_token_path(code: &str, needle: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(needle) {
+        let at = start + pos;
+        start = at + needle.len();
+        let before_ok = at == 0 || {
+            let b = bytes[at - 1];
+            !is_ident_byte(b) && b != b':'
+        };
+        let end = at + needle.len();
+        let after_ok = end == code.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+    }
+    false
+}
+
+/// Concatenated comment text of the contiguous pure-comment lines directly
+/// above `idx` (attribute lines like `#[inline]` are skipped).
+fn comment_block_above(lines: &[Line], idx: usize) -> String {
+    let mut text = String::new();
+    for line in lines[..idx].iter().rev() {
+        let code = line.code.trim();
+        if line.pure_comment {
+            text.push_str(&line.comment);
+            text.push('\n');
+        } else if code.starts_with("#[") || code.starts_with("#![") {
+            continue; // attributes sit between the comment and the item
+        } else {
+            break;
+        }
+    }
+    text
+}
+
+/// Doc-comment text above `idx`: same walk as [`comment_block_above`], but
+/// callers match `# Safety` inside `///` docs (which land in `comment`).
+fn doc_block_above(lines: &[Line], idx: usize) -> String {
+    comment_block_above(lines, idx)
+}
+
+/// Splits source into [`Line`]s with comments and string contents removed.
+///
+/// Handles `//` line comments, nested-free `/* */` block comments, and
+/// double-quoted string literals with backslash escapes. Char literals and
+/// raw strings are not special-cased; the workspace doesn't put `"` or
+/// `//` inside them.
+fn strip(source: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut in_block_comment = false;
+    for raw in source.lines() {
+        let mut code = String::new();
+        let mut comment = String::new();
+        let mut chars = raw.chars().peekable();
+        let mut in_string = false;
+        // Distinguishes a bare `///` (empty comment text, still a comment
+        // line) from a genuinely blank line, which ends a comment block.
+        let mut saw_comment = in_block_comment;
+        while let Some(c) = chars.next() {
+            if in_block_comment {
+                if c == '*' && chars.peek() == Some(&'/') {
+                    chars.next();
+                    in_block_comment = false;
+                } else {
+                    comment.push(c);
+                }
+                continue;
+            }
+            if in_string {
+                if c == '\\' {
+                    chars.next(); // skip the escaped character
+                } else if c == '"' {
+                    in_string = false;
+                    code.push('"');
+                }
+                continue;
+            }
+            match c {
+                '"' => {
+                    in_string = true;
+                    code.push('"');
+                }
+                '/' if chars.peek() == Some(&'/') => {
+                    saw_comment = true;
+                    comment.push_str(chars.collect::<String>().trim_start_matches('/'));
+                    break;
+                }
+                '/' if chars.peek() == Some(&'*') => {
+                    chars.next();
+                    in_block_comment = true;
+                    saw_comment = true;
+                }
+                _ => code.push(c),
+            }
+        }
+        let pure_comment = code.trim().is_empty() && saw_comment;
+        out.push(Line {
+            code,
+            comment,
+            pure_comment,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_unsafe_block_passes() {
+        let src = "fn f() {\n    // SAFETY: pointer is valid.\n    unsafe { g() };\n}\n";
+        assert!(scan_file("crates/demo/src/lib.rs", src).violations.is_empty());
+    }
+
+    #[test]
+    fn trailing_safety_comment_passes() {
+        let src = "fn f() {\n    unsafe { g() }; // SAFETY: pointer is valid.\n}\n";
+        assert!(scan_file("crates/demo/src/lib.rs", src).violations.is_empty());
+    }
+
+    #[test]
+    fn seeded_unannotated_unsafe_block_fails() {
+        let src = "fn f() {\n    unsafe { g() };\n}\n";
+        let report = scan_file("crates/demo/src/lib.rs", src);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].contains("`unsafe block`"), "{report:?}");
+        assert!(report.violations[0].contains(":2:"), "{report:?}");
+    }
+
+    #[test]
+    fn seeded_unannotated_unsafe_impl_fails() {
+        let src = "struct S;\nunsafe impl Send for S {}\n";
+        let report = scan_file("crates/demo/src/lib.rs", src);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].contains("`unsafe impl`"), "{report:?}");
+    }
+
+    #[test]
+    fn safety_comment_above_attribute_passes() {
+        let src = "// SAFETY: disjoint rows.\n#[allow(dead_code)]\nunsafe impl Send for S {}\n";
+        assert!(scan_file("crates/demo/src/lib.rs", src).violations.is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_without_safety_docs_fails() {
+        let src = "/// Does a thing.\nunsafe fn f() {}\n";
+        let report = scan_file("crates/demo/src/lib.rs", src);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].contains("# Safety"), "{report:?}");
+    }
+
+    #[test]
+    fn unsafe_fn_with_safety_docs_passes() {
+        let src = "/// Does a thing.\n///\n/// # Safety\n///\n/// Caller checks x.\n#[inline]\nunsafe fn f() {}\n";
+        assert!(scan_file("crates/demo/src/lib.rs", src).violations.is_empty());
+    }
+
+    #[test]
+    fn fn_pointer_type_is_not_a_declaration() {
+        let src = "struct J {\n    call: unsafe fn(*const ()),\n}\n";
+        // The field *type* needs no docs; the bare `unsafe` is not a block
+        // either, so nothing is flagged.
+        let report = scan_file("crates/demo/src/lib.rs", src);
+        assert!(
+            report.violations.iter().all(|v| !v.contains("# Safety")),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn unsafe_inside_string_or_comment_is_ignored() {
+        let src = "fn f() {\n    let s = \"unsafe { nope }\";\n    // unsafe impl in prose\n    let _ = s;\n}\n";
+        assert!(scan_file("crates/demo/src/lib.rs", src).violations.is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_outside_pool_fails_and_allowlist_passes() {
+        let src = "fn f() {\n    std::thread::spawn(|| {});\n}\n";
+        let report = scan_file("crates/demo/src/lib.rs", src);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].contains("OS-thread"), "{report:?}");
+        assert!(scan_file("crates/utils/src/parallel.rs", src)
+            .violations
+            .is_empty());
+        assert!(scan_file("crates/loom/src/rt.rs", src).violations.is_empty());
+    }
+
+    #[test]
+    fn atomic_import_outside_facade_fails_and_facade_passes() {
+        let src = "use std::sync::atomic::{AtomicUsize, Ordering};\n";
+        let report = scan_file("crates/graph/src/lib.rs", src);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].contains("sync facade"), "{report:?}");
+        assert!(scan_file("crates/utils/src/sync.rs", src).violations.is_empty());
+        assert!(scan_file("crates/loom/src/sync.rs", src).violations.is_empty());
+    }
+
+    #[test]
+    fn relaxed_ordering_is_reported_not_failed() {
+        let src = "fn f(c: &saga_utils::sync::atomic::AtomicUsize) {\n    c.load(Ordering::Relaxed);\n}\n";
+        let report = scan_file("crates/demo/src/lib.rs", src);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.relaxed_sites, vec!["crates/demo/src/lib.rs:2"]);
+    }
+
+    #[test]
+    fn block_comment_spanning_lines_is_stripped() {
+        let src = "/* unsafe impl Send for S {}\n   still comment */\nfn f() {}\n";
+        assert!(scan_file("crates/demo/src/lib.rs", src).violations.is_empty());
+    }
+}
