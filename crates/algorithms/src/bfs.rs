@@ -76,6 +76,10 @@ impl VertexProgram for BfsProgram {
     fn significant_change(&self, old: u32, new: u32) -> bool {
         new < old
     }
+
+    fn derives_from(&self, value: u32, src_value: u32, _weight: f32) -> bool {
+        value == src_value.saturating_add(1)
+    }
 }
 
 /// Conventional frontier BFS from scratch. `values` must already be reset.

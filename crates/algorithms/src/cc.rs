@@ -72,6 +72,13 @@ impl VertexProgram for CcProgram {
     fn significant_change(&self, old: u32, new: u32) -> bool {
         new < old
     }
+
+    fn derives_from(&self, value: u32, src_value: u32, _weight: f32) -> bool {
+        // Labels propagate unchanged, so a vertex's label may come from any
+        // equal-labeled neighbor. The label's *owner* is never tagged: its
+        // value equals its initial and the repair pass skips those.
+        value == src_value
+    }
 }
 
 #[cfg(test)]

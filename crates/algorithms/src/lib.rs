@@ -33,8 +33,9 @@ pub mod program;
 pub mod sssp;
 pub mod sswp;
 
+use inc::DeletionOutcome;
 use parking_lot::Mutex;
-use program::{ValueStore, VertexProgram};
+use program::{EdgeScope, ValueStore, VertexProgram};
 use saga_graph::properties::{AtomicF32Array, AtomicF64Array, AtomicU32Array};
 use saga_graph::{Edge, GraphTopology, Node};
 use saga_utils::bitvec::{AtomicBitVec, GenerationMarks};
@@ -128,6 +129,11 @@ pub struct AlgorithmParams {
     pub pr_fs_tolerance: f64,
     /// Delta-stepping bucket width for SSSP.
     pub sssp_delta: f32,
+    /// Deletion-repair cascade threshold as a fraction of the vertex
+    /// universe: when a deletion batch's repair closure would reset more
+    /// than `capacity * repair_cascade_fraction` vertices, the incremental
+    /// model falls back to from-scratch recomputation for that batch.
+    pub repair_cascade_fraction: f64,
 }
 
 impl Default for AlgorithmParams {
@@ -137,6 +143,7 @@ impl Default for AlgorithmParams {
             pr_epsilon: pr::DEFAULT_EPSILON,
             pr_fs_tolerance: pr::DEFAULT_FS_TOLERANCE,
             sssp_delta: sssp::DEFAULT_DELTA,
+            repair_cascade_fraction: 0.25,
         }
     }
 }
@@ -150,6 +157,11 @@ pub struct ComputeOutcome {
     pub recomputed: usize,
     /// Vertices that triggered neighbor propagation (INC only).
     pub triggered: usize,
+    /// Vertices reset and reseeded by the deletion-repair pass (INC only).
+    pub repaired: usize,
+    /// Whether the repair cascade overflowed its threshold and this batch
+    /// was recomputed from scratch instead (INC only).
+    pub fs_fallback: bool,
 }
 
 /// A snapshot of the vertex property array.
@@ -271,6 +283,7 @@ pub struct AlgorithmState {
     kind: AlgorithmKind,
     model: ComputeModelKind,
     capacity: usize,
+    repair_limit: usize,
     inner: StateInner,
 }
 
@@ -343,6 +356,7 @@ impl AlgorithmState {
             kind,
             model,
             capacity,
+            repair_limit: ((capacity as f64 * params.repair_cascade_fraction) as usize).max(1),
             inner,
         }
     }
@@ -372,6 +386,26 @@ impl AlgorithmState {
         }
     }
 
+    /// Whether the program's vertex function reduces over both edge
+    /// directions ([`EdgeScope::Symmetric`], i.e. CC). Deletion batches
+    /// then seed both endpoints' neighborhoods as affected.
+    pub fn symmetric_scope(&self) -> bool {
+        match &self.inner {
+            StateInner::Bfs(p, _) => p.scope() == EdgeScope::Symmetric,
+            StateInner::Cc(p, _) => p.scope() == EdgeScope::Symmetric,
+            StateInner::Mc(p, _) => p.scope() == EdgeScope::Symmetric,
+            StateInner::Pr(p, _) => p.scope() == EdgeScope::Symmetric,
+            StateInner::Sssp(p, _) => p.scope() == EdgeScope::Symmetric,
+            StateInner::Sswp(p, _) => p.scope() == EdgeScope::Symmetric,
+        }
+    }
+
+    /// The deletion-repair cascade threshold, in vertices (derived from
+    /// [`AlgorithmParams::repair_cascade_fraction`]).
+    pub fn repair_limit(&self) -> usize {
+        self.repair_limit
+    }
+
     /// Runs the compute phase — the paper's `performAlg()`.
     ///
     /// For the incremental model, `affected` is the set of vertices touched
@@ -384,10 +418,28 @@ impl AlgorithmState {
         new_vertices: &[Node],
         pool: &ThreadPool,
     ) -> ComputeOutcome {
+        self.perform_alg_with_deletions(graph, affected, new_vertices, &[], pool)
+    }
+
+    /// [`AlgorithmState::perform_alg`] for a batch that (also) deleted
+    /// edges. `deleted` must already be applied to `graph`. The FS model
+    /// ignores it (recomputation is deletion-proof by construction); the
+    /// INC model runs the KickStarter-style repair pass first and falls
+    /// back to from-scratch recomputation when the repair cascade exceeds
+    /// [`AlgorithmState::repair_limit`] (reported via
+    /// [`ComputeOutcome::fs_fallback`]).
+    pub fn perform_alg_with_deletions(
+        &mut self,
+        graph: &dyn GraphTopology,
+        affected: &[Node],
+        new_vertices: &[Node],
+        deleted: &[Edge],
+        pool: &ThreadPool,
+    ) -> ComputeOutcome {
         match self.model {
             ComputeModelKind::FromScratch => self.run_from_scratch(graph, pool),
             ComputeModelKind::Incremental => {
-                self.run_incremental(graph, affected, new_vertices, pool)
+                self.run_incremental(graph, affected, new_vertices, deleted, pool)
             }
         }
     }
@@ -424,6 +476,8 @@ impl AlgorithmState {
             iterations,
             recomputed: 0,
             triggered: 0,
+            repaired: 0,
+            fs_fallback: false,
         }
     }
 
@@ -432,32 +486,43 @@ impl AlgorithmState {
         graph: &dyn GraphTopology,
         affected: &[Node],
         new_vertices: &[Node],
+        deleted: &[Edge],
         pool: &ThreadPool,
     ) -> ComputeOutcome {
+        let limit = self.repair_limit;
         let out = match &self.inner {
-            StateInner::Bfs(p, s) => {
-                inc::incremental_compute(p, graph, s, affected, new_vertices, pool)
-            }
-            StateInner::Cc(p, s) => {
-                inc::incremental_compute(p, graph, s, affected, new_vertices, pool)
-            }
-            StateInner::Mc(p, s) => {
-                inc::incremental_compute(p, graph, s, affected, new_vertices, pool)
-            }
-            StateInner::Pr(p, s) => {
-                inc::incremental_compute(p, graph, s, affected, new_vertices, pool)
-            }
-            StateInner::Sssp(p, s) => {
-                inc::incremental_compute(p, graph, s, affected, new_vertices, pool)
-            }
-            StateInner::Sswp(p, s) => {
-                inc::incremental_compute(p, graph, s, affected, new_vertices, pool)
-            }
+            StateInner::Bfs(p, s) => inc::incremental_compute_with_deletions(
+                p, graph, s, affected, new_vertices, deleted, limit, pool,
+            ),
+            StateInner::Cc(p, s) => inc::incremental_compute_with_deletions(
+                p, graph, s, affected, new_vertices, deleted, limit, pool,
+            ),
+            StateInner::Mc(p, s) => inc::incremental_compute_with_deletions(
+                p, graph, s, affected, new_vertices, deleted, limit, pool,
+            ),
+            StateInner::Pr(p, s) => inc::incremental_compute_with_deletions(
+                p, graph, s, affected, new_vertices, deleted, limit, pool,
+            ),
+            StateInner::Sssp(p, s) => inc::incremental_compute_with_deletions(
+                p, graph, s, affected, new_vertices, deleted, limit, pool,
+            ),
+            StateInner::Sswp(p, s) => inc::incremental_compute_with_deletions(
+                p, graph, s, affected, new_vertices, deleted, limit, pool,
+            ),
         };
-        ComputeOutcome {
-            iterations: out.iterations,
-            recomputed: out.recomputed,
-            triggered: out.triggered,
+        match out {
+            DeletionOutcome::Done(o) => ComputeOutcome {
+                iterations: o.iterations,
+                recomputed: o.recomputed,
+                triggered: o.triggered,
+                repaired: o.repaired,
+                fs_fallback: false,
+            },
+            DeletionOutcome::CascadeOverflow { .. } => {
+                let mut fs = self.run_from_scratch(graph, pool);
+                fs.fs_fallback = true;
+                fs
+            }
         }
     }
 
@@ -490,8 +555,12 @@ pub struct AffectedTracker {
     /// neighborhoods); separate from `flagged` so source collection does
     /// not depend on cross-worker marking order.
     src_marks: GenerationMarks,
+    /// Dedup marks for deletion endpoints whose neighborhoods must be
+    /// seeded (symmetric-scope algorithms); same rationale as `src_marks`.
+    del_marks: GenerationMarks,
     worker_out: Vec<Mutex<WorkerOut>>,
     sources: Vec<Node>,
+    delete_seeds: Vec<Node>,
 }
 
 /// One worker's share of a batch's output, reused across batches.
@@ -500,6 +569,7 @@ struct WorkerOut {
     affected: Vec<Node>,
     new_vertices: Vec<Node>,
     sources: Vec<Node>,
+    delete_seeds: Vec<Node>,
 }
 
 /// Affected and first-seen vertices of one batch.
@@ -518,8 +588,10 @@ impl AffectedTracker {
             seen: AtomicBitVec::new(capacity),
             flagged: GenerationMarks::new(capacity),
             src_marks: GenerationMarks::new(capacity),
+            del_marks: GenerationMarks::new(capacity),
             worker_out: Vec::new(),
             sources: Vec::new(),
+            delete_seeds: Vec::new(),
         }
     }
 
@@ -535,26 +607,84 @@ impl AffectedTracker {
         include_source_neighborhoods: bool,
         pool: &ThreadPool,
     ) -> BatchImpact {
+        self.process_mixed_batch(graph, batch, &[], include_source_neighborhoods, false, pool)
+    }
+
+    /// Like [`process_batch`](Self::process_batch) for a batch that mixes
+    /// insertions and deletions. Endpoints of both edge classes are marked
+    /// affected. When `include_delete_neighborhoods` is set
+    /// (symmetric-scope algorithms on directed graphs, and every algorithm
+    /// on undirected graphs), the surviving out- and in-neighbors of each
+    /// deletion endpoint are seeded as well, so vertices whose best
+    /// in-contribution travelled over the removed edge get re-pulled even
+    /// when the deletion repair pass is disabled. Call after the update
+    /// phase so the neighborhood queries see the post-delete topology.
+    pub fn process_mixed_batch(
+        &mut self,
+        graph: &dyn GraphTopology,
+        inserts: &[Edge],
+        deletes: &[Edge],
+        include_source_neighborhoods: bool,
+        include_delete_neighborhoods: bool,
+        pool: &ThreadPool,
+    ) -> BatchImpact {
         self.flagged.next_generation();
         self.src_marks.next_generation();
+        self.del_marks.next_generation();
         let threads = pool.threads();
         while self.worker_out.len() < threads {
             self.worker_out.push(Mutex::new(WorkerOut::default()));
         }
         let flagged = &self.flagged;
         let src_marks = &self.src_marks;
+        let del_marks = &self.del_marks;
         let seen = &self.seen;
         let worker_out = &self.worker_out;
 
-        // Phase 1: mark the batch endpoints. Each worker scans a contiguous
-        // range; `try_mark` gives every vertex exactly one winner, which
-        // appends it to that worker's buffer.
-        pool.parallel_ranges(0..batch.len(), |w, range| {
+        // Phase 1a: mark the insert endpoints. Each worker scans a
+        // contiguous range; `try_mark` gives every vertex exactly one
+        // winner, which appends it to that worker's buffer.
+        pool.parallel_ranges(0..inserts.len(), |w, range| {
             let mut out = worker_out[w].lock();
             let out = &mut *out;
-            for e in &batch[range] {
+            for e in &inserts[range] {
                 if include_source_neighborhoods && src_marks.try_mark(e.src as usize) {
                     out.sources.push(e.src);
+                }
+                if flagged.try_mark(e.src as usize) {
+                    out.affected.push(e.src);
+                    if seen.try_set(e.src as usize) {
+                        out.new_vertices.push(e.src);
+                    }
+                }
+                if flagged.try_mark(e.dst as usize) {
+                    out.affected.push(e.dst);
+                    if seen.try_set(e.dst as usize) {
+                        out.new_vertices.push(e.dst);
+                    }
+                }
+            }
+        });
+
+        // Phase 1b: mark the delete endpoints under the same generation, so
+        // a vertex touched by both classes is reported once. Delete sources
+        // join the source set (their out-degree shrank, which changes
+        // PageRank denominators just like an insert does), and both
+        // endpoints join the neighborhood-seed set when requested.
+        pool.parallel_ranges(0..deletes.len(), |w, range| {
+            let mut out = worker_out[w].lock();
+            let out = &mut *out;
+            for e in &deletes[range] {
+                if include_source_neighborhoods && src_marks.try_mark(e.src as usize) {
+                    out.sources.push(e.src);
+                }
+                if include_delete_neighborhoods {
+                    if del_marks.try_mark(e.src as usize) {
+                        out.delete_seeds.push(e.src);
+                    }
+                    if del_marks.try_mark(e.dst as usize) {
+                        out.delete_seeds.push(e.dst);
+                    }
                 }
                 if flagged.try_mark(e.src as usize) {
                     out.affected.push(e.src);
@@ -611,6 +741,51 @@ impl AffectedTracker {
             }
         }
 
+        // Phase 2b: seed the surviving neighborhoods of the deletion
+        // endpoints, same dynamic-cursor shape as phase 2. Out-neighbors
+        // cover the downstream direction; on a directed graph the upstream
+        // in-neighbors are walked too, because a symmetric-scope program
+        // pulls across both orientations.
+        if include_delete_neighborhoods {
+            self.delete_seeds.clear();
+            for slot in worker_out.iter().take(threads) {
+                self.delete_seeds.append(&mut slot.lock().delete_seeds);
+            }
+            if !self.delete_seeds.is_empty() {
+                let seeds = &self.delete_seeds;
+                let directed = graph.is_directed();
+                let grain = adaptive_grain(seeds.len(), threads);
+                let cursor = AtomicUsize::new(0);
+                pool.run_on_all(|w| {
+                    let mut out = worker_out[w].lock();
+                    let out = &mut *out;
+                    let mut neighbors: Vec<Node> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(grain, Ordering::Relaxed);
+                        if start >= seeds.len() {
+                            break;
+                        }
+                        let end = (start + grain).min(seeds.len());
+                        for &v in &seeds[start..end] {
+                            neighbors.clear();
+                            graph.for_each_out_neighbor(v, &mut |nb, _| neighbors.push(nb));
+                            if directed {
+                                graph.for_each_in_neighbor(v, &mut |nb, _| neighbors.push(nb));
+                            }
+                            for &nb in &neighbors {
+                                if flagged.try_mark(nb as usize) {
+                                    out.affected.push(nb);
+                                    if seen.try_set(nb as usize) {
+                                        out.new_vertices.push(nb);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        }
+
         // Stitch per-worker buffers in worker order: deterministic for any
         // fixed thread count, and identical to the sequential first-touch
         // order when the pool has one thread.
@@ -620,6 +795,7 @@ impl AffectedTracker {
             impact.affected.append(&mut out.affected);
             impact.new_vertices.append(&mut out.new_vertices);
             out.sources.clear();
+            out.delete_seeds.clear();
         }
         impact
     }
@@ -671,6 +847,39 @@ mod tests {
         let mut affected = impact.affected.clone();
         affected.sort_unstable();
         assert_eq!(affected, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn mixed_batch_marks_delete_endpoints_and_neighborhoods() {
+        let pool = ThreadPool::new(1);
+        let g = saga_graph::build_deletable_graph(DataStructureKind::AdjacencyShared, 8, true, 1);
+        // 0 -> {1, 2}, 3 -> 1, 4 -> 0.
+        let b0 = [
+            Edge::new(0, 1, 1.0),
+            Edge::new(0, 2, 1.0),
+            Edge::new(3, 1, 1.0),
+            Edge::new(4, 0, 1.0),
+        ];
+        g.update_batch(&b0, &pool);
+        let mut tracker = AffectedTracker::new(8);
+        tracker.process_batch(g.as_ref(), &b0, false, &pool);
+        // Delete 0 -> 1 and apply it before tracking, as the driver does.
+        let del = [Edge::new(0, 1, 1.0)];
+        g.delete_batch(&del, &pool);
+
+        // Without neighborhood seeding only the endpoints are affected.
+        let plain = tracker.process_mixed_batch(g.as_ref(), &[], &del, false, false, &pool);
+        let mut affected = plain.affected.clone();
+        affected.sort_unstable();
+        assert_eq!(affected, vec![0, 1]);
+        assert!(plain.new_vertices.is_empty());
+
+        // With seeding, the surviving out-neighbors (0 -> 2) and the
+        // in-neighbors of both endpoints (4 -> 0, 3 -> 1) join the set.
+        let seeded = tracker.process_mixed_batch(g.as_ref(), &[], &del, false, true, &pool);
+        let mut affected = seeded.affected.clone();
+        affected.sort_unstable();
+        assert_eq!(affected, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

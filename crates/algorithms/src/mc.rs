@@ -64,6 +64,11 @@ impl VertexProgram for McProgram {
     fn significant_change(&self, old: u32, new: u32) -> bool {
         new > old
     }
+
+    fn derives_from(&self, value: u32, src_value: u32, _weight: f32) -> bool {
+        // Like CC: the max label arrives unchanged from an in-neighbor.
+        value == src_value
+    }
 }
 
 #[cfg(test)]

@@ -135,6 +135,18 @@ impl VertexProgram for PrProgram {
     fn affects_source_neighborhood(&self) -> bool {
         true
     }
+
+    fn derives_from(&self, _value: f64, _src_value: f64, _weight: f32) -> bool {
+        // Never used: `needs_deletion_repair` is false (see below).
+        false
+    }
+
+    fn needs_deletion_repair(&self) -> bool {
+        // `combine` replaces the old rank with the freshly pulled one, so
+        // re-pulling the affected vertices after a deletion already yields
+        // the correct values — no stale-dependency cascade exists.
+        false
+    }
 }
 
 /// Conventional PageRank from scratch: Jacobi-style in-place iteration

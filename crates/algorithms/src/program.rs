@@ -137,6 +137,27 @@ pub trait VertexProgram: Send + Sync {
     fn affects_source_neighborhood(&self) -> bool {
         false
     }
+
+    /// Whether `value` could have been derived from an in-neighbor holding
+    /// `src_value` across an edge of weight `weight`. The deletion-repair
+    /// pass (KickStarter-style) uses this to close the set of vertices
+    /// whose stored property may transitively depend on a deleted edge:
+    /// only derivable values can be stale, everything else is untouched.
+    ///
+    /// For the monotone reductions this is the exact inversion of
+    /// [`pull`](Self::pull)'s per-edge term, e.g. BFS:
+    /// `value == src_value + 1`.
+    fn derives_from(&self, value: Self::Value, src_value: Self::Value, weight: f32) -> bool;
+
+    /// Whether deleting edges can strand a stale property that the normal
+    /// trigger rounds would never overwrite. True for the monotone
+    /// min/max reductions (their [`combine`](Self::combine) only improves
+    /// values, so a value depending on a removed edge survives forever);
+    /// false for PageRank, whose `combine` replaces the old value — a
+    /// re-pull of the affected vertices is already a full repair.
+    fn needs_deletion_repair(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

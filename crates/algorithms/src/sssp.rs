@@ -92,6 +92,10 @@ impl VertexProgram for SsspProgram {
     fn significant_change(&self, old: f32, new: f32) -> bool {
         new < old
     }
+
+    fn derives_from(&self, value: f32, src_value: f32, weight: f32) -> bool {
+        value == src_value + weight
+    }
 }
 
 /// Delta-stepping SSSP from scratch. `values` must already be reset.

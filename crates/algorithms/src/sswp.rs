@@ -75,6 +75,10 @@ impl VertexProgram for SswpProgram {
     fn significant_change(&self, old: f32, new: f32) -> bool {
         new > old
     }
+
+    fn derives_from(&self, value: f32, src_value: f32, weight: f32) -> bool {
+        value == src_value.min(weight)
+    }
 }
 
 /// Frontier-based widest-path relaxation from scratch. `values` must

@@ -17,7 +17,7 @@ use saga_algorithms::{
     AffectedTracker, AlgorithmKind, AlgorithmParams, AlgorithmState, ComputeModelKind,
     ComputeOutcome, VertexValues,
 };
-use saga_graph::{build_graph_with, DataStructureKind, Node};
+use saga_graph::{build_deletable_graph_with, DataStructureKind, Node};
 use saga_perf::bandwidth::{estimate, BandwidthEstimate, TimeModel};
 use saga_perf::cache::{CacheReport, HierarchyConfig, MemoryHierarchy};
 use saga_perf::trace_phase;
@@ -72,6 +72,10 @@ pub struct BatchRecord {
     pub inserted: usize,
     /// Duplicate edges skipped.
     pub duplicates: usize,
+    /// Edges found and removed by this batch's deletions.
+    pub removed: usize,
+    /// Deletion targets that were not present.
+    pub missing: usize,
     /// Compute-phase counters.
     pub compute: ComputeOutcome,
     /// Architecture simulation (when enabled).
@@ -247,7 +251,7 @@ impl StreamDriver {
     pub fn run(&mut self, stream: &EdgeStream) -> StreamOutcome {
         let cfg = &self.builder;
         let capacity = cfg.capacity.max(stream.num_nodes);
-        let graph = build_graph_with(
+        let graph = build_deletable_graph_with(
             cfg.data_structure,
             capacity,
             stream.directed,
@@ -272,29 +276,46 @@ impl StreamDriver {
         });
 
         let needs_seed_neighborhood = state.affects_source_neighborhood();
+        let seed_delete_neighborhoods = state.symmetric_scope();
         let incremental = cfg.compute_model == ComputeModelKind::Incremental;
         // The bandwidth model always prices against the paper's machine,
         // regardless of any cache_scale override of the hierarchy itself.
         let topo = HierarchyConfig::paper().topology;
         let mut batches = Vec::new();
-        for (index, batch) in stream.batches(batch_size).enumerate() {
+        for (index, batch) in stream.op_batches(batch_size).enumerate() {
+            let (inserts, deletes) = batch.split();
+
             // --- Update phase ---
             let mut update_trace = None;
             let sw = Stopwatch::start();
-            let stats = if hierarchy.is_some() {
-                let mut stats = None;
-                let trace = trace_phase(&self.pool, || {
-                    stats = Some(graph.update_batch(batch, &self.pool));
-                });
+            let apply = || {
+                let stats = graph.update_batch(&inserts, &self.pool);
+                let del_stats = if deletes.is_empty() {
+                    Default::default()
+                } else {
+                    graph.delete_batch(&deletes, &self.pool)
+                };
+                (stats, del_stats)
+            };
+            let (stats, del_stats) = if hierarchy.is_some() {
+                let mut out = None;
+                let trace = trace_phase(&self.pool, || out = Some(apply()));
                 update_trace = Some(trace);
-                stats.unwrap()
+                out.unwrap()
             } else {
-                graph.update_batch(batch, &self.pool)
+                apply()
             };
             // Deriving the affected array is part of the update phase's
             // bookkeeping (Algorithm 1 receives it from the update).
             let impact = if incremental {
-                tracker.process_batch(graph.as_ref(), batch, needs_seed_neighborhood, &self.pool)
+                tracker.process_mixed_batch(
+                    graph.as_ref(),
+                    &inserts,
+                    &deletes,
+                    needs_seed_neighborhood,
+                    seed_delete_neighborhoods,
+                    &self.pool,
+                )
             } else {
                 Default::default()
             };
@@ -306,20 +327,22 @@ impl StreamDriver {
             let compute = if hierarchy.is_some() {
                 let mut out = None;
                 let trace = trace_phase(&self.pool, || {
-                    out = Some(state.perform_alg(
+                    out = Some(state.perform_alg_with_deletions(
                         graph.as_ref(),
                         &impact.affected,
                         &impact.new_vertices,
+                        &deletes,
                         &self.pool,
                     ));
                 });
                 compute_trace = Some(trace);
                 out.unwrap()
             } else {
-                state.perform_alg(
+                state.perform_alg_with_deletions(
                     graph.as_ref(),
                     &impact.affected,
                     &impact.new_vertices,
+                    &deletes,
                     &self.pool,
                 )
             };
@@ -344,6 +367,8 @@ impl StreamDriver {
                 compute_seconds,
                 inserted: stats.inserted,
                 duplicates: stats.duplicates,
+                removed: del_stats.removed,
+                missing: del_stats.missing,
                 compute,
                 arch,
             });
@@ -405,6 +430,31 @@ mod tests {
             run(ComputeModelKind::FromScratch),
             run(ComputeModelKind::Incremental)
         );
+    }
+
+    #[test]
+    fn churn_stream_routes_deletions_and_keeps_models_agreeing() {
+        let stream = DatasetProfile::livejournal()
+            .scaled(300, 2_400)
+            .with_churn(0.2)
+            .generate(11);
+        assert!(stream.has_deletions());
+        let run = |model| {
+            let mut driver = StreamDriver::builder(DataStructureKind::AdjacencyShared, 300)
+                .algorithm(AlgorithmKind::Bfs)
+                .compute_model(model)
+                .batch_size(800)
+                .threads(2)
+                .build();
+            driver.run(&stream)
+        };
+        let inc = run(ComputeModelKind::Incremental);
+        let removed: usize = inc.batches.iter().map(|b| b.removed).sum();
+        assert!(removed > 0, "churn stream must exercise delete_batch");
+        let inserted: usize = inc.batches.iter().map(|b| b.inserted).sum();
+        assert_eq!(inserted - removed, inc.total_edges);
+        let fs = run(ComputeModelKind::FromScratch);
+        assert_eq!(inc.final_values, fs.final_values);
     }
 
     #[test]

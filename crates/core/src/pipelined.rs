@@ -23,7 +23,8 @@ use saga_algorithms::{
     AffectedTracker, AlgorithmKind, AlgorithmParams, AlgorithmState, ComputeModelKind,
 };
 use saga_graph::csr::Csr;
-use saga_graph::{build_graph, DataStructureKind};
+use saga_graph::{build_deletable_graph, DataStructureKind, Edge};
+use std::borrow::Cow;
 use saga_stream::EdgeStream;
 use saga_utils::parallel::ThreadPool;
 use saga_utils::timer::Stopwatch;
@@ -114,7 +115,7 @@ pub fn run_pipelined(
     let update_pool = ThreadPool::new(update_threads);
     let compute_pool = ThreadPool::new(compute_threads);
     let capacity = stream.num_nodes;
-    let graph = build_graph(ds, capacity, stream.directed, update_pool.threads());
+    let graph = build_deletable_graph(ds, capacity, stream.directed, update_pool.threads());
     let root = stream.edges.first().map(|e| e.src).unwrap_or(0);
     let mut state = AlgorithmState::new(
         algorithm,
@@ -126,43 +127,64 @@ pub fn run_pipelined(
         },
     );
     let mut tracker = AffectedTracker::new(capacity);
-    let batches: Vec<&[saga_graph::Edge]> = stream.batches(batch_size).collect();
+    // Pre-split every batch into its insert/delete classes (borrows for
+    // insert-only batches; allocates only when a batch mixes ops).
+    type SplitBatch<'a> = (Cow<'a, [Edge]>, Cow<'a, [Edge]>);
+    let batches: Vec<SplitBatch<'_>> =
+        stream.op_batches(batch_size).map(|b| b.split()).collect();
     let mut records = Vec::with_capacity(batches.len());
+    let seed_delete_neighborhoods = state.symmetric_scope();
 
-    // Prologue: ingest batch 0 and snapshot it (not overlapped with
+    // Prologue: apply batch 0 and snapshot it (not overlapped with
     // anything; recorded as batch 0's update cost).
+    let apply = |i: usize| {
+        let (inserts, deletes) = &batches[i];
+        graph.update_batch(inserts, &update_pool);
+        if !deletes.is_empty() {
+            graph.delete_batch(deletes, &update_pool);
+        }
+    };
     let sw = Stopwatch::start();
-    graph.update_batch(batches[0], &update_pool);
+    apply(0);
     let mut snapshot = Csr::from_graph(graph.as_ref());
     let mut pending_update_seconds = sw.elapsed_secs();
 
     for i in 0..batches.len() {
-        // The affected set for batch i, resolved against its snapshot.
-        let impact = tracker.process_batch(
+        // The affected set for batch i, resolved against its snapshot
+        // (taken after the batch was applied, so deletions are reflected).
+        let (inserts, deletes) = &batches[i];
+        let impact = tracker.process_mixed_batch(
             &snapshot,
-            batches[i],
+            inserts,
+            deletes,
             state.affects_source_neighborhood(),
+            seed_delete_neighborhoods,
             &compute_pool,
         );
         let wall = Stopwatch::start();
         let mut compute_seconds = 0.0;
         let mut next: Option<(Csr, f64)> = None;
         std::thread::scope(|scope| {
-            // Stage A (worker thread): ingest batch i+1 and snapshot.
+            // Stage A (worker thread): apply batch i+1 and snapshot.
             let updater = (i + 1 < batches.len()).then(|| {
                 let graph = &graph;
-                let update_pool = &update_pool;
-                let next_batch = batches[i + 1];
+                let apply = &apply;
                 scope.spawn(move || {
                     let sw = Stopwatch::start();
-                    graph.update_batch(next_batch, update_pool);
+                    apply(i + 1);
                     let csr = Csr::from_graph(graph.as_ref());
                     (csr, sw.elapsed_secs())
                 })
             });
             // Stage B (this thread): compute batch i on its snapshot.
             let sw = Stopwatch::start();
-            state.perform_alg(&snapshot, &impact.affected, &impact.new_vertices, &compute_pool);
+            state.perform_alg_with_deletions(
+                &snapshot,
+                &impact.affected,
+                &impact.new_vertices,
+                deletes,
+                &compute_pool,
+            );
             compute_seconds = sw.elapsed_secs();
             next = updater.map(|h| h.join().expect("updater thread panicked"));
         });
@@ -212,6 +234,34 @@ mod tests {
         let expected = interleaved.run(&stream);
         assert_eq!(pipelined.final_values, expected.final_values);
         assert_eq!(pipelined.batches.len(), 4);
+    }
+
+    #[test]
+    fn pipelined_consumes_deletion_batches() {
+        let stream = DatasetProfile::wiki()
+            .scaled(300, 2_400)
+            .with_churn(0.2)
+            .generate(17);
+        assert!(stream.has_deletions());
+        let pipelined = run_pipelined(
+            &stream,
+            DataStructureKind::AdjacencyShared,
+            AlgorithmKind::Bfs,
+            800,
+            2,
+            2,
+        );
+        // The interleaved driver on the same churn stream is the oracle
+        // (itself FS-checked in driver.rs).
+        let mut interleaved =
+            StreamDriver::builder(DataStructureKind::AdjacencyShared, stream.num_nodes)
+                .algorithm(AlgorithmKind::Bfs)
+                .compute_model(ComputeModelKind::Incremental)
+                .batch_size(800)
+                .threads(4)
+                .build();
+        let expected = interleaved.run(&stream);
+        assert_eq!(pipelined.final_values, expected.final_values);
     }
 
     #[test]

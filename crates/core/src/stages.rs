@@ -130,6 +130,8 @@ mod tests {
             compute_seconds: compute,
             inserted: 0,
             duplicates: 0,
+            removed: 0,
+            missing: 0,
             compute: ComputeOutcome::default(),
             arch: None,
         }

@@ -231,9 +231,15 @@ impl DeleteStats {
 /// linked blocks were designed for it), with the same batch-parallel
 /// discipline as `update_batch`. Edge weights are ignored when matching.
 ///
-/// Deleting edges invalidates the incremental compute model's monotone
-/// state (that is KickStarter's problem, not this benchmark's); run the
-/// from-scratch model after deletion batches.
+/// Deletions break the incremental compute model's monotone invariant (a
+/// stored value may depend on an edge that no longer exists), so the INC
+/// path repairs after each deletion batch, KickStarter-style: vertices
+/// whose value may derive from a deleted edge are found by a tag-closure
+/// over derivation edges, reset to the program's initial value, and
+/// reseeded from surviving in-neighbors before the normal trigger rounds
+/// (`saga_algorithms::inc::incremental_compute_with_deletions`). When the
+/// cascade would exceed a size threshold, the driver falls back to a
+/// from-scratch recomputation of that batch instead.
 pub trait DeletableGraph: DynamicGraph {
     /// Deletes a batch of edges. Undirected graphs remove both stored
     /// directions of each logical edge; an edge appearing twice in the

@@ -7,7 +7,7 @@
 //! batches into an oracle and a [`DynamicGraph`] and require identical
 //! topology.
 
-use crate::{DynamicGraph, Edge, Node, Weight};
+use crate::{DeleteStats, DynamicGraph, Edge, Node, Weight};
 use std::collections::BTreeMap;
 
 /// A sequential reference adjacency structure.
@@ -69,24 +69,38 @@ impl GraphOracle {
     }
 
     /// Deletes a batch with the same semantics as [`DeletableGraph`]:
-    /// present edges are removed (both directions for undirected graphs),
-    /// absent ones ignored.
+    /// present edges are removed (both directions for undirected graphs)
+    /// and counted in [`DeleteStats::removed`]; absent ones — including
+    /// repeats of an edge already removed earlier in the same batch — are
+    /// counted in [`DeleteStats::missing`].
     ///
     /// [`DeletableGraph`]: crate::DeletableGraph
-    pub fn delete_batch(&mut self, batch: &[Edge]) {
+    pub fn delete_batch(&mut self, batch: &[Edge]) -> DeleteStats {
+        let mut stats = DeleteStats::default();
         for &Edge { src, dst, .. } in batch {
-            if self.directed {
+            let removed = if self.directed {
                 if self.out[src as usize].remove(&dst).is_some() {
                     self.inn[dst as usize].remove(&src);
-                    self.edges -= 1;
+                    true
+                } else {
+                    false
                 }
             } else if self.out[src as usize].remove(&dst).is_some() {
                 if src != dst {
                     self.out[dst as usize].remove(&src);
                 }
+                true
+            } else {
+                false
+            };
+            if removed {
                 self.edges -= 1;
+                stats.removed += 1;
+            } else {
+                stats.missing += 1;
             }
         }
+        stats
     }
 
     /// Number of logical edges.
@@ -221,6 +235,35 @@ mod tests {
         assert_eq!(o.out_neighbors(0), vec![(2, 1.0)]);
         assert_eq!(o.out_neighbors(2), vec![(0, 1.0)]);
         assert_eq!(o.in_degree(0), 1);
+    }
+
+    #[test]
+    fn oracle_delete_stats_count_removed_and_missing() {
+        let mut o = GraphOracle::new(4, true);
+        o.insert_batch(&[Edge::new(0, 1, 1.0), Edge::new(1, 2, 2.0)]);
+        // One present edge deleted twice in the batch: removed once,
+        // missing once; one never-present edge: missing.
+        let stats = o.delete_batch(&[
+            Edge::new(0, 1, 1.0),
+            Edge::new(0, 1, 1.0),
+            Edge::new(3, 0, 1.0),
+        ]);
+        assert_eq!((stats.removed, stats.missing), (1, 2));
+        assert_eq!(o.num_edges(), 1);
+        // Directed graphs do not accept reversed endpoints.
+        let stats = o.delete_batch(&[Edge::new(2, 1, 2.0)]);
+        assert_eq!((stats.removed, stats.missing), (0, 1));
+    }
+
+    #[test]
+    fn oracle_undirected_delete_accepts_either_orientation() {
+        let mut o = GraphOracle::new(3, false);
+        o.insert_batch(&[Edge::new(0, 2, 1.0)]);
+        let stats = o.delete_batch(&[Edge::new(2, 0, 1.0)]);
+        assert_eq!((stats.removed, stats.missing), (1, 0));
+        assert_eq!(o.num_edges(), 0);
+        assert!(o.out_neighbors(0).is_empty());
+        assert!(o.out_neighbors(2).is_empty());
     }
 
     #[test]

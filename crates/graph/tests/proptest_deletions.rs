@@ -49,12 +49,43 @@ fn check(kind: DataStructureKind, directed: bool, ops: &[Batch], threads: usize)
                 oracle.insert_batch(batch);
             }
             Batch::Delete(batch) => {
-                graph.delete_batch(batch, &pool);
-                oracle.delete_batch(batch);
+                let got = graph.delete_batch(batch, &pool);
+                let want = oracle.delete_batch(batch);
+                // Accounting parity: every structure reports the oracle's
+                // removed/missing split, not just the right topology.
+                assert_eq!(
+                    (got.removed, got.missing),
+                    (want.removed, want.missing),
+                    "DeleteStats mismatch on {kind:?} (directed={directed})"
+                );
             }
         }
     }
     oracle.assert_matches(graph.as_ref(), false);
+}
+
+/// Builds a deletion batch that stresses the corner semantics: reversed
+/// endpoints (hit for undirected graphs, miss for directed) and
+/// batch-internal repeats (removed once, missing once). `picks` indexes
+/// into the inserted edges modulo their count.
+fn tricky_deletes(inserted: &[Edge], picks: &[(usize, bool, bool)]) -> Vec<Edge> {
+    let mut batch = Vec::new();
+    for &(i, reverse, repeat) in picks {
+        if inserted.is_empty() {
+            break;
+        }
+        let e = inserted[i % inserted.len()];
+        let edge = if reverse {
+            Edge::new(e.dst, e.src, e.weight)
+        } else {
+            e
+        };
+        batch.push(edge);
+        if repeat {
+            batch.push(edge);
+        }
+    }
+    batch
 }
 
 proptest! {
@@ -82,6 +113,20 @@ proptest! {
     #[cfg_attr(miri, ignore)] // proptest persistence + case counts are not Miri-sized
     fn dah_matches_oracle_under_churn(ops in arb_ops(), directed in any::<bool>()) {
         check(DataStructureKind::Dah, directed, &ops, 4);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)] // proptest persistence + case counts are not Miri-sized
+    fn delete_stats_agree_across_structures(
+        inserted in arb_edges(60),
+        picks in prop::collection::vec((0..1000usize, any::<bool>(), any::<bool>()), 0..30),
+        directed in any::<bool>()
+    ) {
+        let deletes = tricky_deletes(&inserted, &picks);
+        let ops = vec![Batch::Insert(inserted), Batch::Delete(deletes)];
+        for kind in DataStructureKind::ALL {
+            check(kind, directed, &ops, 3);
+        }
     }
 
     #[test]

@@ -71,6 +71,18 @@ pub fn edge_weight(src: Node, dst: Node, directed: bool) -> Weight {
     }
 }
 
+/// Operation carried by one stream edge: mixed insert/delete streams are
+/// an **extension** beyond the paper's v1 benchmark (footnote 1), which
+/// streams insertions only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum EdgeOp {
+    /// Insert the edge (the paper's only operation).
+    #[default]
+    Insert,
+    /// Delete the edge (weights are ignored when matching).
+    Delete,
+}
+
 /// A generated edge stream plus the metadata the driver needs.
 #[derive(Debug, Clone)]
 pub struct EdgeStream {
@@ -82,20 +94,100 @@ pub struct EdgeStream {
     pub directed: bool,
     /// The shuffled stream, in arrival order.
     pub edges: Vec<Edge>,
+    /// Per-edge operations. Empty means the whole stream is insertions
+    /// (the paper's v1 model); otherwise one op per edge.
+    pub ops: Vec<EdgeOp>,
+    /// Explicit batch end-offsets into `edges` (strictly increasing, last
+    /// one `edges.len()`). Empty means uniform fixed-size batching. Churn
+    /// transforms such as [`EdgeStream::into_sliding_window`] use this to
+    /// keep each insert batch aligned with its matching eviction batch.
+    pub boundaries: Vec<usize>,
     /// Batch size giving this dataset its intended batch count.
     pub suggested_batch_size: usize,
 }
 
 impl EdgeStream {
     /// Iterates the stream in batches of `batch_size` edges (the final
-    /// batch may be short).
+    /// batch may be short). Ignores per-edge ops and explicit boundaries —
+    /// use [`EdgeStream::op_batches`] for deletion-aware consumption.
     pub fn batches(&self, batch_size: usize) -> batching::BatchIter<'_> {
         batching::BatchIter::new(&self.edges, batch_size)
     }
 
+    /// Iterates the stream as op-aware [`batching::StreamBatch`]es. When
+    /// the stream carries explicit [`boundaries`](Self::boundaries) they
+    /// define the batches and `batch_size` is ignored; otherwise edges are
+    /// chunked uniformly exactly like [`EdgeStream::batches`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is non-empty but not edge-aligned, or if
+    /// `boundaries` is not strictly increasing and ending at `edges.len()`.
+    pub fn op_batches(&self, batch_size: usize) -> batching::OpBatchIter<'_> {
+        assert!(
+            self.ops.is_empty() || self.ops.len() == self.edges.len(),
+            "ops must be empty or carry one op per edge"
+        );
+        batching::OpBatchIter::new(&self.edges, &self.ops, &self.boundaries, batch_size)
+    }
+
+    /// Whether any edge in the stream is a deletion.
+    pub fn has_deletions(&self) -> bool {
+        self.ops.contains(&EdgeOp::Delete)
+    }
+
     /// Number of batches at the suggested batch size.
     pub fn suggested_batch_count(&self) -> usize {
-        self.edges.len().div_ceil(self.suggested_batch_size.max(1))
+        if self.boundaries.is_empty() {
+            self.edges.len().div_ceil(self.suggested_batch_size.max(1))
+        } else {
+            self.boundaries.len()
+        }
+    }
+
+    /// Turns an insert-only stream into a sliding-window churn stream:
+    /// batch `i` carries the original batch `i`'s insertions plus, once
+    /// the window is full (`i >= window_batches`), deletions of the edges
+    /// that arrived `window_batches` batches ago. Batch alignment is
+    /// recorded in [`boundaries`](Self::boundaries), so mixed batches of
+    /// unequal length stay aligned with their evictions.
+    ///
+    /// Within one batch the driver applies insertions before deletions,
+    /// which matches the window semantics: an arriving batch is ingested,
+    /// then the expired batch is evicted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream already carries ops, or if `window_batches`
+    /// or `batch_size` is zero.
+    #[must_use]
+    pub fn into_sliding_window(self, window_batches: usize, batch_size: usize) -> EdgeStream {
+        assert!(self.ops.is_empty(), "stream already carries ops");
+        assert!(window_batches > 0, "window must be at least one batch");
+        assert!(batch_size > 0, "batch size must be positive");
+        let base: Vec<&[Edge]> = self.batches(batch_size).collect();
+        let mut edges = Vec::with_capacity(self.edges.len() * 2);
+        let mut ops = Vec::with_capacity(self.edges.len() * 2);
+        let mut boundaries = Vec::with_capacity(base.len());
+        for (i, batch) in base.iter().enumerate() {
+            edges.extend_from_slice(batch);
+            ops.extend(std::iter::repeat_n(EdgeOp::Insert, batch.len()));
+            if i >= window_batches {
+                let expired = base[i - window_batches];
+                edges.extend_from_slice(expired);
+                ops.extend(std::iter::repeat_n(EdgeOp::Delete, expired.len()));
+            }
+            boundaries.push(edges.len());
+        }
+        EdgeStream {
+            name: self.name,
+            num_nodes: self.num_nodes,
+            directed: self.directed,
+            edges,
+            ops,
+            boundaries,
+            suggested_batch_size: batch_size,
+        }
     }
 }
 
@@ -130,10 +222,69 @@ mod tests {
             num_nodes: 10,
             directed: true,
             edges: (0..25).map(|i| Edge::new(i % 10, (i + 1) % 10, 1.0)).collect(),
+            ops: Vec::new(),
+            boundaries: Vec::new(),
             suggested_batch_size: 10,
         };
         let sizes: Vec<usize> = stream.batches(10).map(|b| b.len()).collect();
         assert_eq!(sizes, vec![10, 10, 5]);
         assert_eq!(stream.suggested_batch_count(), 3);
+    }
+
+    fn toy_stream(n: usize) -> EdgeStream {
+        EdgeStream {
+            name: "toy".into(),
+            num_nodes: 10,
+            directed: true,
+            edges: (0..n).map(|i| Edge::new((i % 10) as Node, ((i + 1) % 10) as Node, 1.0)).collect(),
+            ops: Vec::new(),
+            boundaries: Vec::new(),
+            suggested_batch_size: 4,
+        }
+    }
+
+    #[test]
+    fn op_batches_match_plain_batches_for_insert_only_streams() {
+        let stream = toy_stream(11);
+        let plain: Vec<&[Edge]> = stream.batches(4).collect();
+        let op: Vec<_> = stream.op_batches(4).collect();
+        assert_eq!(plain.len(), op.len());
+        for (p, o) in plain.iter().zip(op.iter()) {
+            assert_eq!(*p, o.edges);
+            assert!(o.ops.is_empty());
+            let (ins, del) = o.split();
+            assert_eq!(ins.as_ref(), *p);
+            assert!(del.is_empty());
+        }
+        assert!(!stream.has_deletions());
+    }
+
+    #[test]
+    fn sliding_window_evicts_each_batch_after_the_window_fills() {
+        let stream = toy_stream(12).into_sliding_window(2, 4);
+        assert!(stream.has_deletions());
+        assert_eq!(stream.suggested_batch_count(), 3);
+        let batches: Vec<_> = stream.op_batches(0).collect();
+        assert_eq!(batches.len(), 3);
+        // Batches 0 and 1 are pure inserts; batch 2 inserts its 4 edges and
+        // evicts batch 0's.
+        for b in &batches[..2] {
+            let (ins, del) = b.split();
+            assert_eq!(ins.len(), 4);
+            assert!(del.is_empty());
+        }
+        let (ins, del) = batches[2].split();
+        assert_eq!(ins.len(), 4);
+        assert_eq!(del.len(), 4);
+        assert_eq!(del.as_ref(), batches[0].edges);
+    }
+
+    #[test]
+    fn explicit_boundaries_override_uniform_chunking() {
+        let mut stream = toy_stream(10);
+        stream.boundaries = vec![3, 10];
+        let sizes: Vec<usize> = stream.op_batches(4).map(|b| b.edges.len()).collect();
+        assert_eq!(sizes, vec![3, 7]);
+        assert_eq!(stream.suggested_batch_count(), 2);
     }
 }

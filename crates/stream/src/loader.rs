@@ -16,7 +16,7 @@
 //! ```
 
 use crate::batching::shuffle_edges;
-use crate::{edge_weight, Edge, EdgeStream, Node};
+use crate::{edge_weight, Edge, EdgeOp, EdgeStream, Node};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read};
 use std::path::Path;
@@ -30,22 +30,38 @@ pub struct RawEdge {
     pub dst: u64,
     /// Optional explicit weight.
     pub weight: Option<f32>,
+    /// Operation: `Insert` for plain rows, `Delete` for rows with a
+    /// `-`/`d` op column or a fused `-src` first token.
+    pub op: EdgeOp,
 }
 
 /// Parses one line of a SNAP edge list. Returns `None` for comments and
-/// blank lines, `Some(Err(...))`-style panics are avoided: malformed lines
-/// yield `None` too (SNAP files occasionally carry headers).
+/// blank lines; malformed lines — including rows whose weight column is
+/// not a number — yield `None` too (SNAP files occasionally carry
+/// headers).
+///
+/// Rows may carry a leading op column (`+`/`a`/`i` insert, `-`/`d`
+/// delete, case-insensitive) or fuse the sign onto the source id
+/// (`-12 34` deletes edge 12→34); plain `src dst [weight]` rows are
+/// insertions.
 ///
 /// # Examples
 ///
 /// ```
 /// use saga_stream::loader::parse_edge_line;
+/// use saga_stream::EdgeOp;
 ///
 /// assert_eq!(parse_edge_line("# FromNodeId ToNodeId"), None);
 /// let e = parse_edge_line("12\t34").unwrap();
-/// assert_eq!((e.src, e.dst, e.weight), (12, 34, None));
+/// assert_eq!((e.src, e.dst, e.weight, e.op), (12, 34, None, EdgeOp::Insert));
 /// let w = parse_edge_line("1 2 0.5").unwrap();
 /// assert_eq!(w.weight, Some(0.5));
+/// let d = parse_edge_line("- 12 34").unwrap();
+/// assert_eq!((d.src, d.dst, d.op), (12, 34, EdgeOp::Delete));
+/// assert_eq!(parse_edge_line("-12 34").unwrap().op, EdgeOp::Delete);
+/// // A non-numeric weight column rejects the whole line rather than
+/// // silently keeping the edge unweighted.
+/// assert_eq!(parse_edge_line("1 2 abc"), None);
 /// ```
 pub fn parse_edge_line(line: &str) -> Option<RawEdge> {
     let line = line.trim();
@@ -53,17 +69,39 @@ pub fn parse_edge_line(line: &str) -> Option<RawEdge> {
         return None;
     }
     let mut parts = line.split_whitespace();
-    let src: u64 = parts.next()?.parse().ok()?;
+    let mut first = parts.next()?;
+    let op = match first {
+        "+" | "a" | "A" | "i" | "I" => {
+            first = parts.next()?;
+            EdgeOp::Insert
+        }
+        "-" | "d" | "D" => {
+            first = parts.next()?;
+            EdgeOp::Delete
+        }
+        _ => match first.strip_prefix(['+', '-']) {
+            Some(rest) => {
+                let op = if first.starts_with('-') { EdgeOp::Delete } else { EdgeOp::Insert };
+                first = rest;
+                op
+            }
+            None => EdgeOp::Insert,
+        },
+    };
+    let src: u64 = first.parse().ok()?;
     let dst: u64 = parts.next()?.parse().ok()?;
-    let weight: Option<f32> = parts.next().and_then(|w| w.parse().ok());
-    Some(RawEdge { src, dst, weight })
+    let weight: Option<f32> = match parts.next() {
+        Some(tok) => Some(tok.parse().ok()?),
+        None => None,
+    };
+    Some(RawEdge { src, dst, weight, op })
 }
 
 /// Reads an edge list from any reader, densely remapping vertex ids in
 /// first-appearance order. Unweighted edges get deterministic
 /// direction-sensitive weights; see [`read_edge_list_with`] for undirected
-/// inputs.
-pub fn read_edge_list<R: Read>(reader: R) -> std::io::Result<(Vec<Edge>, usize)> {
+/// inputs. The returned op vector is empty when every row is an insertion.
+pub fn read_edge_list<R: Read>(reader: R) -> std::io::Result<(Vec<Edge>, Vec<EdgeOp>, usize)> {
     read_edge_list_with(reader, true)
 }
 
@@ -72,9 +110,11 @@ pub fn read_edge_list<R: Read>(reader: R) -> std::io::Result<(Vec<Edge>, usize)>
 pub fn read_edge_list_with<R: Read>(
     reader: R,
     directed: bool,
-) -> std::io::Result<(Vec<Edge>, usize)> {
+) -> std::io::Result<(Vec<Edge>, Vec<EdgeOp>, usize)> {
     let mut remap: HashMap<u64, Node> = HashMap::new();
     let mut edges = Vec::new();
+    let mut ops = Vec::new();
+    let mut any_delete = false;
     let buf = BufReader::new(reader);
     for line in buf.lines() {
         let line = line?;
@@ -89,13 +129,20 @@ pub fn read_edge_list_with<R: Read>(
             .weight
             .unwrap_or_else(|| edge_weight(src, dst, directed));
         edges.push(Edge::new(src, dst, weight));
+        ops.push(raw.op);
+        any_delete |= raw.op == EdgeOp::Delete;
     }
-    Ok((edges, remap.len()))
+    if !any_delete {
+        ops.clear(); // normalized form: empty ops ⇒ insert-only stream
+    }
+    Ok((edges, ops, remap.len()))
 }
 
-/// Loads a SNAP text edge list into an [`EdgeStream`], shuffled with
-/// `seed` (§IV-B) and batched at the paper's ratio (one batch per ~500K
-/// paper-edges worth, at least 10 batches).
+/// Loads a SNAP text edge list into an [`EdgeStream`], batched at the
+/// paper's ratio (one batch per ~500K paper-edges worth, at least 10
+/// batches). Insert-only files are shuffled with `seed` (§IV-B); files
+/// carrying an op column keep their order, since shuffling could move a
+/// delete ahead of the insert it targets.
 ///
 /// # Errors
 ///
@@ -106,8 +153,10 @@ pub fn load_snap_text<P: AsRef<Path>>(
     seed: u64,
 ) -> std::io::Result<EdgeStream> {
     let file = std::fs::File::open(&path)?;
-    let (mut edges, num_nodes) = read_edge_list_with(file, directed)?;
-    shuffle_edges(&mut edges, seed);
+    let (mut edges, ops, num_nodes) = read_edge_list_with(file, directed)?;
+    if ops.is_empty() {
+        shuffle_edges(&mut edges, seed);
+    }
     let name = path
         .as_ref()
         .file_stem()
@@ -119,6 +168,8 @@ pub fn load_snap_text<P: AsRef<Path>>(
         num_nodes,
         directed,
         edges,
+        ops,
+        boundaries: Vec::new(),
         suggested_batch_size,
     })
 }
@@ -150,10 +201,60 @@ not a line
     }
 
     #[test]
+    fn non_numeric_weight_rejects_the_line() {
+        assert_eq!(parse_edge_line("1 2 abc"), None);
+        assert_eq!(parse_edge_line("1 2 1.5e"), None);
+        // A parseable weight still goes through.
+        assert_eq!(parse_edge_line("1 2 1.5").unwrap().weight, Some(1.5));
+    }
+
+    #[test]
+    fn op_columns_parse_in_every_spelling() {
+        for (line, op) in [
+            ("+ 1 2", EdgeOp::Insert),
+            ("a 1 2", EdgeOp::Insert),
+            ("I 1 2", EdgeOp::Insert),
+            ("- 1 2", EdgeOp::Delete),
+            ("d 1 2", EdgeOp::Delete),
+            ("D 1 2 3.5", EdgeOp::Delete),
+            ("+1 2", EdgeOp::Insert),
+            ("-1 2", EdgeOp::Delete),
+        ] {
+            let e = parse_edge_line(line).unwrap_or_else(|| panic!("{line:?}"));
+            assert_eq!((e.src, e.dst), (1, 2), "{line:?}");
+            assert_eq!(e.op, op, "{line:?}");
+        }
+        // A bare op token with nothing after it is malformed.
+        assert_eq!(parse_edge_line("-"), None);
+        assert_eq!(parse_edge_line("- 1"), None);
+    }
+
+    #[test]
+    fn op_streams_keep_file_order_and_carry_ops() {
+        let sample = "1 2\n2 3\n- 1 2\n";
+        let (edges, ops, n) = read_edge_list(sample.as_bytes()).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(ops, vec![EdgeOp::Insert, EdgeOp::Insert, EdgeOp::Delete]);
+        // The delete row targets the same remapped endpoints as its insert.
+        assert_eq!((edges[2].src, edges[2].dst), (edges[0].src, edges[0].dst));
+
+        let dir = std::env::temp_dir().join("saga-loader-ops-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("churn.txt");
+        std::fs::write(&path, sample).unwrap();
+        let stream = load_snap_text(&path, true, 9).unwrap();
+        assert!(stream.has_deletions());
+        // No shuffle for op streams: order is exactly the file order.
+        assert_eq!(stream.edges, edges);
+        assert_eq!(stream.ops, ops);
+    }
+
+    #[test]
     fn dense_remap_preserves_structure() {
-        let (edges, n) = read_edge_list(SAMPLE.as_bytes()).unwrap();
+        let (edges, ops, n) = read_edge_list(SAMPLE.as_bytes()).unwrap();
         assert_eq!(n, 4, "ids 100, 200, 300, 400");
         assert_eq!(edges.len(), 4);
+        assert!(ops.is_empty(), "insert-only input normalizes to empty ops");
         // 100 -> 0, 200 -> 1, 300 -> 2, 400 -> 3 (first-appearance order).
         assert_eq!((edges[0].src, edges[0].dst), (0, 1));
         assert_eq!((edges[1].src, edges[1].dst), (0, 2));

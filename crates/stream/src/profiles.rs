@@ -26,8 +26,8 @@
 use crate::batching::shuffle_edges;
 use crate::rmat::Rmat;
 use crate::zipf::EndpointDist;
-use crate::{edge_weight, Edge, EdgeStream};
-use rand_xoshiro::rand_core::SeedableRng;
+use crate::{edge_weight, Edge, EdgeOp, EdgeStream};
+use rand_xoshiro::rand_core::{RngCore, SeedableRng};
 use rand_xoshiro::Xoshiro256PlusPlus;
 
 /// Statistics of the *paper's* dataset (Table II), kept for reporting.
@@ -78,6 +78,7 @@ pub struct DatasetProfile {
     directed: bool,
     kind: ProfileKind,
     batch_count_target: usize,
+    churn: f64,
 }
 
 impl DatasetProfile {
@@ -100,6 +101,7 @@ impl DatasetProfile {
                 in_hub: 0.0,
             },
             batch_count_target: 35,
+            churn: 0.0,
         }
     }
 
@@ -122,6 +124,7 @@ impl DatasetProfile {
                 in_hub: 0.0,
             },
             batch_count_target: 40,
+            churn: 0.0,
         }
     }
 
@@ -139,6 +142,7 @@ impl DatasetProfile {
             directed: true,
             kind: ProfileKind::Rmat,
             batch_count_target: 50,
+            churn: 0.0,
         }
     }
 
@@ -163,6 +167,7 @@ impl DatasetProfile {
                 in_hub: 0.12,
             },
             batch_count_target: 15,
+            churn: 0.0,
         }
     }
 
@@ -187,6 +192,7 @@ impl DatasetProfile {
                 in_hub: 0.003,
             },
             batch_count_target: 11,
+            churn: 0.0,
         }
     }
 
@@ -292,13 +298,37 @@ impl DatasetProfile {
         self
     }
 
+    /// Interleaves deletions into the generated stream: after every
+    /// insertion, with probability `fraction` a previously inserted edge
+    /// (uniform over the live set) is deleted. The stream grows by
+    /// roughly `fraction * num_edges` deletion records; batch boundaries
+    /// stay uniform, so most batches mix both ops. A deletion may target
+    /// an edge whose earlier insert was a duplicate — those count as
+    /// `missing` in `DeleteStats`, like real churn feeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not within `[0.0, 1.0)`.
+    #[must_use]
+    pub fn with_churn(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&fraction),
+            "churn fraction must be in [0.0, 1.0)"
+        );
+        self.churn = fraction;
+        self
+    }
+
     /// Batch size that yields the profile's target batch count.
     pub fn suggested_batch_size(&self) -> usize {
-        (self.num_edges / self.batch_count_target).max(1)
+        let total = (self.num_edges as f64 * (1.0 + self.churn)) as usize;
+        (total / self.batch_count_target).max(1)
     }
 
     /// Generates the stream: sample edges, derive deterministic weights,
-    /// and shuffle (§IV-B).
+    /// and shuffle (§IV-B). With [`DatasetProfile::with_churn`] the
+    /// shuffled insert stream is then threaded with deletions of
+    /// previously arrived edges.
     pub fn generate(&self, seed: u64) -> EdgeStream {
         let mut edges = match self.kind {
             ProfileKind::Rmat => Rmat::paper(self.num_nodes).generate(self.num_edges, seed),
@@ -323,13 +353,41 @@ impl DatasetProfile {
             }
         };
         shuffle_edges(&mut edges, seed.wrapping_add(1));
+        let (edges, ops) = if self.churn > 0.0 {
+            self.thread_churn(edges, seed.wrapping_add(2))
+        } else {
+            (edges, Vec::new())
+        };
         EdgeStream {
             name: self.name.to_string(),
             num_nodes: self.num_nodes,
             directed: self.directed,
             edges,
+            ops,
+            boundaries: Vec::new(),
             suggested_batch_size: self.suggested_batch_size(),
         }
+    }
+
+    /// Weaves seeded deletions of live edges into a shuffled insert
+    /// stream (see [`DatasetProfile::with_churn`]).
+    fn thread_churn(&self, inserts: Vec<Edge>, seed: u64) -> (Vec<Edge>, Vec<EdgeOp>) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let threshold = (self.churn * u64::MAX as f64) as u64;
+        let mut edges = Vec::with_capacity(inserts.len() * 2);
+        let mut ops = Vec::with_capacity(inserts.len() * 2);
+        let mut live: Vec<Edge> = Vec::with_capacity(inserts.len());
+        for edge in inserts {
+            edges.push(edge);
+            ops.push(EdgeOp::Insert);
+            live.push(edge);
+            if rng.next_u64() <= threshold && !live.is_empty() {
+                let victim = live.swap_remove((rng.next_u64() % live.len() as u64) as usize);
+                edges.push(victim);
+                ops.push(EdgeOp::Delete);
+            }
+        }
+        (edges, ops)
     }
 }
 
@@ -425,5 +483,49 @@ mod tests {
         let p = DatasetProfile::talk().scaled(1_000, 11_000);
         let stream = p.generate(1);
         assert_eq!(stream.suggested_batch_count(), 11);
+    }
+
+    #[test]
+    fn churn_threads_deletions_of_previously_inserted_edges() {
+        let p = DatasetProfile::livejournal().scaled(500, 5_000).with_churn(0.3);
+        let stream = p.generate(11);
+        assert!(stream.has_deletions());
+        assert_eq!(stream.ops.len(), stream.edges.len());
+        let deletes = stream.ops.iter().filter(|o| **o == EdgeOp::Delete).count();
+        let inserts = stream.ops.len() - deletes;
+        assert_eq!(inserts, 5_000, "churn adds deletes, never drops inserts");
+        let expected = (0.3 * 5_000.0) as usize;
+        assert!(
+            deletes.abs_diff(expected) < expected / 2,
+            "expected ~{expected} deletes, got {deletes}"
+        );
+        // Every delete targets an edge inserted earlier in the stream and
+        // not already deleted since.
+        use std::collections::HashMap;
+        let mut live: HashMap<(u32, u32), usize> = HashMap::new();
+        for (edge, op) in stream.edges.iter().zip(&stream.ops) {
+            let key = (edge.src, edge.dst);
+            match op {
+                EdgeOp::Insert => *live.entry(key).or_insert(0) += 1,
+                EdgeOp::Delete => {
+                    let count = live.get_mut(&key).expect("delete of never-inserted edge");
+                    *count = count.checked_sub(1).expect("delete exceeded inserts");
+                }
+            }
+        }
+        // Determinism.
+        assert_eq!(p.generate(11).edges, stream.edges);
+        assert_eq!(p.generate(11).ops, stream.ops);
+    }
+
+    #[test]
+    fn churn_keeps_the_batch_count_target() {
+        let p = DatasetProfile::talk().scaled(1_000, 11_000).with_churn(0.25);
+        let stream = p.generate(5);
+        let batches = stream.suggested_batch_count();
+        assert!(
+            (10..=13).contains(&batches),
+            "target 11 batches, got {batches}"
+        );
     }
 }

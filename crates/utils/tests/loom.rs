@@ -139,3 +139,214 @@ fn partitioner_parallel_windows_disjoint() {
         assert_eq!(p.bucket(1), &[1, 3]);
     });
 }
+
+/// Miniature of Stinger's per-vertex edge-block protocol
+/// (`crates/graph/src/stinger.rs`): a chain of fixed-capacity blocks
+/// behind per-block locks, an atomic degree counter, and the
+/// "every block full except the tail" compaction invariant. The real
+/// structure guards insert-vs-remove with a per-vertex RwLock; the facade
+/// models no RwLock, so the reader-writer pairing is modeled with a Mutex
+/// (`op`) below, while reader-reader concurrency — two shared-mode
+/// inserts — is modeled lock-free, the way two read guards never exclude
+/// each other.
+mod stinger_block {
+    use saga_utils::sync::atomic::{AtomicU32, Ordering};
+    use saga_utils::sync::{Arc, Mutex};
+
+    pub const BLOCK_SIZE: usize = 2;
+
+    pub struct Vertex {
+        pub degree: AtomicU32,
+        pub chain: Mutex<Vec<Arc<Mutex<Vec<u32>>>>>,
+        pub op: Mutex<()>,
+    }
+
+    pub fn seed(blocks: &[&[u32]]) -> Vertex {
+        let degree = blocks.iter().map(|b| b.len()).sum::<usize>() as u32;
+        Vertex {
+            degree: AtomicU32::new(degree),
+            chain: Mutex::new(
+                blocks.iter().map(|b| Arc::new(Mutex::new(b.to_vec()))).collect(),
+            ),
+            op: Mutex::new(()),
+        }
+    }
+
+    /// The real insert's two scans + append (shared mode).
+    pub fn insert(v: &Vertex, dst: u32) -> bool {
+        let snapshot: Vec<_> = v.chain.lock().clone();
+        for b in &snapshot {
+            if b.lock().iter().any(|&n| n == dst) {
+                return false;
+            }
+        }
+        for b in &snapshot {
+            let mut g = b.lock();
+            if g.iter().any(|&n| n == dst) {
+                return false;
+            }
+            if g.len() < BLOCK_SIZE {
+                g.push(dst);
+                v.degree.fetch_add(1, Ordering::AcqRel);
+                return true;
+            }
+        }
+        let mut chain = v.chain.lock();
+        for b in chain.iter().skip(snapshot.len()) {
+            let mut g = b.lock();
+            if g.iter().any(|&n| n == dst) {
+                return false;
+            }
+            if g.len() < BLOCK_SIZE {
+                g.push(dst);
+                v.degree.fetch_add(1, Ordering::AcqRel);
+                return true;
+            }
+        }
+        chain.push(Arc::new(Mutex::new(vec![dst])));
+        v.degree.fetch_add(1, Ordering::AcqRel);
+        true
+    }
+
+    /// The real remove + refill-from-tail compaction (exclusive mode; the
+    /// caller holds `op`).
+    pub fn remove(v: &Vertex, dst: u32) -> bool {
+        let snapshot: Vec<_> = v.chain.lock().clone();
+        let mut found = None;
+        for (bi, b) in snapshot.iter().enumerate() {
+            let mut g = b.lock();
+            if let Some(pos) = g.iter().position(|&n| n == dst) {
+                g.swap_remove(pos);
+                found = Some(bi);
+                break;
+            }
+        }
+        let Some(bi) = found else { return false };
+        v.degree.fetch_sub(1, Ordering::AcqRel);
+        let mut chain = v.chain.lock();
+        while let Some(last) = chain.last() {
+            if Arc::ptr_eq(last, &snapshot[bi]) {
+                break;
+            }
+            let moved = last.lock().pop();
+            match moved {
+                Some(e) => {
+                    snapshot[bi].lock().push(e);
+                    break;
+                }
+                None => {
+                    chain.pop();
+                }
+            }
+        }
+        while let Some(last) = chain.last() {
+            if last.lock().is_empty() {
+                chain.pop();
+            } else {
+                break;
+            }
+        }
+        true
+    }
+
+    /// Asserts the chain invariants and returns the edge multiset.
+    pub fn check(v: &Vertex) -> Vec<u32> {
+        let chain = v.chain.lock();
+        let mut all = Vec::new();
+        for (i, b) in chain.iter().enumerate() {
+            let g = b.lock();
+            assert!(!g.is_empty(), "empty block left in chain");
+            if i + 1 < chain.len() {
+                assert_eq!(g.len(), BLOCK_SIZE, "non-tail block not full");
+            }
+            all.extend(g.iter().copied());
+        }
+        assert_eq!(
+            v.degree.load(Ordering::Acquire) as usize,
+            all.len(),
+            "degree diverged from stored edges"
+        );
+        let mut dedup = all.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len(), "duplicate edge");
+        all
+    }
+}
+
+/// Two shared-mode inserts of the *same* edge racing on one full block:
+/// the second scan's re-check under the block lock must give exactly one
+/// winner in every interleaving (the search-then-insert TOCTOU the real
+/// code closes by re-scanning under each lock).
+#[test]
+fn stinger_block_duplicate_insert_single_winner() {
+    saga_loom::model(|| {
+        let v = Arc::new(stinger_block::seed(&[&[1, 2]]));
+        let wins = Arc::new(AtomicUsize::new(0));
+        let t = {
+            let v = Arc::clone(&v);
+            let wins = Arc::clone(&wins);
+            saga_utils::sync::thread::spawn_named("ins".into(), move || {
+                if stinger_block::insert(&v, 3) {
+                    wins.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+        };
+        if stinger_block::insert(&v, 3) {
+            wins.fetch_add(1, Ordering::SeqCst);
+        }
+        let _ = t.join();
+        assert_eq!(wins.load(Ordering::SeqCst), 1, "duplicate edge inserted twice");
+        let mut edges = stinger_block::check(&v);
+        edges.sort_unstable();
+        assert_eq!(edges, vec![1, 2, 3]);
+    });
+}
+
+/// Two shared-mode inserts of *different* edges racing to append past a
+/// full block: both must land, and the chain-lock append path must keep
+/// the all-but-tail-full invariant (no lost block, no double append).
+#[test]
+fn stinger_block_concurrent_appends_keep_chain_invariant() {
+    saga_loom::model(|| {
+        let v = Arc::new(stinger_block::seed(&[&[1, 2]]));
+        let t = {
+            let v = Arc::clone(&v);
+            saga_utils::sync::thread::spawn_named("ins".into(), move || {
+                assert!(stinger_block::insert(&v, 3));
+            })
+        };
+        assert!(stinger_block::insert(&v, 4));
+        let _ = t.join();
+        let mut edges = stinger_block::check(&v);
+        edges.sort_unstable();
+        assert_eq!(edges, vec![1, 2, 3, 4]);
+    });
+}
+
+/// Insert vs. delete on one vertex, serialized by the op lock exactly as
+/// the real structure's per-vertex RwLock serializes them: in both orders
+/// (and every schedule of the degree atomics around them) the compaction
+/// must refill the hole from the tail, drop empty tails, and keep the
+/// degree counter equal to the stored edge count.
+#[test]
+fn stinger_block_insert_vs_delete_compaction() {
+    saga_loom::model(|| {
+        let v = Arc::new(stinger_block::seed(&[&[1, 2], &[3]]));
+        let t = {
+            let v = Arc::clone(&v);
+            saga_utils::sync::thread::spawn_named("del".into(), move || {
+                let _x = v.op.lock();
+                assert!(stinger_block::remove(&v, 1));
+            })
+        };
+        {
+            let _x = v.op.lock();
+            assert!(stinger_block::insert(&v, 4));
+        }
+        let _ = t.join();
+        let mut edges = stinger_block::check(&v);
+        edges.sort_unstable();
+        assert_eq!(edges, vec![2, 3, 4], "insert and delete must both land");
+    });
+}

@@ -1,92 +1,79 @@
-//! Sliding-window analytics using the deletion extension.
+//! Sliding-window analytics on the driver's deletion path.
 //!
 //! The paper's benchmark streams insertions into an ever-growing graph.
 //! Many deployments instead analyze a *window* of recent activity (e.g.
 //! "interactions in the last hour"): as each batch arrives, the batch that
-//! fell out of the window is **deleted**. All four SAGA-Bench structures
-//! support batched deletion in this suite (see `DeletableGraph`); the
-//! incremental compute model's monotone state does not survive deletions,
-//! so the window is analyzed with the from-scratch model — exactly the
-//! trade-off the streaming-graph literature (KickStarter et al.) explores.
+//! fell out of the window is **deleted** in the same step.
+//! [`EdgeStream::into_sliding_window`] rewrites an insert-only stream into
+//! exactly that op-stream, and the [`StreamDriver`] routes its deletion
+//! half through `DeletableGraph::delete_batch` — so the window runs on the
+//! *incremental* compute model, with the KickStarter-style repair pass
+//! restoring soundness after each eviction (and the from-scratch fallback
+//! catching oversized cascades). The final check recomputes the last
+//! window from scratch and asserts the incremental labels match.
 //!
 //! ```text
 //! cargo run --release --example sliding_window
 //! ```
+//!
+//! [`EdgeStream::into_sliding_window`]: saga_bench_suite::stream::EdgeStream::into_sliding_window
+//! [`StreamDriver`]: saga_bench_suite::core::driver::StreamDriver
 
-use saga_bench_suite::algorithms::{
-    AlgorithmKind, AlgorithmParams, AlgorithmState, ComputeModelKind, VertexValues,
-};
-use saga_bench_suite::graph::{build_deletable_graph, DataStructureKind, Edge};
+use saga_bench_suite::algorithms::{AlgorithmKind, ComputeModelKind};
+use saga_bench_suite::core::driver::StreamDriver;
+use saga_bench_suite::graph::DataStructureKind;
 use saga_bench_suite::prelude::*;
-use saga_bench_suite::utils::parallel::ThreadPool;
-use saga_bench_suite::utils::timer::Stopwatch;
 
 const WINDOW_BATCHES: usize = 4;
 
 fn main() {
     let profile = DatasetProfile::orkut().scaled(8_000, 120_000);
-    let stream = profile.generate(23);
-    let pool = ThreadPool::with_available_parallelism();
-    let n = stream.num_nodes;
     let batch_size = 10_000;
+    let stream = profile.generate(23).into_sliding_window(WINDOW_BATCHES, batch_size);
+    let n = stream.num_nodes;
 
-    let graph = build_deletable_graph(
-        DataStructureKind::Stinger,
-        n,
-        stream.directed,
-        pool.threads(),
-    );
-    let mut cc = AlgorithmState::new(
-        AlgorithmKind::Cc,
-        ComputeModelKind::FromScratch,
-        n,
-        AlgorithmParams::default(),
-    );
+    let run = |model| {
+        let mut driver = StreamDriver::builder(DataStructureKind::Stinger, n)
+            .algorithm(AlgorithmKind::Cc)
+            .compute_model(model)
+            .build();
+        driver.run(&stream)
+    };
 
-    let batches: Vec<&[Edge]> = stream.batches(batch_size).collect();
+    let outcome = run(ComputeModelKind::Incremental);
     println!(
-        "sliding window of {WINDOW_BATCHES} batches x {batch_size} edges over {} batches\n",
-        batches.len()
+        "sliding window of {WINDOW_BATCHES} batches x {batch_size} edges, {} steps\n",
+        outcome.batches.len()
     );
-    println!("step  window edges  evicted  components in window  latency(ms)");
-    println!("----------------------------------------------------------------");
-    for (i, batch) in batches.iter().enumerate() {
-        let sw = Stopwatch::start();
-        graph.update_batch(batch, &pool);
-        let evicted = if i >= WINDOW_BATCHES {
-            let old = batches[i - WINDOW_BATCHES];
-            graph.delete_batch(old, &pool).removed
-        } else {
-            0
-        };
-        cc.perform_alg(graph.as_ref(), &[], &[], &pool);
-        let latency = sw.elapsed_secs();
-
-        // Count components among vertices present in the window.
-        let VertexValues::U32(labels) = cc.values() else {
-            unreachable!("CC labels are u32")
-        };
-        let mut in_window = vec![false; n];
-        for v in 0..n as u32 {
-            if graph.out_degree(v) > 0 || graph.in_degree(v) > 0 {
-                in_window[v as usize] = true;
-            }
-        }
-        let mut roots: Vec<u32> = labels
-            .iter()
-            .enumerate()
-            .filter(|&(v, _)| in_window[v])
-            .map(|(_, &l)| l)
-            .collect();
-        roots.sort_unstable();
-        roots.dedup();
+    println!("step  batch ops  evicted  repaired  fallback  latency(ms)");
+    println!("----------------------------------------------------------");
+    for b in &outcome.batches {
         println!(
-            "{i:>4}  {:>12}  {evicted:>7}  {:>20}  {:>11.2}",
-            graph.num_edges(),
-            roots.len(),
-            latency * 1e3
+            "{:>4}  {:>9}  {:>7}  {:>8}  {:>8}  {:>11.2}",
+            b.index,
+            b.batch_len,
+            b.removed,
+            b.compute.repaired,
+            if b.compute.fs_fallback { "FS" } else { "-" },
+            b.batch_seconds() * 1e3
         );
     }
-    println!("\nThe edge count plateaus once the window fills: every arriving");
-    println!("batch is balanced by the eviction of the expired one.");
+
+    let evicted: usize = outcome.batches.iter().map(|b| b.removed).sum();
+    let inserted: usize = outcome.batches.iter().map(|b| b.inserted).sum();
+    println!(
+        "\n{} edges in the final window ({} inserted - {} evicted)",
+        outcome.total_edges,
+        inserted,
+        evicted
+    );
+
+    // Soundness check: replay the same op-stream under the from-scratch
+    // model. Deletion-sound incremental labels must agree exactly.
+    let oracle = run(ComputeModelKind::FromScratch);
+    assert_eq!(
+        outcome.final_values, oracle.final_values,
+        "incremental window labels diverged from the from-scratch oracle"
+    );
+    println!("final CC labels match a from-scratch recomputation of the window");
 }

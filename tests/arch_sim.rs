@@ -88,6 +88,8 @@ fn hub_only_update_is_more_imbalanced_than_uniform() {
             num_nodes: 4_000,
             directed: true,
             edges,
+            ops: Vec::new(),
+            boundaries: Vec::new(),
             suggested_batch_size: 8_000,
         };
         let mut driver = StreamDriver::builder(DataStructureKind::Dah, stream.num_nodes)

@@ -14,6 +14,8 @@ fn stream_of(edges: Vec<Edge>, num_nodes: usize, directed: bool) -> EdgeStream {
         num_nodes,
         directed,
         edges,
+        ops: Vec::new(),
+        boundaries: Vec::new(),
         suggested_batch_size: 2,
     }
 }
