@@ -12,10 +12,9 @@
 //! cargo run -p saga-bench --release --bin fig6
 //! ```
 
+use saga_bench::experiments::{structure_norms, StructureNorms};
 use saga_bench::{algorithms_from_env, config_from_env, datasets_from_env, emit};
-use saga_core::experiment::{best_at, normalized_to, sweep_combinations, Metric};
 use saga_core::report::{fmt_ratio, TextTable};
-use saga_core::stages::Stage;
 use saga_graph::DataStructureKind;
 
 fn main() {
@@ -25,31 +24,24 @@ fn main() {
         TextTable::new(["Alg", "Dataset", "CM", "AC/AS", "DAH/AS", "Stinger/AS"]),
         TextTable::new(["Alg", "Dataset", "CM", "AC/AS", "DAH/AS", "Stinger/AS"]),
     ];
-    let metrics = [Metric::Batch, Metric::Update, Metric::Compute];
     for alg in algorithms_from_env() {
         for profile in datasets_from_env() {
             eprintln!("[fig6] sweeping {alg} x {} ...", profile.name());
-            let results = sweep_combinations(&profile, alg, &cfg);
-            // The dataset's best compute model at P3 (Table III column).
-            let best_cm = best_at(&results, Stage::P3, Metric::Batch).best.1;
-            for (t, metric) in tables.iter_mut().zip(metrics) {
-                let norm = normalized_to(
-                    &results,
-                    DataStructureKind::AdjacencyShared,
-                    best_cm,
-                    Stage::P3,
-                    metric,
-                );
+            let norms = structure_norms(&profile, alg, &cfg);
+            let panels = [&norms.batch, &norms.update, &norms.compute];
+            for (t, panel) in tables.iter_mut().zip(panels) {
                 let of = |ds: DataStructureKind| {
-                    norm.iter()
-                        .find(|(d, _)| *d == ds)
-                        .map(|&(_, r)| fmt_ratio(r))
-                        .unwrap_or_else(|| "-".into())
+                    let r = StructureNorms::ratio(panel, ds);
+                    if r.is_finite() {
+                        fmt_ratio(r)
+                    } else {
+                        "-".into()
+                    }
                 };
                 t.add_row([
                     alg.to_string(),
                     profile.name().to_string(),
-                    best_cm.to_string(),
+                    norms.cm.to_string(),
                     of(DataStructureKind::AdjacencyChunked),
                     of(DataStructureKind::Dah),
                     of(DataStructureKind::Stinger),

@@ -9,11 +9,9 @@
 //! cargo run -p saga-bench --release --bin fig7
 //! ```
 
+use saga_bench::experiments::fs_over_inc;
 use saga_bench::{algorithms_from_env, config_from_env, datasets_from_env, emit};
-use saga_core::experiment::{best_at, sweep_combinations, Metric};
 use saga_core::report::{fmt_ratio, TextTable};
-use saga_core::stages::Stage;
-use saga_algorithms::ComputeModelKind;
 
 fn main() {
     let cfg = config_from_env();
@@ -23,27 +21,15 @@ fn main() {
     for alg in algorithms_from_env() {
         for profile in datasets_from_env() {
             eprintln!("[fig7] sweeping {alg} x {} ...", profile.name());
-            let results = sweep_combinations(&profile, alg, &cfg);
-            // Isolate the compute model at the best data structure.
-            let best_ds = best_at(&results, Stage::P3, Metric::Batch).best.0;
-            let compute_of = |cm: ComputeModelKind, stage: Stage| {
-                results
-                    .iter()
-                    .find(|r| r.ds == best_ds && r.cm == cm)
-                    .map(|r| r.summary(stage, Metric::Compute).mean)
-                    .unwrap_or(f64::NAN)
-            };
-            let mut row = vec![
+            let row = fs_over_inc(&profile, alg, &cfg);
+            table.add_row([
                 alg.to_string(),
                 profile.name().to_string(),
-                best_ds.to_string(),
-            ];
-            for stage in Stage::ALL {
-                let fs = compute_of(ComputeModelKind::FromScratch, stage);
-                let inc = compute_of(ComputeModelKind::Incremental, stage);
-                row.push(fmt_ratio(fs / inc));
-            }
-            table.add_row(row);
+                row.best_ds.to_string(),
+                fmt_ratio(row.fs_over_inc[0]),
+                fmt_ratio(row.fs_over_inc[1]),
+                fmt_ratio(row.fs_over_inc[2]),
+            ]);
         }
     }
     emit(

@@ -7,10 +7,9 @@
 //! cargo run -p saga-bench --release --bin fig8
 //! ```
 
+use saga_bench::experiments::update_share;
 use saga_bench::{algorithms_from_env, config_from_env, datasets_from_env, emit};
-use saga_core::experiment::{best_at, sweep_combinations, Metric};
 use saga_core::report::{fmt_pct, TextTable};
-use saga_core::stages::Stage;
 
 fn main() {
     let cfg = config_from_env();
@@ -20,21 +19,15 @@ fn main() {
     for alg in algorithms_from_env() {
         for profile in datasets_from_env() {
             eprintln!("[fig8] sweeping {alg} x {} ...", profile.name());
-            let results = sweep_combinations(&profile, alg, &cfg);
-            let best = best_at(&results, Stage::P3, Metric::Batch).best;
-            let combo = results
-                .iter()
-                .find(|r| (r.ds, r.cm) == best)
-                .expect("best combination exists");
-            let mut row = vec![
+            let row = update_share(&profile, alg, &cfg);
+            table.add_row([
                 alg.to_string(),
                 profile.name().to_string(),
-                format!("{}+{}", best.1, best.0),
-            ];
-            for stage in Stage::ALL {
-                row.push(fmt_pct(combo.stages[stage.index()].update_fraction()));
-            }
-            table.add_row(row);
+                format!("{}+{}", row.best.1, row.best.0),
+                fmt_pct(row.share[0]),
+                fmt_pct(row.share[1]),
+                fmt_pct(row.share[2]),
+            ]);
         }
     }
     emit(

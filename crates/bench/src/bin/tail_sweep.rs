@@ -14,32 +14,16 @@
 //! cargo run -p saga-bench --release --bin tail_sweep
 //! ```
 
+use saga_bench::experiments::tail_sweep;
 use saga_bench::{config_from_env, emit_table};
 use saga_core::report::TextTable;
-use saga_graph::{build_graph, DataStructureKind};
-use saga_stream::{weight_for, Edge, Node};
-use saga_stream::zipf::EndpointDist;
+use saga_graph::DataStructureKind;
 use saga_utils::parallel::ThreadPool;
-use saga_utils::timer::Stopwatch;
-use rand_xoshiro::rand_core::SeedableRng;
 
 const NODES: usize = 16_000;
 const EDGES: usize = 120_000;
 const BATCH: usize = 8_000;
-
-/// Wiki-like stream with an explicit in-hub mass.
-fn stream_with_hub_mass(mass: f64, seed: u64) -> Vec<Edge> {
-    let out_dist = EndpointDist::zipf(NODES, 0.5, 0.0, seed ^ 0xA5A5);
-    let in_dist = EndpointDist::zipf(NODES, 0.5, mass, seed ^ 0x5A5A);
-    let mut rng = rand_xoshiro::Xoshiro256PlusPlus::seed_from_u64(seed);
-    (0..EDGES)
-        .map(|_| {
-            let src: Node = out_dist.sample(&mut rng);
-            let dst: Node = in_dist.sample(&mut rng);
-            Edge::new(src, dst, weight_for(src, dst))
-        })
-        .collect()
-}
+const MASSES: [f64; 7] = [0.0, 0.01, 0.03, 0.06, 0.12, 0.20, 0.30];
 
 fn main() {
     let cfg = config_from_env();
@@ -47,28 +31,27 @@ fn main() {
     let mut table = TextTable::new([
         "hub mass", "batch max in", "AS ms", "AC ms", "Stinger ms", "DAH ms", "best",
     ]);
-    for &mass in &[0.0, 0.01, 0.03, 0.06, 0.12, 0.20, 0.30] {
-        eprintln!("[tail_sweep] hub mass {mass} ...");
-        let edges = stream_with_hub_mass(mass, cfg.seed);
-        let stats = saga_stream::batch_stats::degree_stats(&edges[..BATCH], NODES);
+    eprintln!("[tail_sweep] sweeping {} hub masses ...", MASSES.len());
+    let points = tail_sweep(
+        &MASSES,
+        NODES,
+        EDGES,
+        BATCH,
+        cfg.repeats,
+        cfg.seed,
+        &pool,
+    );
+    for p in &points {
         let mut row = vec![
-            format!("{:.0}%", mass * 100.0),
-            stats.max_in.to_string(),
+            format!("{:.0}%", p.mass * 100.0),
+            p.batch_max_in.to_string(),
         ];
         let mut best = (f64::INFINITY, "-");
         for ds in DataStructureKind::ALL {
-            let mut best_secs = f64::INFINITY;
-            for _ in 0..cfg.repeats.max(1) {
-                let graph = build_graph(ds, NODES, true, pool.threads());
-                let sw = Stopwatch::start();
-                for batch in edges.chunks(BATCH) {
-                    graph.update_batch(batch, &pool);
-                }
-                best_secs = best_secs.min(sw.elapsed_secs());
-            }
-            row.push(format!("{:.2}", best_secs * 1e3));
-            if best_secs < best.0 {
-                best = (best_secs, ds.abbrev());
+            let ms = p.ms(ds);
+            row.push(format!("{ms:.2}"));
+            if ms < best.0 {
+                best = (ms, ds.abbrev());
             }
         }
         row.push(best.1.to_string());

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod arch;
+pub mod experiments;
 
 use saga_algorithms::AlgorithmKind;
 use saga_core::experiment::ExperimentConfig;

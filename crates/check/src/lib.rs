@@ -1,0 +1,80 @@
+//! `saga-check`: model-based differential fuzzing and paper-shape
+//! regression for the SAGA-Bench suite.
+//!
+//! Three layers (DESIGN.md §8):
+//!
+//! 1. **Op programs** ([`program`]) — seeded, profile-driven generators of
+//!    small insert/delete/batch-boundary sequences. Programs are purely
+//!    structural (weights derive from endpoints), so every data structure
+//!    and driver sees the same logical stream.
+//! 2. **Differential checking** ([`diff`]) — a program's ground truth is a
+//!    [`GraphOracle`](saga_graph::oracle::GraphOracle) replay plus
+//!    from-scratch values on CSR snapshots; every structure × driver ×
+//!    compute model is replayed against it, comparing per-batch stats,
+//!    per-batch values, and final topology. Failures shrink ([`shrink`])
+//!    to a minimal program rendered as a paste-ready `#[test]`.
+//! 3. **Shape assertions** ([`shape`]) — `assert_ordering!`,
+//!    `assert_ratio_within!`, `assert_crossover!` turn the EXPERIMENTS.md
+//!    scorecard into failing tests, backed by scaled-down re-runs of the
+//!    experiment suite and by checked baselines parsed with the in-tree
+//!    JSON reader ([`json`]).
+
+pub mod diff;
+pub mod json;
+pub mod program;
+pub mod shape;
+pub mod shrink;
+
+pub use diff::{check_program, CheckConfig, Divergence, DriverKind, Fault, FaultPlan};
+pub use program::{OpProgram, ProgramProfile};
+pub use shrink::{shrink, ShrinkResult};
+
+use saga_algorithms::AlgorithmKind;
+
+/// One fuzzing step: generate the seeded program, pick the algorithm by
+/// seed rotation, check it, and return the divergence (if any) along with
+/// the program and config actually used — callers feed these straight into
+/// [`shrink`] and [`OpProgram::to_test_snippet`].
+pub fn fuzz_one(seed: u64) -> (OpProgram, CheckConfig, Option<Divergence>) {
+    let profile = ProgramProfile::ALL[(seed % ProgramProfile::ALL.len() as u64) as usize];
+    let algorithm = AlgorithmKind::ALL[(seed / 7 % AlgorithmKind::ALL.len() as u64) as usize];
+    let program = OpProgram::generate(seed, profile);
+    let config = CheckConfig {
+        algorithm,
+        ..CheckConfig::quick()
+    };
+    let divergence = check_program(&program, &config);
+    (program, config, divergence)
+}
+
+/// Runs `count` fuzzing steps starting at `base_seed`, panicking with a
+/// shrunk reproducer on the first divergence. Returns the number of
+/// programs checked.
+///
+/// # Panics
+///
+/// Panics with the shrunk minimal program's `#[test]` snippet when any
+/// seed diverges.
+pub fn fuzz_campaign(base_seed: u64, count: u64) -> u64 {
+    for i in 0..count {
+        let seed = base_seed.wrapping_add(i);
+        let (program, config, divergence) = fuzz_one(seed);
+        if let Some(d) = divergence {
+            let result = shrink(
+                &program,
+                |p| check_program(p, &config).is_some(),
+                500,
+            );
+            let snippet = result
+                .program
+                .to_test_snippet("shrunk_reproducer", "CheckConfig::quick()");
+            panic!(
+                "seed {seed} diverged: {d}\nshrunk to {} ops ({} evaluations, converged: {})\n{snippet}",
+                result.program.total_ops(),
+                result.evaluations,
+                result.converged
+            );
+        }
+    }
+    count
+}

@@ -1,0 +1,354 @@
+//! Op programs: the input language of the differential fuzzer.
+//!
+//! A program is a batched sequence of insert/delete operations over a
+//! small vertex universe. Programs are generated from a seed and an
+//! adversarial [`ProgramProfile`], converted to an [`EdgeStream`] (weights
+//! derived deterministically from endpoints so every structure agrees),
+//! and replayed differentially across every structure × driver × compute
+//! model combination by [`crate::check_program`].
+
+use rand::Rng;
+use rand_xoshiro::rand_core::SeedableRng;
+use rand_xoshiro::Xoshiro256PlusPlus;
+
+/// Uniform draw from the inclusive range `[lo, hi]`.
+fn range(rng: &mut Xoshiro256PlusPlus, lo: usize, hi: usize) -> usize {
+    rng.gen_range_u64(lo as u64, hi as u64 + 1) as usize
+}
+
+/// Bernoulli draw with probability `p`.
+fn chance(rng: &mut Xoshiro256PlusPlus, p: f64) -> bool {
+    rng.gen::<f64>() < p
+}
+use saga_graph::Node;
+use saga_stream::{edge_weight, Edge, EdgeOp, EdgeStream};
+use std::fmt::Write as _;
+
+/// One operation of a program: the op kind plus the edge endpoints.
+/// Weights are never stored — they are a deterministic function of the
+/// endpoints ([`edge_weight`]), so a program is purely structural.
+pub type ProgramOp = (EdgeOp, Node, Node);
+
+/// Adversarial distribution the program generator draws from. Each profile
+/// targets a failure class seen in streaming-graph ingestion engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgramProfile {
+    /// Uniformly random endpoints, light deletion mix — the baseline.
+    Uniform,
+    /// Half of all endpoints collapse onto two hub vertices, stressing
+    /// per-vertex locking and chunk-overflow paths (Table IV tails).
+    HubConcentrated,
+    /// Close to half the ops are deletions, preferentially of live edges —
+    /// stresses compaction and KickStarter-style repair.
+    DeleteHeavy,
+    /// Edges cycle insert → delete → re-insert, stressing tombstone reuse
+    /// and duplicate-vs-resurrect confusion.
+    ReinsertAfterDelete,
+    /// A tiny endpoint pool so most inserts are duplicates, including
+    /// duplicates within one batch — stresses §III-A dedup semantics.
+    DuplicateDense,
+    /// Sliding-window shape: each batch inserts fresh edges and evicts the
+    /// batch that fell out of the window, exactly like
+    /// [`EdgeStream::into_sliding_window`].
+    WindowEviction,
+}
+
+impl ProgramProfile {
+    /// Every profile, for seed-rotation loops.
+    pub const ALL: [ProgramProfile; 6] = [
+        ProgramProfile::Uniform,
+        ProgramProfile::HubConcentrated,
+        ProgramProfile::DeleteHeavy,
+        ProgramProfile::ReinsertAfterDelete,
+        ProgramProfile::DuplicateDense,
+        ProgramProfile::WindowEviction,
+    ];
+}
+
+/// A generated (or shrunk) op program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpProgram {
+    /// Vertex universe `0..capacity`.
+    pub capacity: usize,
+    /// Whether the graph under test is directed.
+    pub directed: bool,
+    /// Batches of ops; every batch is non-empty.
+    pub batches: Vec<Vec<ProgramOp>>,
+}
+
+impl OpProgram {
+    /// Generates a program from a seed and profile. Programs are small by
+    /// design (≤ 6 batches × ≤ 40 ops over ≤ 48 vertices): the fuzzer's
+    /// power comes from running many seeds, not big inputs.
+    pub fn generate(seed: u64, profile: ProgramProfile) -> OpProgram {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let capacity = match profile {
+            ProgramProfile::DuplicateDense => range(&mut rng, 4, 10),
+            _ => range(&mut rng, 8, 48),
+        };
+        let directed = chance(&mut rng, 0.5);
+        let num_batches = range(&mut rng, 1, 5);
+        let batches = match profile {
+            ProgramProfile::WindowEviction => {
+                gen_window_eviction(&mut rng, capacity, num_batches)
+            }
+            _ => gen_mixed(&mut rng, profile, capacity, num_batches),
+        };
+        OpProgram {
+            capacity,
+            directed,
+            batches,
+        }
+    }
+
+    /// Builds a program from explicit batches — the form emitted by
+    /// [`OpProgram::to_test_snippet`] for shrunk reproducers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any batch is empty or any endpoint is out of range.
+    pub fn from_ops(capacity: usize, directed: bool, batches: &[&[ProgramOp]]) -> OpProgram {
+        for batch in batches {
+            assert!(!batch.is_empty(), "batches must be non-empty");
+            for &(_, s, d) in *batch {
+                assert!(
+                    (s as usize) < capacity && (d as usize) < capacity,
+                    "endpoint out of range"
+                );
+            }
+        }
+        OpProgram {
+            capacity,
+            directed,
+            batches: batches.iter().map(|b| b.to_vec()).collect(),
+        }
+    }
+
+    /// Total op count across all batches.
+    pub fn total_ops(&self) -> usize {
+        self.batches.iter().map(Vec::len).sum()
+    }
+
+    /// Materializes the program as an [`EdgeStream`] with explicit batch
+    /// boundaries and endpoint-derived weights.
+    pub fn to_stream(&self) -> EdgeStream {
+        let mut edges = Vec::with_capacity(self.total_ops());
+        let mut ops = Vec::with_capacity(self.total_ops());
+        let mut boundaries = Vec::with_capacity(self.batches.len());
+        for batch in &self.batches {
+            for &(op, s, d) in batch {
+                edges.push(Edge::new(s, d, edge_weight(s, d, self.directed)));
+                ops.push(op);
+            }
+            boundaries.push(edges.len());
+        }
+        let suggested_batch_size = edges.len().max(1);
+        EdgeStream {
+            name: "op-program".into(),
+            num_nodes: self.capacity,
+            directed: self.directed,
+            edges,
+            ops,
+            boundaries,
+            suggested_batch_size,
+        }
+    }
+
+    /// Renders the program as a ready-to-paste Rust `#[test]` so a shrunk
+    /// counterexample survives as a permanent regression test.
+    pub fn to_test_snippet(&self, test_name: &str, config_expr: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "#[test]");
+        let _ = writeln!(out, "fn {test_name}() {{");
+        let _ = writeln!(out, "    use saga_check::{{check_program, OpProgram}};");
+        let _ = writeln!(out, "    use saga_stream::EdgeOp::{{Delete, Insert}};");
+        let _ = writeln!(
+            out,
+            "    let program = OpProgram::from_ops({}, {}, &[",
+            self.capacity, self.directed
+        );
+        for batch in &self.batches {
+            let ops: Vec<String> = batch
+                .iter()
+                .map(|&(op, s, d)| {
+                    let kind = match op {
+                        EdgeOp::Insert => "Insert",
+                        EdgeOp::Delete => "Delete",
+                    };
+                    format!("({kind}, {s}, {d})")
+                })
+                .collect();
+            let _ = writeln!(out, "        &[{}],", ops.join(", "));
+        }
+        let _ = writeln!(out, "    ]);");
+        let _ = writeln!(out, "    let config = {config_expr};");
+        let _ = writeln!(
+            out,
+            "    assert!(check_program(&program, &config).is_none());"
+        );
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+/// Draws an endpoint pair (never a self-loop).
+fn pair(rng: &mut Xoshiro256PlusPlus, capacity: usize, hubs: &[Node]) -> (Node, Node) {
+    let draw = |rng: &mut Xoshiro256PlusPlus| -> Node {
+        if !hubs.is_empty() && chance(rng, 0.5) {
+            hubs[range(rng, 0, hubs.len() - 1)]
+        } else {
+            range(rng, 0, capacity - 1) as Node
+        }
+    };
+    loop {
+        let s = draw(rng);
+        let d = draw(rng);
+        if s != d {
+            return (s, d);
+        }
+    }
+}
+
+fn gen_mixed(
+    rng: &mut Xoshiro256PlusPlus,
+    profile: ProgramProfile,
+    capacity: usize,
+    num_batches: usize,
+) -> Vec<Vec<ProgramOp>> {
+    let hubs: Vec<Node> = match profile {
+        ProgramProfile::HubConcentrated => {
+            vec![
+                range(rng, 0, capacity - 1) as Node,
+                range(rng, 0, capacity - 1) as Node,
+            ]
+        }
+        _ => Vec::new(),
+    };
+    let delete_prob = match profile {
+        ProgramProfile::DeleteHeavy => 0.45,
+        ProgramProfile::ReinsertAfterDelete => 0.35,
+        _ => 0.15,
+    };
+    // Edges inserted so far (may contain already-deleted entries — those
+    // model reinsert-after-delete and deletes of absent edges).
+    let mut inserted: Vec<(Node, Node)> = Vec::new();
+    let mut deleted: Vec<(Node, Node)> = Vec::new();
+    let mut batches = Vec::with_capacity(num_batches);
+    for _ in 0..num_batches {
+        let ops_in_batch = range(rng, 1, 40);
+        let mut batch = Vec::with_capacity(ops_in_batch);
+        for _ in 0..ops_in_batch {
+            if chance(rng, delete_prob) && !inserted.is_empty() {
+                // Delete: usually a previously inserted edge, sometimes a
+                // random (likely absent) one to exercise `missing`.
+                let (s, d) = if chance(rng, 0.8) {
+                    inserted[range(rng, 0, inserted.len() - 1)]
+                } else {
+                    pair(rng, capacity, &hubs)
+                };
+                deleted.push((s, d));
+                batch.push((EdgeOp::Delete, s, d));
+            } else {
+                let reuse_deleted = profile == ProgramProfile::ReinsertAfterDelete
+                    && !deleted.is_empty()
+                    && chance(rng, 0.6);
+                let (s, d) = if reuse_deleted {
+                    deleted[range(rng, 0, deleted.len() - 1)]
+                } else {
+                    pair(rng, capacity, &hubs)
+                };
+                inserted.push((s, d));
+                batch.push((EdgeOp::Insert, s, d));
+            }
+        }
+        batches.push(batch);
+    }
+    batches
+}
+
+/// Window-eviction shape: batch `i` inserts fresh edges and deletes batch
+/// `i - window`'s inserts, mirroring [`EdgeStream::into_sliding_window`].
+fn gen_window_eviction(
+    rng: &mut Xoshiro256PlusPlus,
+    capacity: usize,
+    num_batches: usize,
+) -> Vec<Vec<ProgramOp>> {
+    let window = range(rng, 1, 2.min(num_batches));
+    let mut fresh: Vec<Vec<(Node, Node)>> = Vec::with_capacity(num_batches);
+    for _ in 0..num_batches {
+        let n = range(rng, 1, 20);
+        fresh.push((0..n).map(|_| pair(rng, capacity, &[])).collect());
+    }
+    let mut batches = Vec::with_capacity(num_batches);
+    for i in 0..num_batches {
+        let mut batch: Vec<ProgramOp> = fresh[i]
+            .iter()
+            .map(|&(s, d)| (EdgeOp::Insert, s, d))
+            .collect();
+        if i >= window {
+            batch.extend(
+                fresh[i - window]
+                    .iter()
+                    .map(|&(s, d)| (EdgeOp::Delete, s, d)),
+            );
+        }
+        batches.push(batch);
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for profile in ProgramProfile::ALL {
+            let a = OpProgram::generate(42, profile);
+            let b = OpProgram::generate(42, profile);
+            assert_eq!(a, b, "{profile:?}");
+            assert!(a.total_ops() > 0);
+            assert!(a.batches.iter().all(|b| !b.is_empty()));
+        }
+    }
+
+    #[test]
+    fn streams_carry_boundaries_and_derived_weights() {
+        let p = OpProgram::generate(7, ProgramProfile::DeleteHeavy);
+        let s = p.to_stream();
+        assert_eq!(s.edges.len(), p.total_ops());
+        assert_eq!(s.ops.len(), p.total_ops());
+        assert_eq!(s.boundaries.len(), p.batches.len());
+        assert_eq!(*s.boundaries.last().unwrap(), s.edges.len());
+        for e in &s.edges {
+            assert_eq!(e.weight, edge_weight(e.src, e.dst, s.directed));
+        }
+    }
+
+    #[test]
+    fn window_eviction_deletes_only_prior_inserts() {
+        let p = OpProgram::generate(3, ProgramProfile::WindowEviction);
+        let mut seen: Vec<(Node, Node)> = Vec::new();
+        for batch in &p.batches {
+            for &(op, s, d) in batch {
+                match op {
+                    EdgeOp::Insert => seen.push((s, d)),
+                    EdgeOp::Delete => assert!(seen.contains(&(s, d))),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snippet_round_trips_through_from_ops() {
+        let p = OpProgram::from_ops(
+            8,
+            true,
+            &[&[(EdgeOp::Insert, 0, 1), (EdgeOp::Delete, 0, 1)], &[(EdgeOp::Delete, 2, 3)]],
+        );
+        let snippet = p.to_test_snippet("repro", "CheckConfig::quick()");
+        assert!(snippet.contains("OpProgram::from_ops(8, true"));
+        assert!(snippet.contains("(Insert, 0, 1), (Delete, 0, 1)"));
+        assert!(snippet.contains("(Delete, 2, 3)"));
+    }
+}

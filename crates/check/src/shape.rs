@@ -1,0 +1,153 @@
+//! Shape assertions: the EXPERIMENTS.md scorecard as code.
+//!
+//! The paper's claims are *shapes*, not absolute numbers — "AS is fastest
+//! in phase 1", "FS and INC cross over as batches shrink", "the update
+//! phase is under a third of batch latency". These helpers (and their
+//! macro forms) assert those shapes over measurements from scaled-down
+//! re-runs of the experiment suite, so `cargo test` fails when a paper
+//! claim regresses instead of a results file silently rotting.
+
+/// Asserts that labeled values are non-decreasing in the given order.
+/// Returns an error describing the first inversion.
+pub fn check_ordering(context: &str, entries: &[(&str, f64)]) -> Result<(), String> {
+    for pair in entries.windows(2) {
+        let (la, va) = pair[0];
+        let (lb, vb) = pair[1];
+        // NaN must fail too, so "not less-or-equal" rather than "greater".
+        let ok = matches!(
+            va.partial_cmp(&vb),
+            Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+        );
+        if !ok {
+            return Err(format!(
+                "{context}: expected {la} <= {lb}, got {la}={va} {lb}={vb} (full: {entries:?})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Asserts `lo <= value <= hi`. Returns an error naming the bound missed.
+pub fn check_ratio_within(context: &str, value: f64, lo: f64, hi: f64) -> Result<(), String> {
+    if !value.is_finite() {
+        return Err(format!("{context}: value {value} is not finite"));
+    }
+    if value < lo {
+        return Err(format!("{context}: {value} below lower bound {lo}"));
+    }
+    if value > hi {
+        return Err(format!("{context}: {value} above upper bound {hi}"));
+    }
+    Ok(())
+}
+
+/// Asserts that series `a` starts at or below series `b` and ends strictly
+/// above it — i.e. the two curves cross over somewhere in between (the
+/// Fig. 6 FS/INC batch-size crossover, the tail-sweep partitioning
+/// crossover). Both series must be sampled at the same `xs`.
+pub fn check_crossover(
+    context: &str,
+    xs: &[f64],
+    a: &[f64],
+    b: &[f64],
+) -> Result<(), String> {
+    if xs.len() != a.len() || xs.len() != b.len() || xs.len() < 2 {
+        return Err(format!(
+            "{context}: series must share >= 2 sample points (got {}, {}, {})",
+            xs.len(),
+            a.len(),
+            b.len()
+        ));
+    }
+    let (first_a, first_b) = (a[0], b[0]);
+    let (last_a, last_b) = (*a.last().unwrap(), *b.last().unwrap());
+    if first_a > first_b {
+        return Err(format!(
+            "{context}: series A must start at or below B at x={}: A={first_a} B={first_b}",
+            xs[0]
+        ));
+    }
+    if last_a <= last_b {
+        return Err(format!(
+            "{context}: series A must end above B at x={}: A={last_a} B={last_b}",
+            xs.last().unwrap()
+        ));
+    }
+    Ok(())
+}
+
+/// Asserts labeled values are non-decreasing in the stated order.
+///
+/// ```
+/// saga_check::assert_ordering!("phase ordering", [("AS", 1.0), ("AC", 1.5), ("DAH", 4.0)]);
+/// ```
+#[macro_export]
+macro_rules! assert_ordering {
+    ($context:expr, [$(($label:expr, $value:expr)),+ $(,)?]) => {
+        if let Err(e) = $crate::shape::check_ordering($context, &[$(($label, f64::from($value))),+]) {
+            panic!("{e}");
+        }
+    };
+}
+
+/// Asserts a scalar (typically a ratio) lies inside `[lo, hi]`.
+///
+/// ```
+/// saga_check::assert_ratio_within!("FS/INC", 3.2, 1.5, 100.0);
+/// ```
+#[macro_export]
+macro_rules! assert_ratio_within {
+    ($context:expr, $value:expr, $lo:expr, $hi:expr) => {
+        if let Err(e) = $crate::shape::check_ratio_within($context, $value, $lo, $hi) {
+            panic!("{e}");
+        }
+    };
+}
+
+/// Asserts two series cross over: A starts at or below B and ends above it.
+///
+/// ```
+/// saga_check::assert_crossover!("crossover", &[1.0, 2.0], &[0.5, 3.0], &[1.0, 1.0]);
+/// ```
+#[macro_export]
+macro_rules! assert_crossover {
+    ($context:expr, $xs:expr, $a:expr, $b:expr) => {
+        if let Err(e) = $crate::shape::check_crossover($context, $xs, $a, $b) {
+            panic!("{e}");
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_accepts_sorted_and_names_the_inversion() {
+        assert!(check_ordering("ok", &[("a", 1.0), ("b", 1.0), ("c", 2.0)]).is_ok());
+        let err = check_ordering("bad", &[("a", 2.0), ("b", 1.0)]).unwrap_err();
+        assert!(err.contains("expected a <= b"), "{err}");
+    }
+
+    #[test]
+    fn ratio_bounds_are_inclusive() {
+        assert!(check_ratio_within("r", 2.0, 2.0, 2.0).is_ok());
+        assert!(check_ratio_within("r", 1.99, 2.0, 3.0).is_err());
+        assert!(check_ratio_within("r", f64::NAN, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn crossover_requires_a_sign_flip() {
+        let xs = [1.0, 2.0, 3.0];
+        assert!(check_crossover("x", &xs, &[0.5, 1.0, 3.0], &[1.0, 1.0, 1.0]).is_ok());
+        assert!(check_crossover("x", &xs, &[2.0, 3.0, 4.0], &[1.0, 1.0, 1.0]).is_err());
+        assert!(check_crossover("x", &xs, &[0.1, 0.2, 0.3], &[1.0, 1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn macros_pass_through() {
+        assert_ordering!("m", [("x", 1.0), ("y", 2.0)]);
+        assert_ratio_within!("m", 1.5, 1.0, 2.0);
+        assert_crossover!("m", &[0.0, 1.0], &[0.0, 2.0], &[1.0, 1.0]);
+    }
+}

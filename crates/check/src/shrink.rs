@@ -1,0 +1,182 @@
+//! Test-case shrinking: batch bisection + op removal to a local minimum.
+//!
+//! Given a failing program and a predicate that re-checks it, the shrinker
+//! greedily searches for a smaller program that still fails. The strategy
+//! is delta-debugging shaped, structured around the program's two axes:
+//!
+//! 1. **Batch bisection** — drop contiguous runs of whole batches, halving
+//!    the run length until single batches.
+//! 2. **Op removal** — within each surviving batch, drop contiguous op
+//!    ranges, halving until single ops.
+//!
+//! Both passes repeat until a fixpoint (no candidate shrinks) or the
+//! predicate budget is exhausted. The result is 1-minimal with respect to
+//! single-batch and single-op removal whenever the budget allows.
+
+use crate::program::OpProgram;
+
+/// Outcome of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The smallest failing program found.
+    pub program: OpProgram,
+    /// Predicate evaluations spent.
+    pub evaluations: usize,
+    /// Whether shrinking reached a fixpoint (false = budget ran out).
+    pub converged: bool,
+}
+
+/// Shrinks `program` while `failing` keeps returning `true` for it.
+/// `budget` bounds the number of predicate evaluations (each evaluation
+/// replays the full differential matrix, so budgets in the low hundreds
+/// are typical).
+///
+/// # Panics
+///
+/// Panics if the input program does not satisfy `failing`.
+pub fn shrink(
+    program: &OpProgram,
+    mut failing: impl FnMut(&OpProgram) -> bool,
+    budget: usize,
+) -> ShrinkResult {
+    assert!(failing(program), "shrink requires a failing input");
+    let mut best = program.clone();
+    let mut evaluations = 1usize;
+    let mut converged = false;
+    loop {
+        let mut improved = false;
+        // Pass 1: drop runs of whole batches.
+        let mut run = best.batches.len().max(1);
+        while run >= 1 {
+            let mut start = 0;
+            while start < best.batches.len() && best.batches.len() > 1 {
+                let end = (start + run).min(best.batches.len());
+                let mut candidate = best.clone();
+                candidate.batches.drain(start..end);
+                if candidate.batches.is_empty() {
+                    start += run;
+                    continue;
+                }
+                if evaluations >= budget {
+                    return ShrinkResult {
+                        program: best,
+                        evaluations,
+                        converged,
+                    };
+                }
+                evaluations += 1;
+                if failing(&candidate) {
+                    best = candidate;
+                    improved = true;
+                    // Retry the same start: the next run slid into place.
+                } else {
+                    start += run;
+                }
+            }
+            if run == 1 {
+                break;
+            }
+            run /= 2;
+        }
+        // Pass 2: drop op ranges within each batch.
+        let mut b = 0;
+        while b < best.batches.len() {
+            let mut run = best.batches[b].len().max(1);
+            while run >= 1 {
+                let mut start = 0;
+                while start < best.batches[b].len() {
+                    let len = best.batches[b].len();
+                    let end = (start + run).min(len);
+                    let mut candidate = best.clone();
+                    candidate.batches[b].drain(start..end);
+                    if candidate.batches[b].is_empty() {
+                        candidate.batches.remove(b);
+                    }
+                    if candidate.batches.is_empty() {
+                        start += run;
+                        continue;
+                    }
+                    if evaluations >= budget {
+                        return ShrinkResult {
+                            program: best,
+                            evaluations,
+                            converged,
+                        };
+                    }
+                    evaluations += 1;
+                    if failing(&candidate) {
+                        best = candidate;
+                        improved = true;
+                        if b >= best.batches.len() {
+                            break;
+                        }
+                    } else {
+                        start += run;
+                    }
+                }
+                if run == 1 || b >= best.batches.len() {
+                    break;
+                }
+                run /= 2;
+            }
+            b += 1;
+        }
+        if !improved {
+            converged = true;
+            break;
+        }
+    }
+    ShrinkResult {
+        program: best,
+        evaluations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saga_stream::EdgeOp;
+
+    /// Predicate: fails iff the program still contains the op (Delete, 1, 2).
+    fn has_marker(p: &OpProgram) -> bool {
+        p.batches
+            .iter()
+            .flatten()
+            .any(|&op| op == (EdgeOp::Delete, 1, 2))
+    }
+
+    #[test]
+    fn shrinks_to_the_single_triggering_op() {
+        let mut batches: Vec<Vec<(EdgeOp, u32, u32)>> = (0..6)
+            .map(|i| {
+                (0..10)
+                    .map(|j| (EdgeOp::Insert, i as u32, (i + j + 1) as u32 % 20))
+                    .collect()
+            })
+            .collect();
+        batches[3].insert(5, (EdgeOp::Delete, 1, 2));
+        let program = OpProgram {
+            capacity: 20,
+            directed: true,
+            batches,
+        };
+        let result = shrink(&program, has_marker, 10_000);
+        assert!(result.converged);
+        assert_eq!(result.program.total_ops(), 1);
+        assert_eq!(result.program.batches[0][0], (EdgeOp::Delete, 1, 2));
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_best_so_far() {
+        let program = OpProgram {
+            capacity: 10,
+            directed: true,
+            batches: vec![vec![(EdgeOp::Delete, 1, 2); 8]; 8],
+        };
+        let result = shrink(&program, has_marker, 5);
+        assert!(!result.converged);
+        assert!(has_marker(&result.program));
+        assert!(result.evaluations <= 5);
+    }
+}

@@ -1,0 +1,77 @@
+//! Checked-baseline regression: `results/BENCH_update.json` is a
+//! committed artifact, and this test turns its headline claim — the
+//! radix-partitioned ingest beats the rescan path by ≥2× at 8 threads on
+//! both deletion-capable structures — into a failing test, so regenerating
+//! the baseline on a machine where the optimization regressed is caught at
+//! review time. Skip with `SAGA_SKIP_BASELINE=1` when regenerating on
+//! hardware where the 2× claim is not expected to hold.
+
+use saga_check::assert_ratio_within;
+use saga_check::json::{parse, Json};
+
+fn load_baseline() -> Json {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_update.json");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read checked baseline {path}: {e}"));
+    parse(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+/// The baseline's 8-thread rows show partitioned ingest ≥2× over rescan
+/// for both AC and DAH (the deletion-capable structures it benchmarks).
+#[test]
+fn baseline_partitioned_ingest_beats_rescan_2x_at_8_threads() {
+    if std::env::var("SAGA_SKIP_BASELINE").as_deref() == Ok("1") {
+        eprintln!("[baseline] SAGA_SKIP_BASELINE=1: skipping checked-baseline assertion");
+        return;
+    }
+    let doc = load_baseline();
+    let rows = doc
+        .get("results")
+        .and_then(Json::as_array)
+        .expect("baseline has a results array");
+    let mut eight_thread_rows = 0;
+    for row in rows {
+        let threads = row
+            .get("threads")
+            .and_then(Json::as_usize)
+            .expect("row has threads");
+        if threads != 8 {
+            continue;
+        }
+        eight_thread_rows += 1;
+        let structure = row
+            .get("structure")
+            .and_then(Json::as_str)
+            .expect("row has structure");
+        let rescan = row
+            .get("rescan_seconds")
+            .and_then(Json::as_f64)
+            .expect("row has rescan_seconds");
+        let partitioned = row
+            .get("partitioned_seconds")
+            .and_then(Json::as_f64)
+            .expect("row has partitioned_seconds");
+        let speedup = row
+            .get("speedup")
+            .and_then(Json::as_f64)
+            .expect("row has speedup");
+        // The recorded speedup must match the recorded times (5% slack for
+        // the file's 3-decimal rounding), and clear the 2x claim.
+        assert_ratio_within!(
+            &format!("baseline: {structure}@8 recorded speedup vs recomputed"),
+            speedup / (rescan / partitioned),
+            0.95,
+            1.05
+        );
+        assert_ratio_within!(
+            &format!("baseline: {structure}@8 partitioned-over-rescan speedup"),
+            speedup,
+            2.0,
+            1e3
+        );
+    }
+    assert_eq!(
+        eight_thread_rows, 2,
+        "baseline must carry one 8-thread row per deletion-capable structure"
+    );
+}

@@ -249,6 +249,18 @@ impl StreamDriver {
     /// Streams `stream` through a fresh graph and algorithm state,
     /// interleaving update and compute per batch.
     pub fn run(&mut self, stream: &EdgeStream) -> StreamOutcome {
+        self.run_observed(stream, |_, _, _| {})
+    }
+
+    /// Like [`StreamDriver::run`], but invokes `observer` after every batch
+    /// with the batch's record, the live graph, and the algorithm state.
+    /// The differential checker in `saga-check` uses this to compare
+    /// intermediate topology and property values against its model after
+    /// each batch instead of only at the end of the stream.
+    pub fn run_observed<F>(&mut self, stream: &EdgeStream, mut observer: F) -> StreamOutcome
+    where
+        F: FnMut(&BatchRecord, &dyn saga_graph::DynamicGraph, &AlgorithmState),
+    {
         let cfg = &self.builder;
         let capacity = cfg.capacity.max(stream.num_nodes);
         let graph = build_deletable_graph_with(
@@ -372,6 +384,7 @@ impl StreamDriver {
                 compute,
                 arch,
             });
+            observer(batches.last().unwrap(), graph.as_ref(), &state);
         }
 
         StreamOutcome {

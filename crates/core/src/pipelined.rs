@@ -23,7 +23,9 @@ use saga_algorithms::{
     AffectedTracker, AlgorithmKind, AlgorithmParams, AlgorithmState, ComputeModelKind,
 };
 use saga_graph::csr::Csr;
-use saga_graph::{build_deletable_graph, DataStructureKind, Edge};
+use saga_graph::{
+    build_deletable_graph, DataStructureKind, DeletableGraph, DeleteStats, Edge, UpdateStats,
+};
 use std::borrow::Cow;
 use saga_stream::EdgeStream;
 use saga_utils::parallel::ThreadPool;
@@ -42,6 +44,14 @@ pub struct PipelinedBatchRecord {
     /// Wall-clock seconds of the overlapped stage: ideally
     /// `max(update, compute)` rather than their sum.
     pub wall_seconds: f64,
+    /// Edges newly inserted by this batch.
+    pub inserted: usize,
+    /// Duplicate edges skipped by this batch.
+    pub duplicates: usize,
+    /// Edges found and removed by this batch's deletions.
+    pub removed: usize,
+    /// Deletion targets that were not present.
+    pub missing: usize,
 }
 
 /// Outcome of a pipelined run.
@@ -112,6 +122,33 @@ pub fn run_pipelined(
     update_threads: usize,
     compute_threads: usize,
 ) -> PipelineOutcome {
+    run_pipelined_full(
+        stream,
+        ds,
+        algorithm,
+        batch_size,
+        update_threads,
+        compute_threads,
+        AlgorithmParams::default(),
+    )
+    .0
+}
+
+/// [`run_pipelined`] with explicit algorithm tunables, additionally
+/// returning the final live structure so callers (the `saga-check`
+/// differential harness) can compare its topology against a model after
+/// the run. `params.root` is overridden by the stream's first edge source,
+/// matching [`run_pipelined`]'s root policy.
+#[allow(clippy::too_many_arguments)]
+pub fn run_pipelined_full(
+    stream: &EdgeStream,
+    ds: DataStructureKind,
+    algorithm: AlgorithmKind,
+    batch_size: usize,
+    update_threads: usize,
+    compute_threads: usize,
+    params: AlgorithmParams,
+) -> (PipelineOutcome, Box<dyn DeletableGraph>) {
     let update_pool = ThreadPool::new(update_threads);
     let compute_pool = ThreadPool::new(compute_threads);
     let capacity = stream.num_nodes;
@@ -121,10 +158,7 @@ pub fn run_pipelined(
         algorithm,
         ComputeModelKind::Incremental,
         capacity,
-        AlgorithmParams {
-            root,
-            ..AlgorithmParams::default()
-        },
+        AlgorithmParams { root, ..params },
     );
     let mut tracker = AffectedTracker::new(capacity);
     // Pre-split every batch into its insert/delete classes (borrows for
@@ -137,15 +171,18 @@ pub fn run_pipelined(
 
     // Prologue: apply batch 0 and snapshot it (not overlapped with
     // anything; recorded as batch 0's update cost).
-    let apply = |i: usize| {
+    let apply = |i: usize| -> (UpdateStats, DeleteStats) {
         let (inserts, deletes) = &batches[i];
-        graph.update_batch(inserts, &update_pool);
-        if !deletes.is_empty() {
-            graph.delete_batch(deletes, &update_pool);
-        }
+        let ins = graph.update_batch(inserts, &update_pool);
+        let del = if deletes.is_empty() {
+            DeleteStats::default()
+        } else {
+            graph.delete_batch(deletes, &update_pool)
+        };
+        (ins, del)
     };
     let sw = Stopwatch::start();
-    apply(0);
+    let mut pending_stats = apply(0);
     let mut snapshot = Csr::from_graph(graph.as_ref());
     let mut pending_update_seconds = sw.elapsed_secs();
 
@@ -163,7 +200,7 @@ pub fn run_pipelined(
         );
         let wall = Stopwatch::start();
         let mut compute_seconds = 0.0;
-        let mut next: Option<(Csr, f64)> = None;
+        let mut next: Option<(Csr, f64, (UpdateStats, DeleteStats))> = None;
         std::thread::scope(|scope| {
             // Stage A (worker thread): apply batch i+1 and snapshot.
             let updater = (i + 1 < batches.len()).then(|| {
@@ -171,9 +208,9 @@ pub fn run_pipelined(
                 let apply = &apply;
                 scope.spawn(move || {
                     let sw = Stopwatch::start();
-                    apply(i + 1);
+                    let stats = apply(i + 1);
                     let csr = Csr::from_graph(graph.as_ref());
-                    (csr, sw.elapsed_secs())
+                    (csr, sw.elapsed_secs(), stats)
                 })
             });
             // Stage B (this thread): compute batch i on its snapshot.
@@ -195,17 +232,25 @@ pub fn run_pipelined(
             compute_seconds,
             wall_seconds: wall_seconds.as_secs_f64()
                 + if i == 0 { pending_update_seconds } else { 0.0 },
+            inserted: pending_stats.0.inserted,
+            duplicates: pending_stats.0.duplicates,
+            removed: pending_stats.1.removed,
+            missing: pending_stats.1.missing,
         });
-        if let Some((csr, update_secs)) = next {
+        if let Some((csr, update_secs, stats)) = next {
             snapshot = csr;
             pending_update_seconds = update_secs;
+            pending_stats = stats;
         }
     }
 
-    PipelineOutcome {
-        batches: records,
-        final_values: state.values(),
-    }
+    (
+        PipelineOutcome {
+            batches: records,
+            final_values: state.values(),
+        },
+        graph,
+    )
 }
 
 #[cfg(test)]

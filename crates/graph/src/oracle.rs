@@ -7,7 +7,7 @@
 //! batches into an oracle and a [`DynamicGraph`] and require identical
 //! topology.
 
-use crate::{DeleteStats, DynamicGraph, Edge, Node, Weight};
+use crate::{DeleteStats, DynamicGraph, Edge, Node, UpdateStats, Weight};
 use std::collections::BTreeMap;
 
 /// A sequential reference adjacency structure.
@@ -48,24 +48,71 @@ impl GraphOracle {
     /// structures: first occurrence of an edge wins, later ones are
     /// duplicates; undirected edges are mirrored and counted once.
     pub fn insert_batch(&mut self, batch: &[Edge]) {
+        let _ = self.insert_batch_stats(batch);
+    }
+
+    /// [`GraphOracle::insert_batch`] reporting the same per-batch tallies a
+    /// production structure's `update_batch` returns: edges newly inserted
+    /// vs. occurrences skipped as duplicates. Differential harnesses use
+    /// this as the expected value for every [`UpdateStats`] a driver emits.
+    pub fn insert_batch_stats(&mut self, batch: &[Edge]) -> UpdateStats {
+        let mut stats = UpdateStats::default();
         for &Edge { src, dst, weight } in batch {
-            if self.directed {
+            let inserted = if self.directed {
                 if let std::collections::btree_map::Entry::Vacant(e) =
                     self.out[src as usize].entry(dst)
                 {
                     e.insert(weight);
                     self.inn[dst as usize].insert(src, weight);
-                    self.edges += 1;
+                    true
+                } else {
+                    false
                 }
             } else {
-                if self.out[src as usize].contains_key(&dst) {
-                    continue;
+                let vacant = match self.out[src as usize].entry(dst) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(weight);
+                        true
+                    }
+                    std::collections::btree_map::Entry::Occupied(_) => false,
+                };
+                if vacant {
+                    self.out[dst as usize].insert(src, weight);
                 }
-                self.out[src as usize].insert(dst, weight);
-                self.out[dst as usize].insert(src, weight);
+                vacant
+            };
+            if inserted {
                 self.edges += 1;
+                stats.inserted += 1;
+            } else {
+                stats.duplicates += 1;
             }
         }
+        stats
+    }
+
+    /// Applies one driver batch — inserts first, then deletes — exactly as
+    /// `StreamDriver` does, returning both phases' expected tallies.
+    pub fn apply_batch(&mut self, inserts: &[Edge], deletes: &[Edge]) -> (UpdateStats, DeleteStats) {
+        let ins = self.insert_batch_stats(inserts);
+        let del = self.delete_batch(deletes);
+        (ins, del)
+    }
+
+    /// The current logical edge set, as `(src, dst, weight)` triples sorted
+    /// by `(src, dst)` — one row per stored direction for directed graphs,
+    /// one per unordered pair for undirected ones (the `src <= dst`
+    /// orientation). Suitable for [`crate::csr::Csr::from_edges`].
+    pub fn edge_list(&self) -> Vec<(Node, Node, Weight)> {
+        let mut out = Vec::with_capacity(self.edges);
+        for v in 0..self.capacity as Node {
+            for (&n, &w) in &self.out[v as usize] {
+                if self.directed || v <= n {
+                    out.push((v, n, w));
+                }
+            }
+        }
+        out
     }
 
     /// Deletes a batch with the same semantics as [`DeletableGraph`]:
@@ -153,63 +200,88 @@ impl GraphOracle {
     ///
     /// Panics with a descriptive message on the first divergence.
     pub fn assert_matches(&self, graph: &dyn DynamicGraph, check_weights: bool) {
-        assert_eq!(graph.capacity(), self.capacity, "capacity mismatch");
-        assert_eq!(
-            graph.num_edges(),
-            self.edges,
-            "edge count mismatch on {:?}",
-            graph.kind()
-        );
+        if let Some(diff) = self.diff(graph, check_weights) {
+            panic!("{diff}");
+        }
+    }
+
+    /// Non-panicking topology comparison: returns a description of the
+    /// first divergence between `graph` and this oracle, or `None` when the
+    /// topologies agree. The differential fuzzer uses this so a divergence
+    /// becomes a shrinkable test failure rather than an immediate panic.
+    pub fn diff(&self, graph: &dyn DynamicGraph, check_weights: bool) -> Option<String> {
+        let kind = graph.kind();
+        if graph.capacity() != self.capacity {
+            return Some(format!(
+                "capacity mismatch on {kind:?}: graph {} vs oracle {}",
+                graph.capacity(),
+                self.capacity
+            ));
+        }
+        if graph.num_edges() != self.edges {
+            return Some(format!(
+                "edge count mismatch on {kind:?}: graph {} vs oracle {}",
+                graph.num_edges(),
+                self.edges
+            ));
+        }
         for v in 0..self.capacity as Node {
             let mut got_out = graph.out_neighbors(v);
             got_out.sort_by_key(|&(n, _)| n);
             let want_out = self.out_neighbors(v);
-            compare_lists(graph, v, "out", &got_out, &want_out, check_weights);
+            if let Some(d) = compare_lists(kind, v, "out", &got_out, &want_out, check_weights) {
+                return Some(d);
+            }
             let mut got_in = graph.in_neighbors(v);
             got_in.sort_by_key(|&(n, _)| n);
             let want_in = self.in_neighbors(v);
-            compare_lists(graph, v, "in", &got_in, &want_in, check_weights);
-            assert_eq!(
-                graph.out_degree(v),
-                want_out.len(),
-                "out_degree({v}) mismatch on {:?}",
-                graph.kind()
-            );
-            assert_eq!(
-                graph.in_degree(v),
-                want_in.len(),
-                "in_degree({v}) mismatch on {:?}",
-                graph.kind()
-            );
+            if let Some(d) = compare_lists(kind, v, "in", &got_in, &want_in, check_weights) {
+                return Some(d);
+            }
+            if graph.out_degree(v) != want_out.len() {
+                return Some(format!(
+                    "out_degree({v}) mismatch on {kind:?}: graph {} vs oracle {}",
+                    graph.out_degree(v),
+                    want_out.len()
+                ));
+            }
+            if graph.in_degree(v) != want_in.len() {
+                return Some(format!(
+                    "in_degree({v}) mismatch on {kind:?}: graph {} vs oracle {}",
+                    graph.in_degree(v),
+                    want_in.len()
+                ));
+            }
         }
+        None
     }
 }
 
 fn compare_lists(
-    graph: &dyn DynamicGraph,
+    kind: crate::DataStructureKind,
     v: Node,
     dir: &str,
     got: &[(Node, Weight)],
     want: &[(Node, Weight)],
     check_weights: bool,
-) {
+) -> Option<String> {
     let got_ids: Vec<Node> = got.iter().map(|&(n, _)| n).collect();
     let want_ids: Vec<Node> = want.iter().map(|&(n, _)| n).collect();
-    assert_eq!(
-        got_ids,
-        want_ids,
-        "{dir}-neighbors of {v} mismatch on {:?}",
-        graph.kind()
-    );
+    if got_ids != want_ids {
+        return Some(format!(
+            "{dir}-neighbors of {v} mismatch on {kind:?}: graph {got_ids:?} vs oracle {want_ids:?}"
+        ));
+    }
     if check_weights {
         for (&(n, gw), &(_, ww)) in got.iter().zip(want.iter()) {
-            assert_eq!(
-                gw, ww,
-                "weight of {dir}-edge ({v}, {n}) mismatch on {:?}",
-                graph.kind()
-            );
+            if gw != ww {
+                return Some(format!(
+                    "weight of {dir}-edge ({v}, {n}) mismatch on {kind:?}: graph {gw} vs oracle {ww}"
+                ));
+            }
         }
     }
+    None
 }
 
 #[cfg(test)]

@@ -97,6 +97,52 @@ pub fn parse_edge_line(line: &str) -> Option<RawEdge> {
     Some(RawEdge { src, dst, weight, op })
 }
 
+/// Renders one edge as a canonical edge-list line: deletes carry a
+/// leading `-` op column, inserts none, and the weight is always explicit
+/// (shortest round-tripping float form) so re-parsing never has to
+/// re-derive it. [`parse_edge_line`] accepts every line this produces.
+///
+/// # Examples
+///
+/// ```
+/// use saga_stream::loader::{parse_edge_line, render_edge_line};
+/// use saga_stream::{Edge, EdgeOp};
+///
+/// let line = render_edge_line(&Edge::new(1, 2, 2.5), EdgeOp::Delete);
+/// assert_eq!(line, "- 1 2 2.5");
+/// let raw = parse_edge_line(&line).unwrap();
+/// assert_eq!((raw.src, raw.dst, raw.weight, raw.op), (1, 2, Some(2.5), EdgeOp::Delete));
+/// ```
+pub fn render_edge_line(edge: &Edge, op: EdgeOp) -> String {
+    match op {
+        EdgeOp::Insert => format!("{} {} {}", edge.src, edge.dst, edge.weight),
+        EdgeOp::Delete => format!("- {} {} {}", edge.src, edge.dst, edge.weight),
+    }
+}
+
+/// Serializes an edge list to the canonical text form read back by
+/// [`read_edge_list_with`]: one [`render_edge_line`] row per edge, ops
+/// taken from `ops` (empty means insert-only). Because vertex ids are
+/// emitted as-is and re-reading remaps by first appearance, a serialized
+/// dense stream round-trips to identical edges, ops, and node count.
+///
+/// # Panics
+///
+/// Panics if `ops` is neither empty nor parallel to `edges`.
+pub fn serialize_edge_list(edges: &[Edge], ops: &[EdgeOp]) -> String {
+    assert!(
+        ops.is_empty() || ops.len() == edges.len(),
+        "ops must be empty or carry one op per edge"
+    );
+    let mut out = String::new();
+    for (i, edge) in edges.iter().enumerate() {
+        let op = ops.get(i).copied().unwrap_or(EdgeOp::Insert);
+        out.push_str(&render_edge_line(edge, op));
+        out.push('\n');
+    }
+    out
+}
+
 /// Reads an edge list from any reader, densely remapping vertex ids in
 /// first-appearance order. Unweighted edges get deterministic
 /// direction-sensitive weights; see [`read_edge_list_with`] for undirected
