@@ -266,14 +266,20 @@ pub fn incremental_compute_with_deletions<P: VertexProgram>(
             pool,
         ));
     }
+    let repair_span = saga_trace::span!("repair", deleted = deleted.len() as u64);
     let tagged = match plan_deletion_repair(program, graph, values, deleted, repair_limit) {
         Ok(tagged) => tagged,
-        Err(count) => return DeletionOutcome::CascadeOverflow { tagged: count },
+        Err(count) => {
+            drop(repair_span);
+            saga_trace::instant!("repair-overflow", tagged = count as u64);
+            return DeletionOutcome::CascadeOverflow { tagged: count };
+        }
     };
     let n = graph.capacity();
     for &v in &tagged {
         values.store(v as usize, program.initial(v, n));
     }
+    drop(repair_span);
     let mut seeds = Vec::with_capacity(affected.len() + tagged.len());
     seeds.extend_from_slice(affected);
     seeds.extend_from_slice(&tagged);

@@ -628,6 +628,8 @@ impl AffectedTracker {
         include_delete_neighborhoods: bool,
         pool: &ThreadPool,
     ) -> BatchImpact {
+        let _span =
+            saga_trace::span!("affected", edges = (inserts.len() + deletes.len()) as u64);
         self.flagged.next_generation();
         self.src_marks.next_generation();
         self.del_marks.next_generation();

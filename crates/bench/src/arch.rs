@@ -116,7 +116,7 @@ pub fn run_arch_characterization(
             let profile = profile.clone().scaled_by(cfg.scale);
             let stream = profile.generate(cfg.seed);
             for &alg in algorithms {
-                eprintln!(
+                saga_trace::progress!(
                     "[arch] {} / {} / {} (tracing + replay)...",
                     group.name,
                     profile.name(),

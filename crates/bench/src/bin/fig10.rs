@@ -10,10 +10,11 @@
 //! ```
 
 use saga_bench::arch::run_arch_characterization;
-use saga_bench::{algorithms_from_env, config_from_env, emit, env_or};
+use saga_bench::{algorithms_from_env, config_from_env, emit, env_or, finish_trace};
 use saga_core::report::TextTable;
 
 fn main() {
+    saga_trace::init_from_env();
     let cfg = config_from_env();
     let algorithms = algorithms_from_env();
     let cache_scale = env_or("SAGA_CACHE_SCALE", 16usize);
@@ -70,4 +71,5 @@ fn main() {
         "fig10c.txt",
         &table_c.render(),
     );
+    finish_trace("fig10");
 }

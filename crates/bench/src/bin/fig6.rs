@@ -13,11 +13,12 @@
 //! ```
 
 use saga_bench::experiments::{structure_norms, StructureNorms};
-use saga_bench::{algorithms_from_env, config_from_env, datasets_from_env, emit};
+use saga_bench::{algorithms_from_env, config_from_env, datasets_from_env, emit, finish_trace};
 use saga_core::report::{fmt_ratio, TextTable};
 use saga_graph::DataStructureKind;
 
 fn main() {
+    saga_trace::init_from_env();
     let cfg = config_from_env();
     let mut tables = [
         TextTable::new(["Alg", "Dataset", "CM", "AC/AS", "DAH/AS", "Stinger/AS"]),
@@ -64,4 +65,5 @@ fn main() {
         "fig6c.txt",
         &tables[2].render(),
     );
+    finish_trace("fig6");
 }

@@ -10,10 +10,11 @@
 //! ```
 
 use saga_bench::experiments::fs_over_inc;
-use saga_bench::{algorithms_from_env, config_from_env, datasets_from_env, emit};
+use saga_bench::{algorithms_from_env, config_from_env, datasets_from_env, emit, finish_trace};
 use saga_core::report::{fmt_ratio, TextTable};
 
 fn main() {
+    saga_trace::init_from_env();
     let cfg = config_from_env();
     let mut table = TextTable::new([
         "Alg", "Dataset", "DS", "FS/INC P1", "FS/INC P2", "FS/INC P3",
@@ -37,4 +38,5 @@ fn main() {
         "fig7.txt",
         &table.render(),
     );
+    finish_trace("fig7");
 }

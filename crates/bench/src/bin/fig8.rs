@@ -8,10 +8,11 @@
 //! ```
 
 use saga_bench::experiments::update_share;
-use saga_bench::{algorithms_from_env, config_from_env, datasets_from_env, emit};
+use saga_bench::{algorithms_from_env, config_from_env, datasets_from_env, emit, finish_trace};
 use saga_core::report::{fmt_pct, TextTable};
 
 fn main() {
+    saga_trace::init_from_env();
     let cfg = config_from_env();
     let mut table = TextTable::new([
         "Alg", "Dataset", "Best combo", "update% P1", "update% P2", "update% P3",
@@ -35,4 +36,5 @@ fn main() {
         "fig8.txt",
         &table.render(),
     );
+    finish_trace("fig8");
 }

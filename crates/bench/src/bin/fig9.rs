@@ -18,7 +18,7 @@
 
 use saga_algorithms::ComputeModelKind;
 use saga_bench::arch::{groups, run_arch_characterization};
-use saga_bench::{algorithms_from_env, config_from_env, emit, env_or};
+use saga_bench::{algorithms_from_env, config_from_env, emit, env_or, finish_trace};
 use saga_core::driver::{ArchSimConfig, StreamDriver};
 use saga_core::report::TextTable;
 use saga_perf::scaling::ScalingCurve;
@@ -166,6 +166,7 @@ fn panels_bc() {
 }
 
 fn main() {
+    saga_trace::init_from_env();
     match std::env::var("SAGA_PANEL").as_deref() {
         Ok("a") => panel_a(),
         Ok("b") | Ok("c") => panels_bc(),
@@ -174,4 +175,5 @@ fn main() {
             panels_bc();
         }
     }
+    finish_trace("fig9");
 }

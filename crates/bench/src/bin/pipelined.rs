@@ -13,13 +13,19 @@
 //! ```
 
 use saga_algorithms::{AlgorithmKind, ComputeModelKind};
-use saga_bench::{config_from_env, datasets_from_env, emit};
+use saga_bench::{config_from_env, datasets_from_env, emit, finish_trace};
 use saga_core::driver::StreamDriver;
 use saga_core::pipelined::run_pipelined;
 use saga_core::report::{fmt_ratio, fmt_secs, TextTable};
 use saga_graph::DataStructureKind;
 
 fn main() {
+    // With SAGA_TRACE=1 the whole run is captured as spans — per-worker
+    // `task` tracks, main-thread `compute` spans, and the pipeline's
+    // virtual `update-stage` track — and exported to
+    // results/pipelined.trace.json, where the update/compute overlap of
+    // Fig. 9's model is directly visible.
+    saga_trace::init_from_env();
     let cfg = config_from_env();
     let mut table = TextTable::new([
         "Dataset",
@@ -88,4 +94,5 @@ fn main() {
         "pipelined.txt",
         &table.render(),
     );
+    finish_trace("pipelined");
 }

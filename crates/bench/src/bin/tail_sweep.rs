@@ -15,7 +15,7 @@
 //! ```
 
 use saga_bench::experiments::tail_sweep;
-use saga_bench::{config_from_env, emit_table};
+use saga_bench::{config_from_env, emit_table, finish_trace};
 use saga_core::report::TextTable;
 use saga_graph::DataStructureKind;
 use saga_utils::parallel::ThreadPool;
@@ -26,10 +26,19 @@ const BATCH: usize = 8_000;
 const MASSES: [f64; 7] = [0.0, 0.01, 0.03, 0.06, 0.12, 0.20, 0.30];
 
 fn main() {
+    saga_trace::init_from_env();
     let cfg = config_from_env();
     let pool = ThreadPool::new(cfg.threads);
     let mut table = TextTable::new([
-        "hub mass", "batch max in", "AS ms", "AC ms", "Stinger ms", "DAH ms", "best",
+        "hub mass",
+        "batch max in",
+        "AS ms",
+        "AC ms",
+        "Stinger ms",
+        "DAH ms",
+        "best",
+        "AS p99 ms",
+        "DAH p99 ms",
     ]);
     eprintln!("[tail_sweep] sweeping {} hub masses ...", MASSES.len());
     let points = tail_sweep(
@@ -55,6 +64,13 @@ fn main() {
             }
         }
         row.push(best.1.to_string());
+        // Per-batch p99 from the log-bucketed histograms: the tail view of
+        // the same sweep, on the two structures the Fig. 6b flip is about.
+        row.push(format!(
+            "{:.2}",
+            p.p99_ms(DataStructureKind::AdjacencyShared)
+        ));
+        row.push(format!("{:.2}", p.p99_ms(DataStructureKind::Dah)));
         table.add_row(row);
     }
     emit_table(
@@ -62,4 +78,5 @@ fn main() {
         "tail_sweep.txt",
         &table,
     );
+    finish_trace("tail_sweep");
 }

@@ -77,6 +77,35 @@ pub fn algorithms_from_env() -> Vec<AlgorithmKind> {
     }
 }
 
+/// Standard observability epilogue for a figure binary: when tracing is
+/// enabled (`SAGA_TRACE=1`, see [`saga_trace::init_from_env`]), writes the
+/// captured span timeline to `results/<stem>.trace.json` (Chrome
+/// trace-event format — open in Perfetto or `chrome://tracing`); whenever
+/// the metrics registry is non-empty, writes its snapshot to
+/// `results/<stem>.metrics.csv`. Reports how many events overflowed the
+/// per-thread rings so a truncated capture is never mistaken for a
+/// complete one.
+pub fn finish_trace(stem: &str) {
+    if saga_trace::enabled() {
+        let dropped = saga_trace::dropped_events();
+        if dropped > 0 {
+            saga_trace::progress!("[{stem}] ring overflow: {dropped} trace events dropped");
+        }
+        match saga_core::report::write_results_file(
+            &format!("{stem}.trace.json"),
+            &saga_trace::chrome_trace(),
+        ) {
+            Ok(path) => println!("[trace written to {}]", path.display()),
+            Err(e) => eprintln!("[could not write trace file: {e}]"),
+        }
+    }
+    match saga_core::report::write_metrics_snapshot(stem) {
+        Ok(Some(path)) => println!("[metrics written to {}]", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("[could not write metrics snapshot: {e}]"),
+    }
+}
+
 /// Prints a rendered table to stdout and mirrors it to `results/<file>`.
 pub fn emit(title: &str, file: &str, body: &str) {
     println!("== {title} ==\n");

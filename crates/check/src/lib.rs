@@ -18,12 +18,17 @@
 //!    scorecard into failing tests, backed by scaled-down re-runs of the
 //!    experiment suite and by checked baselines parsed with the in-tree
 //!    JSON reader ([`json`]).
+//!
+//! A fourth, smaller layer ([`tracecheck`]) validates `saga-trace`'s
+//! exported Chrome trace-event JSON (shape + strict per-track span
+//! nesting) for `cargo xtask check-trace` and CI's trace-smoke step.
 
 pub mod diff;
 pub mod json;
 pub mod program;
 pub mod shape;
 pub mod shrink;
+pub mod tracecheck;
 
 pub use diff::{check_program, CheckConfig, Divergence, DriverKind, Fault, FaultPlan};
 pub use program::{OpProgram, ProgramProfile};

@@ -1,0 +1,210 @@
+//! Chrome trace-event JSON validation.
+//!
+//! `saga_trace::chrome::render` promises well-formed output: every record
+//! carries the required fields, and per track (`tid`) the `B`/`E` phase
+//! events nest strictly LIFO with no stray ends and nothing left open.
+//! This module re-checks that promise from the *outside* — parsing the
+//! exported document with the in-tree JSON reader ([`crate::json`]) and
+//! walking the event array — so the exporter's tests don't certify their
+//! own serializer. `cargo xtask check-trace <file>` wraps [`validate`] for
+//! CI's trace-smoke step, and `tests/trace_export.rs` drives it against
+//! live captures.
+
+use crate::json::{self, Json};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// What a valid trace contained, for the one-line `check-trace` report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total records in `traceEvents` (metadata included).
+    pub events: usize,
+    /// Tracks named by `thread_name` metadata records.
+    pub tracks: usize,
+    /// Spans: matched `B`/`E` pairs plus `X` (complete) records.
+    pub spans: usize,
+    /// `i` (instant) records.
+    pub instants: usize,
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} events, {} tracks, {} spans, {} instants",
+            self.events, self.tracks, self.spans, self.instants
+        )
+    }
+}
+
+/// Validates one exported Chrome trace-event JSON document.
+///
+/// Checks, in order: the document parses; `traceEvents` is an array of
+/// objects; every record has a string `name`, a known single-char `ph`
+/// (`B`/`E`/`i`/`X`/`M`), and numeric `pid`/`tid`; non-metadata records
+/// have a finite non-negative `ts` (and `X` a non-negative `dur`, `i` a
+/// scope `s`); per `tid`, `B`/`E` nest strictly (each `E` names the
+/// innermost open span, none left open at the end); and every event track
+/// is named by a `thread_name` metadata record.
+pub fn validate(doc: &str) -> Result<TraceStats, String> {
+    let root = json::parse(doc).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = root
+        .get("traceEvents")
+        .ok_or("missing `traceEvents` member")?
+        .as_array()
+        .ok_or("`traceEvents` is not an array")?;
+
+    let mut stats = TraceStats {
+        events: events.len(),
+        tracks: 0,
+        spans: 0,
+        instants: 0,
+    };
+    // tid → stack of open span names; tid → named? (thread_name seen).
+    let mut open: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    let mut named: BTreeSet<usize> = BTreeSet::new();
+    let mut used: BTreeSet<usize> = BTreeSet::new();
+
+    for (i, e) in events.iter().enumerate() {
+        if !matches!(e, Json::Obj(_)) {
+            return Err(format!("event {i}: not an object"));
+        }
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing string `name`"))?;
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing string `ph`"))?;
+        e.get("pid")
+            .and_then(Json::as_usize)
+            .ok_or(format!("event {i}: missing numeric `pid`"))?;
+        let tid = e
+            .get("tid")
+            .and_then(Json::as_usize)
+            .ok_or(format!("event {i}: missing numeric `tid`"))?;
+
+        if ph == "M" {
+            if !matches!(name, "process_name" | "thread_name" | "thread_sort_index") {
+                return Err(format!("event {i}: unknown metadata record `{name}`"));
+            }
+            if e.get("args").is_none() {
+                return Err(format!("event {i}: metadata record without `args`"));
+            }
+            if name == "thread_name" {
+                stats.tracks += 1;
+                named.insert(tid);
+            }
+            continue;
+        }
+
+        used.insert(tid);
+        let ts = e
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or(format!("event {i}: missing numeric `ts`"))?;
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(format!("event {i}: bad `ts` {ts}"));
+        }
+        match ph {
+            "B" => open.entry(tid).or_default().push(name.to_string()),
+            "E" => match open.entry(tid).or_default().pop() {
+                Some(top) if top == name => stats.spans += 1,
+                Some(top) => {
+                    return Err(format!(
+                        "event {i}: `E` for `{name}` but innermost open span on tid {tid} \
+                         is `{top}` (nesting violated)"
+                    ));
+                }
+                None => {
+                    return Err(format!("event {i}: `E` for `{name}` with no open span on tid {tid}"));
+                }
+            },
+            "X" => {
+                let dur = e
+                    .get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("event {i}: `X` record without numeric `dur`"))?;
+                if !dur.is_finite() || dur < 0.0 {
+                    return Err(format!("event {i}: bad `dur` {dur}"));
+                }
+                stats.spans += 1;
+            }
+            "i" => {
+                e.get("s")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("event {i}: instant record without scope `s`"))?;
+                stats.instants += 1;
+            }
+            other => return Err(format!("event {i}: unknown phase `{other}`")),
+        }
+    }
+
+    for (tid, stack) in &open {
+        if let Some(name) = stack.last() {
+            return Err(format!(
+                "span `{name}` on tid {tid} never closed ({} left open)",
+                stack.len()
+            ));
+        }
+    }
+    if let Some(tid) = used.difference(&named).next() {
+        return Err(format!("tid {tid} has events but no `thread_name` metadata record"));
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HEAD: &str = r#"{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"p"}},
+{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"main"}}"#;
+
+    fn doc(events: &str) -> String {
+        format!("{{\"traceEvents\":[\n{HEAD},\n{events}\n]}}")
+    }
+
+    #[test]
+    fn accepts_nested_spans_and_counts_them() {
+        let d = doc(
+            r#"{"name":"batch","ph":"B","pid":1,"tid":1,"ts":1.000},
+{"name":"update","ph":"B","pid":1,"tid":1,"ts":1.100,"args":{"edges":8}},
+{"name":"update","ph":"E","pid":1,"tid":1,"ts":1.900},
+{"name":"removed","ph":"i","pid":1,"tid":1,"ts":1.950,"s":"t"},
+{"name":"task","ph":"X","pid":1,"tid":1,"ts":1.200,"dur":0.600},
+{"name":"batch","ph":"E","pid":1,"tid":1,"ts":2.000}"#,
+        );
+        let stats = validate(&d).unwrap();
+        assert_eq!(stats.tracks, 1);
+        assert_eq!(stats.spans, 3);
+        assert_eq!(stats.instants, 1);
+    }
+
+    #[test]
+    fn rejects_crossed_and_stray_ends() {
+        let crossed = doc(
+            r#"{"name":"a","ph":"B","pid":1,"tid":1,"ts":1},
+{"name":"b","ph":"B","pid":1,"tid":1,"ts":2},
+{"name":"a","ph":"E","pid":1,"tid":1,"ts":3}"#,
+        );
+        assert!(validate(&crossed).unwrap_err().contains("nesting"));
+        let stray = doc(r#"{"name":"a","ph":"E","pid":1,"tid":1,"ts":1}"#);
+        assert!(validate(&stray).unwrap_err().contains("no open span"));
+        let unclosed = doc(r#"{"name":"a","ph":"B","pid":1,"tid":1,"ts":1}"#);
+        assert!(validate(&unclosed).unwrap_err().contains("never closed"));
+    }
+
+    #[test]
+    fn rejects_missing_fields_and_unnamed_tracks() {
+        let no_ts = doc(r#"{"name":"a","ph":"X","pid":1,"tid":1,"dur":1}"#);
+        assert!(validate(&no_ts).unwrap_err().contains("`ts`"));
+        let no_dur = doc(r#"{"name":"a","ph":"X","pid":1,"tid":1,"ts":1}"#);
+        assert!(validate(&no_dur).unwrap_err().contains("`dur`"));
+        let unnamed = doc(r#"{"name":"a","ph":"i","pid":1,"tid":7,"ts":1,"s":"t"}"#);
+        assert!(validate(&unnamed).unwrap_err().contains("thread_name"));
+        assert!(validate("{}").unwrap_err().contains("traceEvents"));
+        assert!(validate("not json").unwrap_err().contains("JSON"));
+    }
+}

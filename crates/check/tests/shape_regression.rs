@@ -305,3 +305,56 @@ fn tail_sweep_fig6b_as_degrades_while_dah_holds() {
         &dah_curve
     );
 }
+
+/// Fig. 10 tail view of the Fig. 6b flip: per-batch p99 update latency,
+/// read off the log-bucketed histograms that replaced the bespoke
+/// percentile math, degrades with hub mass far more for AS than for DAH
+/// (the paper's tail-latency metric amplifies the hub's serialized work).
+#[test]
+fn tail_sweep_fig10_p99_degrades_more_for_as_than_dah() {
+    if timing_skipped() {
+        return;
+    }
+    const REPEATS: usize = 3;
+    let pool = ThreadPool::new(2);
+    let pts = tail_sweep(
+        &SWEEP_MASSES,
+        SWEEP_NODES,
+        SWEEP_EDGES,
+        SWEEP_BATCH,
+        REPEATS,
+        42,
+        &pool,
+    );
+    // Histogram bookkeeping is deterministic: one sample per batch per
+    // repeat, with ordered quantiles.
+    let batches = SWEEP_EDGES.div_ceil(SWEEP_BATCH);
+    for p in &pts {
+        for (ds, h) in &p.update_hist {
+            assert_eq!(
+                h.count,
+                (batches * REPEATS) as u64,
+                "mass {} / {ds:?}: every per-batch latency must be recorded",
+                p.mass
+            );
+            assert!(
+                h.min <= h.p50 && h.p50 <= h.p99 && h.p99 <= h.max,
+                "mass {} / {ds:?}: quantiles out of order: {h:?}",
+                p.mass
+            );
+        }
+    }
+    // The timing claim, normalized like the mean-latency crossover above:
+    // each structure's p99 at the heaviest mass relative to its own flat
+    // baseline — AS's tail stretches more than DAH's.
+    let p99_slowdown = |ds: DataStructureKind| {
+        pts.last().unwrap().p99_ms(ds) / pts[0].p99_ms(ds)
+    };
+    assert_ordering!(
+        "tail sweep: p99 slowdown at 30% hub mass, DAH vs AS",
+        [
+            ("DAH", p99_slowdown(DataStructureKind::Dah)),
+            ("AS", p99_slowdown(DataStructureKind::AdjacencyShared)),
+        ]
+    );
+}

@@ -1,0 +1,89 @@
+//! Live-capture round-trip of the trace exporter: spans emitted through
+//! the real `saga_trace` API (main thread and pool workers), rendered as
+//! Chrome trace-event JSON, parsed back with the in-tree JSON reader, and
+//! checked for strict per-track `B`/`E` nesting by
+//! [`saga_check::tracecheck`] — the exporter's well-formedness promise
+//! certified from outside its own crate.
+
+use std::sync::Mutex;
+
+use saga_check::json::{self, Json};
+use saga_check::tracecheck;
+use saga_utils::parallel::ThreadPool;
+
+/// The trace rings are process-global; tests in this binary serialize.
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with tracing enabled on clean rings and returns the exported
+/// Chrome trace JSON of exactly what `f` emitted.
+fn capture<F: FnOnce()>(f: F) -> String {
+    saga_trace::clear();
+    saga_trace::set_enabled(true);
+    f();
+    saga_trace::set_enabled(false);
+    let doc = saga_trace::chrome_trace();
+    saga_trace::clear();
+    doc
+}
+
+#[test]
+fn nested_spans_round_trip_and_validate() {
+    let _g = LOCK.lock().unwrap();
+    let doc = capture(|| {
+        let _batch = saga_trace::span!("batch", index = 0u64);
+        {
+            let _update = saga_trace::span!("update", edges = 64u64);
+            saga_trace::instant!("removed", count = 3u64);
+        }
+        let _compute = saga_trace::span!("compute");
+    });
+    let stats = tracecheck::validate(&doc).expect("exported trace must validate");
+    assert_eq!(stats.spans, 3, "{stats}");
+    assert_eq!(stats.instants, 1, "{stats}");
+    assert_eq!(stats.tracks, 1, "{stats}");
+
+    // The document is plain JSON to the in-tree reader, with the viewer
+    // affordances present.
+    let v = json::parse(&doc).expect("exported trace must parse");
+    assert_eq!(
+        v.get("displayTimeUnit").and_then(Json::as_str),
+        Some("ms")
+    );
+    let events = v.get("traceEvents").unwrap().as_array().unwrap();
+    assert!(events
+        .iter()
+        .any(|e| e.get("name").and_then(Json::as_str) == Some("thread_name")));
+}
+
+#[test]
+fn pool_worker_tasks_nest_per_track() {
+    let _g = LOCK.lock().unwrap();
+    let doc = capture(|| {
+        let pool = ThreadPool::new(3);
+        for _ in 0..4 {
+            pool.run_on_all(|w| {
+                std::hint::black_box(w + 1);
+            });
+        }
+    });
+    let stats = tracecheck::validate(&doc).expect("pool trace must validate");
+    // 3 workers × 4 fork-joins = 12 task spans across ≥ 3 named tracks
+    // (B/E pairs, one per worker per region), each strictly nested on its
+    // own track.
+    assert!(stats.tracks >= 3, "{stats}");
+    assert!(stats.spans >= 12, "{stats}");
+}
+
+#[test]
+fn truncated_capture_is_auto_closed_and_still_validates() {
+    let _g = LOCK.lock().unwrap();
+    let doc = capture(|| {
+        // Leak the guards: only the `B` records reach the ring, as when
+        // the drop-newest policy truncates a capture mid-span.
+        std::mem::forget(saga_trace::span!("batch", index = 9u64));
+        std::mem::forget(saga_trace::span!("update"));
+    });
+    let stats = tracecheck::validate(&doc)
+        .expect("exporter must auto-close truncated spans into a valid trace");
+    assert_eq!(stats.spans, 2, "{stats}");
+}

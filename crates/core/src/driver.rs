@@ -293,18 +293,37 @@ impl StreamDriver {
         // The bandwidth model always prices against the paper's machine,
         // regardless of any cache_scale override of the hierarchy itself.
         let topo = HierarchyConfig::paper().topology;
+        // Registry handles resolved once, outside the batch loop (the
+        // registry lock is only for lookup; recording is lock-free). These
+        // are the Eq. 1 latencies and batch counters every figure binary
+        // re-derives today; a `metrics::snapshot()` after the run sees them
+        // regardless of whether span tracing is enabled.
+        let m_update = saga_trace::metrics::histogram("driver.update_ns");
+        let m_compute = saga_trace::metrics::histogram("driver.compute_ns");
+        let m_batch = saga_trace::metrics::histogram("driver.batch_ns");
+        let c_inserted = saga_trace::metrics::counter("driver.inserted");
+        let c_duplicates = saga_trace::metrics::counter("driver.duplicates");
+        let c_removed = saga_trace::metrics::counter("driver.removed");
+        let c_missing = saga_trace::metrics::counter("driver.missing");
+        let c_affected = saga_trace::metrics::counter("driver.affected");
         let mut batches = Vec::new();
         for (index, batch) in stream.op_batches(batch_size).enumerate() {
+            let _batch_span = saga_trace::span!("batch", index = index as u64);
             let (inserts, deletes) = batch.split();
 
             // --- Update phase ---
+            let update_span = saga_trace::span!("update", edges = batch.len() as u64);
             let mut update_trace = None;
             let sw = Stopwatch::start();
             let apply = || {
-                let stats = graph.update_batch(&inserts, &self.pool);
+                let stats = {
+                    let _s = saga_trace::span!("ingest", edges = inserts.len() as u64);
+                    graph.update_batch(&inserts, &self.pool)
+                };
                 let del_stats = if deletes.is_empty() {
                     Default::default()
                 } else {
+                    let _s = saga_trace::span!("delete", edges = deletes.len() as u64);
                     graph.delete_batch(&deletes, &self.pool)
                 };
                 (stats, del_stats)
@@ -332,8 +351,13 @@ impl StreamDriver {
                 Default::default()
             };
             let update_seconds = sw.elapsed_secs();
+            drop(update_span);
+            saga_trace::instant!("removed", count = del_stats.removed as u64);
+            saga_trace::instant!("missing", count = del_stats.missing as u64);
 
             // --- Compute phase ---
+            let compute_span =
+                saga_trace::span!("compute", affected = impact.affected.len() as u64);
             let mut compute_trace = None;
             let sw = Stopwatch::start();
             let compute = if hierarchy.is_some() {
@@ -359,14 +383,30 @@ impl StreamDriver {
                 )
             };
             let compute_seconds = sw.elapsed_secs();
+            drop(compute_span);
+
+            m_update.record_secs(update_seconds);
+            m_compute.record_secs(compute_seconds);
+            m_batch.record_secs(update_seconds + compute_seconds);
+            c_inserted.add(stats.inserted as u64);
+            c_duplicates.add(stats.duplicates as u64);
+            c_removed.add(del_stats.removed as u64);
+            c_missing.add(del_stats.missing as u64);
+            c_affected.add(impact.affected.len() as u64);
 
             let arch = hierarchy.as_mut().map(|h| {
                 let a = cfg.arch_sim.as_ref().unwrap();
                 let update = h.replay(update_trace.as_ref().unwrap());
                 let compute = h.replay(compute_trace.as_ref().unwrap());
+                let update_bw = estimate(&update, &a.time_model, &topo);
+                let compute_bw = estimate(&compute, &a.time_model, &topo);
+                saga_trace::metrics::gauge("perf.update.dram_gbps").set(update_bw.dram_gbps);
+                saga_trace::metrics::gauge("perf.compute.dram_gbps").set(compute_bw.dram_gbps);
+                saga_trace::metrics::gauge("perf.compute.qpi_utilization")
+                    .set(compute_bw.qpi_utilization);
                 ArchRecord {
-                    update_bw: estimate(&update, &a.time_model, &topo),
-                    compute_bw: estimate(&compute, &a.time_model, &topo),
+                    update_bw,
+                    compute_bw,
                     update,
                     compute,
                 }

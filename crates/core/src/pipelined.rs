@@ -181,12 +181,32 @@ pub fn run_pipelined_full(
         };
         (ins, del)
     };
+    // The per-batch updater below runs on a fresh scope thread each batch;
+    // its work is reported from this thread as a Complete event on one
+    // virtual track (a scope thread emitting directly would allocate — and
+    // leak — a pool-lifetime ring per batch, see `saga_trace::mute_thread`).
+    static UPDATE_STAGE: saga_trace::Site = saga_trace::Site::new("update+snapshot", "batch");
+    const UPDATE_TRACK: &str = "update-stage";
+    let m_update = saga_trace::metrics::histogram("pipeline.update_ns");
+    let m_compute = saga_trace::metrics::histogram("pipeline.compute_ns");
+    let m_wall = saga_trace::metrics::histogram("pipeline.wall_ns");
+
+    let t0 = saga_trace::now_ns();
     let sw = Stopwatch::start();
     let mut pending_stats = apply(0);
     let mut snapshot = Csr::from_graph(graph.as_ref());
     let mut pending_update_seconds = sw.elapsed_secs();
+    saga_trace::emit_complete(
+        &UPDATE_STAGE,
+        UPDATE_TRACK,
+        t0,
+        (pending_update_seconds * 1e9) as u64,
+        Some(0),
+    );
+    m_update.record_secs(pending_update_seconds);
 
     for i in 0..batches.len() {
+        let _batch_span = saga_trace::span!("batch", index = i as u64);
         // The affected set for batch i, resolved against its snapshot
         // (taken after the batch was applied, so deletions are reflected).
         let (inserts, deletes) = &batches[i];
@@ -201,19 +221,24 @@ pub fn run_pipelined_full(
         let wall = Stopwatch::start();
         let mut compute_seconds = 0.0;
         let mut next: Option<(Csr, f64, (UpdateStats, DeleteStats))> = None;
+        let mut update_span_ns = 0u64;
         std::thread::scope(|scope| {
             // Stage A (worker thread): apply batch i+1 and snapshot.
             let updater = (i + 1 < batches.len()).then(|| {
                 let graph = &graph;
                 let apply = &apply;
                 scope.spawn(move || {
+                    saga_trace::mute_thread();
+                    let t0 = saga_trace::now_ns();
                     let sw = Stopwatch::start();
                     let stats = apply(i + 1);
                     let csr = Csr::from_graph(graph.as_ref());
-                    (csr, sw.elapsed_secs(), stats)
+                    (csr, sw.elapsed_secs(), stats, t0)
                 })
             });
             // Stage B (this thread): compute batch i on its snapshot.
+            let compute_span =
+                saga_trace::span!("compute", affected = impact.affected.len() as u64);
             let sw = Stopwatch::start();
             state.perform_alg_with_deletions(
                 &snapshot,
@@ -223,9 +248,26 @@ pub fn run_pipelined_full(
                 &compute_pool,
             );
             compute_seconds = sw.elapsed_secs();
-            next = updater.map(|h| h.join().expect("updater thread panicked"));
+            drop(compute_span);
+            next = updater.map(|h| {
+                let (csr, secs, stats, t0) = h.join().expect("updater thread panicked");
+                update_span_ns = (secs * 1e9) as u64;
+                saga_trace::emit_complete(
+                    &UPDATE_STAGE,
+                    UPDATE_TRACK,
+                    t0,
+                    update_span_ns,
+                    Some(i as u64 + 1),
+                );
+                (csr, secs, stats)
+            });
         });
         let wall_seconds = wall.elapsed();
+        if update_span_ns > 0 {
+            m_update.record(update_span_ns);
+        }
+        m_compute.record_secs(compute_seconds);
+        m_wall.record_secs(wall_seconds.as_secs_f64());
         records.push(PipelinedBatchRecord {
             index: i,
             update_seconds: pending_update_seconds,

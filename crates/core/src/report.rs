@@ -131,12 +131,38 @@ impl TextTable {
 ///
 /// Returns any I/O error from creating the directory or writing the file.
 pub fn write_results_file(name: &str, content: &str) -> std::io::Result<PathBuf> {
-    let dir = results_dir();
-    std::fs::create_dir_all(&dir)?;
+    write_results_file_in(&results_dir(), name, content)
+}
+
+/// [`write_results_file`] with an explicit directory instead of the
+/// `$SAGA_RESULTS_DIR` lookup. Tests use this to avoid mutating the
+/// process environment (`set_var` races against parallel tests reading it).
+///
+/// # Errors
+///
+/// Returns any I/O error from creating the directory or writing the file.
+pub fn write_results_file_in(dir: &Path, name: &str, content: &str) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
     let path = dir.join(name);
     let mut f = std::fs::File::create(&path)?;
     f.write_all(content.as_bytes())?;
     Ok(path)
+}
+
+/// Writes the current metrics-registry snapshot to
+/// `results/<stem>.metrics.csv` and returns the path (`None` when the
+/// registry is empty). Figure binaries call this after their runs so
+/// software timings and simulated hardware counters land in one artifact.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing the snapshot file.
+pub fn write_metrics_snapshot(stem: &str) -> std::io::Result<Option<PathBuf>> {
+    let snap = saga_trace::metrics::snapshot();
+    if snap.is_empty() {
+        return Ok(None);
+    }
+    write_results_file(&format!("{stem}.metrics.csv"), &snap.to_csv()).map(Some)
 }
 
 /// The results directory: `$SAGA_RESULTS_DIR` or `./results`.
@@ -206,9 +232,11 @@ mod tests {
 
     #[test]
     fn results_file_roundtrip() {
-        std::env::set_var("SAGA_RESULTS_DIR", std::env::temp_dir().join("saga-test-results"));
-        let path = write_results_file("unit.txt", "hello").unwrap();
+        // Explicit directory override: mutating SAGA_RESULTS_DIR here
+        // would race against any parallel test that calls results_dir().
+        let dir = std::env::temp_dir().join("saga-test-results");
+        let path = write_results_file_in(&dir, "unit.txt", "hello").unwrap();
         assert_eq!(std::fs::read_to_string(&path).unwrap(), "hello");
-        std::env::remove_var("SAGA_RESULTS_DIR");
+        assert!(path.starts_with(&dir));
     }
 }

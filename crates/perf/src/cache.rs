@@ -297,6 +297,18 @@ impl MemoryHierarchy {
                 }
             }
         }
+        // Mirror the phase's counters into the global metrics registry so
+        // one `saga_trace::metrics::snapshot()` carries both software
+        // timings (driver histograms) and simulated hardware counters —
+        // the paper's two characterization axes in one artifact.
+        saga_trace::instant!("cache-replay", accesses = report.accesses);
+        saga_trace::metrics::counter("perf.cache.accesses").add(report.accesses);
+        saga_trace::metrics::counter("perf.cache.l1_hits").add(report.l1_hits);
+        saga_trace::metrics::counter("perf.cache.l2_hits").add(report.l2_hits);
+        saga_trace::metrics::counter("perf.cache.llc_hits").add(report.llc_hits);
+        saga_trace::metrics::counter("perf.cache.dram_lines").add(report.dram_lines);
+        saga_trace::metrics::counter("perf.cache.remote_lines").add(report.remote_lines);
+        saga_trace::metrics::counter("perf.cache.instructions").add(report.instructions);
         report
     }
 }

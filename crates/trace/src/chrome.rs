@@ -1,0 +1,271 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Renders a drained event stream as the JSON object format consumed by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): a
+//! `traceEvents` array of `B`/`E`/`i`/`X` phase records, one `tid` per
+//! track (thread or virtual stage), with `thread_name` metadata records
+//! so the timeline rows carry the worker names. Timestamps are
+//! microseconds with nanosecond fractions.
+//!
+//! The exporter guarantees well-formed output even from an imperfect
+//! capture: per track, `E` events without a matching `B` are dropped and
+//! spans still open at the end of the capture (the drop policy keeps an
+//! exact prefix, so a truncated trace can end mid-span) are closed at the
+//! capture's final timestamp. The nesting invariant — every `B` has an
+//! `E`, strictly LIFO per track — is property-tested in
+//! `crates/check/tests/trace_export.rs` against the hand-rolled
+//! `saga_check::json` parser.
+
+use crate::{EventKind, TraceEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Microseconds with nanosecond fraction, e.g. `1234.567`.
+fn ts_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+#[allow(clippy::too_many_arguments)] // flat serializer of one record's fields
+fn push_record(
+    out: &mut String,
+    first: &mut bool,
+    name: &str,
+    ph: char,
+    tid: usize,
+    t_ns: u64,
+    dur_ns: Option<u64>,
+    arg: Option<&(String, u64)>,
+) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"ph\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{}",
+        escape(name),
+        ph,
+        tid,
+        ts_us(t_ns)
+    );
+    if let Some(dur) = dur_ns {
+        let _ = write!(out, ",\"dur\":{}", ts_us(dur));
+    }
+    if ph == 'i' {
+        // Instant scope: thread.
+        out.push_str(",\"s\":\"t\"");
+    }
+    if let Some((key, value)) = arg {
+        let _ = write!(out, ",\"args\":{{\"{}\":{}}}", escape(key), value);
+    }
+    out.push('}');
+}
+
+/// Renders `events` as a complete Chrome trace-event JSON document.
+///
+/// Tracks are assigned `tid`s in order of first appearance; each gets a
+/// `thread_name` metadata record. Events keep their per-track emission
+/// order (viewers sort by `ts` themselves).
+pub fn render(events: &[TraceEvent]) -> String {
+    // tid per track, in order of first appearance (tid 0 is reserved for
+    // the metadata-only process row Perfetto sometimes synthesizes).
+    let mut tids: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut order: Vec<&str> = Vec::new();
+    for e in events {
+        tids.entry(&e.track).or_insert_with(|| {
+            order.push(&e.track);
+            order.len()
+        });
+    }
+    let end_ns = events.iter().map(|e| e.t_ns + e.dur_ns).max().unwrap_or(0);
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = false;
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"saga-bench\"}}",
+    );
+    for track in &order {
+        let tid = tids[track];
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            tid,
+            escape(track)
+        );
+        let _ = write!(
+            out,
+            ",\n{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"sort_index\":{tid}}}}}"
+        );
+    }
+
+    // Per-track open-span stacks for balancing: E without B is dropped,
+    // B without E is auto-closed at the capture's end.
+    let mut open: BTreeMap<usize, Vec<(String, u64)>> = BTreeMap::new();
+    for e in events {
+        let tid = tids[e.track.as_str()];
+        match e.kind {
+            EventKind::Begin => {
+                open.entry(tid).or_default().push((e.name.clone(), e.t_ns));
+                push_record(
+                    &mut out,
+                    &mut first,
+                    &e.name,
+                    'B',
+                    tid,
+                    e.t_ns,
+                    None,
+                    e.arg.as_ref(),
+                );
+            }
+            EventKind::End => {
+                let stack = open.entry(tid).or_default();
+                if stack.last().is_some_and(|(name, _)| *name == e.name) {
+                    stack.pop();
+                    push_record(&mut out, &mut first, &e.name, 'E', tid, e.t_ns, None, None);
+                }
+                // Mismatched or stray E: drop to preserve nesting.
+            }
+            EventKind::Instant => {
+                push_record(
+                    &mut out,
+                    &mut first,
+                    &e.name,
+                    'i',
+                    tid,
+                    e.t_ns,
+                    None,
+                    e.arg.as_ref(),
+                );
+            }
+            EventKind::Complete => {
+                push_record(
+                    &mut out,
+                    &mut first,
+                    &e.name,
+                    'X',
+                    tid,
+                    e.t_ns,
+                    Some(e.dur_ns),
+                    e.arg.as_ref(),
+                );
+            }
+        }
+    }
+    // Close anything the capture left open, innermost first.
+    for (tid, stack) in &mut open {
+        while let Some((name, t_open)) = stack.pop() {
+            push_record(
+                &mut out,
+                &mut first,
+                &name,
+                'E',
+                *tid,
+                end_ns.max(t_open),
+                None,
+                None,
+            );
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(track: &str, name: &str, kind: EventKind, t_ns: u64, dur_ns: u64) -> TraceEvent {
+        TraceEvent {
+            track: track.to_string(),
+            t_ns,
+            dur_ns,
+            kind,
+            name: name.to_string(),
+            arg: None,
+        }
+    }
+
+    #[test]
+    fn renders_balanced_spans_and_metadata() {
+        let events = vec![
+            ev("main", "batch", EventKind::Begin, 1000, 0),
+            ev("main", "update", EventKind::Begin, 1100, 0),
+            ev("main", "update", EventKind::End, 1900, 0),
+            ev("main", "batch", EventKind::End, 2000, 0),
+            ev("worker-1", "task", EventKind::Complete, 1200, 600),
+        ];
+        let json = render(&events);
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"name\":\"main\""));
+        assert!(json.contains("\"name\":\"worker-1\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1.000"));
+        assert!(json.contains("\"dur\":0.600"));
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 2);
+    }
+
+    #[test]
+    fn auto_closes_truncated_spans() {
+        let events = vec![
+            ev("main", "batch", EventKind::Begin, 100, 0),
+            ev("main", "update", EventKind::Begin, 200, 0),
+        ];
+        let json = render(&events);
+        // Both spans closed, innermost first, at the capture end.
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 2);
+        let update_close = json.find("\"name\":\"update\",\"ph\":\"E\"").unwrap();
+        let batch_close = json.find("\"name\":\"batch\",\"ph\":\"E\"").unwrap();
+        assert!(update_close < batch_close);
+    }
+
+    #[test]
+    fn drops_stray_end_events() {
+        let events = vec![
+            ev("main", "orphan", EventKind::End, 100, 0),
+            ev("main", "real", EventKind::Begin, 200, 0),
+            ev("main", "real", EventKind::End, 300, 0),
+        ];
+        let json = render(&events);
+        assert!(!json.contains("\"name\":\"orphan\""));
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 1);
+    }
+
+    #[test]
+    fn escapes_names() {
+        let events = vec![ev("t", "we\"ird\\name", EventKind::Instant, 5, 0)];
+        let json = render(&events);
+        assert!(json.contains("we\\\"ird\\\\name"));
+        assert!(json.contains("\"s\":\"t\""));
+    }
+
+    #[test]
+    fn empty_capture_is_valid_json_shell() {
+        let json = render(&[]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("}"));
+    }
+}

@@ -1,0 +1,387 @@
+//! `saga-trace`: dependency-free observability for the SAGA-Bench suite.
+//!
+//! The paper's core quantity is per-batch latency decomposed into an
+//! update and a compute phase (Eq. 1), its pipelined argument rests on
+//! phase *overlap* (Fig. 9), and its tail claims on per-batch latency
+//! distributions (Fig. 10). This crate is the measurement substrate for
+//! all three: structured spans collected into per-thread lock-free rings
+//! ([`ring`]), a counters/gauges/histograms registry ([`metrics`]), and a
+//! Chrome trace-event exporter ([`chrome`]) that renders the captured
+//! spans as one timeline track per pool worker — making update/compute
+//! overlap literally visible in `chrome://tracing` or Perfetto.
+//!
+//! # Layering
+//!
+//! This crate sits *below* `saga-utils` so the thread pool itself can emit
+//! spans. It therefore cannot use the `saga_utils::sync` facade and is
+//! exempt from the facade lint (like `crates/loom`): tracing is a
+//! measurement tool, not part of the modeled concurrency surface, and
+//! instrumenting it under loom would only blow up the schedule space.
+//!
+//! # Cost model
+//!
+//! Tracing is off by default. The disabled path of [`span!`] is one
+//! relaxed atomic load and a branch — the span's argument expression is
+//! *not* evaluated — which an integration test bounds at <2% wall-time
+//! overhead on a pipelined run. The enabled path is one `Instant` read
+//! plus four relaxed stores and a release store into the calling thread's
+//! ring; no locks, no allocation after the ring exists.
+//!
+//! ```
+//! saga_trace::set_enabled(true);
+//! {
+//!     let _span = saga_trace::span!("update", batch = 7u64);
+//!     saga_trace::instant!("flush");
+//! } // span closes here
+//! let events = saga_trace::drain();
+//! assert!(events.iter().any(|e| e.name == "update"));
+//! let json = saga_trace::chrome_trace();
+//! assert!(json.contains("\"traceEvents\""));
+//! saga_trace::set_enabled(false);
+//! # saga_trace::clear();
+//! ```
+
+pub mod chrome;
+pub mod metrics;
+pub mod ring;
+
+pub use ring::{
+    clear, drain, dropped_events, emit_complete, mute_thread, now_ns, set_thread_track,
+    TraceEvent, RING_CAPACITY,
+};
+
+/// Process-unique small id, for disambiguating otherwise identically named
+/// instances in exported timelines (e.g. two thread pools whose workers
+/// would both be `worker-1`).
+pub fn next_instance_id() -> usize {
+    static NEXT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Global enable flag. `Relaxed` is sufficient: the flag only gates
+/// whether events are produced, and ring publication carries its own
+/// release/acquire edge.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether tracing is currently enabled (the `span!` fast path).
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns span/event collection on or off.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Enables tracing when the `SAGA_TRACE` environment variable is set to
+/// anything other than `0` or empty. Returns the resulting state. Bench
+/// binaries call this once at startup.
+pub fn init_from_env() -> bool {
+    let on = std::env::var("SAGA_TRACE")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    set_enabled(on);
+    on
+}
+
+/// Trace event phase, mirroring the Chrome trace-event `ph` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// Span opened (`ph: "B"`).
+    Begin = 0,
+    /// Span closed (`ph: "E"`).
+    End = 1,
+    /// Point event (`ph: "i"`).
+    Instant = 2,
+    /// Self-contained span with an explicit duration (`ph: "X"`).
+    Complete = 3,
+}
+
+/// Interned `(name, arg_name)` pairs; a [`Site`]'s id indexes this table.
+/// Both strings are `'static` literals from the macro call site, so the
+/// table never copies.
+static SITES: Mutex<Vec<(&'static str, &'static str)>> = Mutex::new(Vec::new());
+
+/// Resolves a site id back to its `(name, arg_name)` pair.
+pub(crate) fn resolve_site(id: u32) -> (&'static str, &'static str) {
+    SITES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .get(id as usize)
+        .copied()
+        .unwrap_or(("<unknown>", ""))
+}
+
+/// One static span/event call site. Created by the [`span!`] and
+/// [`instant!`] macros as a `static`, so the per-event cost of carrying
+/// the name is a `u32` id interned once per process.
+pub struct Site {
+    name: &'static str,
+    arg_name: &'static str,
+    id: OnceLock<u32>,
+}
+
+impl Site {
+    /// Creates a site for a span named `name` whose optional argument is
+    /// labeled `arg_name` (empty when the site takes no argument).
+    pub const fn new(name: &'static str, arg_name: &'static str) -> Self {
+        Self {
+            name,
+            arg_name,
+            id: OnceLock::new(),
+        }
+    }
+
+    /// The site's interned id (interns on first use; sites with identical
+    /// `(name, arg_name)` share an id, so re-expanded macros in generic
+    /// code do not bloat the table).
+    pub fn id(&self) -> u32 {
+        *self.id.get_or_init(|| {
+            let mut sites = SITES
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(i) = sites
+                .iter()
+                .position(|&(n, a)| n == self.name && a == self.arg_name)
+            {
+                return i as u32;
+            }
+            sites.push((self.name, self.arg_name));
+            (sites.len() - 1) as u32
+        })
+    }
+}
+
+/// RAII guard that closes a span on drop. Holds `None` when tracing was
+/// disabled at open, in which case drop is free.
+pub struct SpanGuard {
+    site: Option<&'static Site>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(site) = self.site {
+            // Re-check: if tracing was switched off mid-span, skip the
+            // End rather than record a dangling close (the exporter also
+            // tolerates imbalance, so either choice is safe).
+            if enabled() {
+                ring::emit(EventKind::End, site.id(), None, now_ns(), 0, None);
+            }
+        }
+    }
+}
+
+/// Opens a span at `site` (macro support; prefer [`span!`]).
+pub fn span_site(site: &'static Site, arg: Option<u64>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { site: None };
+    }
+    ring::emit(EventKind::Begin, site.id(), None, now_ns(), 0, arg);
+    SpanGuard { site: Some(site) }
+}
+
+/// Records an instant event at `site` (macro support; prefer
+/// [`instant!`]).
+pub fn instant_site(site: &'static Site, arg: Option<u64>) {
+    if !enabled() {
+        return;
+    }
+    ring::emit(EventKind::Instant, site.id(), None, now_ns(), 0, arg);
+}
+
+/// Opens a named span on the calling thread, returning a guard that
+/// closes it when dropped.
+///
+/// ```
+/// # saga_trace::set_enabled(true);
+/// let _span = saga_trace::span!("compute");
+/// let _span = saga_trace::span!("update", batch = 3u64);
+/// # drop(_span); saga_trace::set_enabled(false); saga_trace::clear();
+/// ```
+///
+/// The argument expression is evaluated only when tracing is enabled, so
+/// `span!("x", len = expensive())` costs nothing when disabled.
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {{
+        static SITE: $crate::Site = $crate::Site::new($name, "");
+        $crate::span_site(&SITE, ::core::option::Option::None)
+    }};
+    ($name:literal, $key:ident = $value:expr) => {{
+        static SITE: $crate::Site = $crate::Site::new($name, ::core::stringify!($key));
+        if $crate::enabled() {
+            $crate::span_site(
+                &SITE,
+                ::core::option::Option::Some(($value) as u64),
+            )
+        } else {
+            $crate::span_site(&SITE, ::core::option::Option::None)
+        }
+    }};
+}
+
+/// Records a zero-duration point event on the calling thread.
+///
+/// ```
+/// # saga_trace::set_enabled(true);
+/// saga_trace::instant!("snapshot-ready");
+/// saga_trace::instant!("dropped", count = 12u64);
+/// # saga_trace::set_enabled(false); saga_trace::clear();
+/// ```
+#[macro_export]
+macro_rules! instant {
+    ($name:literal) => {{
+        static SITE: $crate::Site = $crate::Site::new($name, "");
+        $crate::instant_site(&SITE, ::core::option::Option::None)
+    }};
+    ($name:literal, $key:ident = $value:expr) => {{
+        static SITE: $crate::Site = $crate::Site::new($name, ::core::stringify!($key));
+        if $crate::enabled() {
+            $crate::instant_site(
+                &SITE,
+                ::core::option::Option::Some(($value) as u64),
+            )
+        }
+    }};
+}
+
+/// Human-facing progress line on stderr. This is the sanctioned spelling
+/// for library-crate progress output: the `cargo xtask lint` println ban
+/// sees only `saga_trace::progress!` at call sites, keeping ad-hoc
+/// `eprintln!` out of library code while still letting long-running
+/// experiments narrate.
+#[macro_export]
+macro_rules! progress {
+    ($($tt:tt)*) => {
+        ::std::eprintln!($($tt)*)
+    };
+}
+
+/// Renders everything currently captured as a Chrome trace-event JSON
+/// document (see [`chrome::render`]).
+pub fn chrome_trace() -> String {
+    chrome::render(&drain())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// Tests that enable tracing share process-global rings; serialize
+    /// them so concurrently captured events don't bleed across tests.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn trace_test() -> MutexGuard<'static, ()> {
+        let guard = TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        clear();
+        set_enabled(true);
+        guard
+    }
+
+    #[test]
+    fn disabled_spans_emit_nothing() {
+        let _guard = trace_test();
+        set_enabled(false);
+        let before = drain().len();
+        {
+            let _s = span!("idle");
+            instant!("tick");
+        }
+        assert_eq!(drain().len(), before);
+    }
+
+    #[test]
+    fn span_guard_emits_begin_end_pair() {
+        let _guard = trace_test();
+        {
+            let _s = span!("outer", batch = 41u64);
+            let _inner = span!("inner");
+        }
+        set_enabled(false);
+        let events: Vec<_> = drain()
+            .into_iter()
+            .filter(|e| e.name == "outer" || e.name == "inner")
+            .collect();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].kind, EventKind::Begin);
+        assert_eq!(events[0].name, "outer");
+        assert_eq!(events[0].arg, Some(("batch".to_string(), 41)));
+        // inner closes before outer (LIFO drop order).
+        assert_eq!(
+            events
+                .iter()
+                .map(|e| (e.name.as_str(), e.kind))
+                .collect::<Vec<_>>(),
+            vec![
+                ("outer", EventKind::Begin),
+                ("inner", EventKind::Begin),
+                ("inner", EventKind::End),
+                ("outer", EventKind::End),
+            ]
+        );
+        clear();
+    }
+
+    #[test]
+    fn disabled_span_does_not_evaluate_arg() {
+        let _guard = trace_test();
+        set_enabled(false);
+        let mut evaluated = false;
+        {
+            let _s = span!("lazy", cost = {
+                evaluated = true;
+                1u64
+            });
+        }
+        assert!(!evaluated, "arg must not be evaluated while disabled");
+    }
+
+    #[test]
+    fn sites_with_same_name_share_an_id() {
+        static A: Site = Site::new("saga-test-shared-site", "k");
+        static B: Site = Site::new("saga-test-shared-site", "k");
+        assert_eq!(A.id(), B.id());
+        static C: Site = Site::new("saga-test-shared-site", "other");
+        assert_ne!(A.id(), C.id());
+    }
+
+    #[test]
+    fn init_from_env_reads_saga_trace() {
+        let _guard = trace_test();
+        // Only asserts the parse contract via set_enabled: this test does
+        // not mutate the environment (see the report.rs env-race fix).
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+        clear();
+    }
+
+    #[test]
+    fn complete_events_land_on_named_track() {
+        let _guard = trace_test();
+        static SITE: Site = Site::new("offloaded-stage", "bytes");
+        emit_complete(&SITE, "virtual-track-x", 10, 25, Some(64));
+        set_enabled(false);
+        let events: Vec<_> = drain()
+            .into_iter()
+            .filter(|e| e.name == "offloaded-stage")
+            .collect();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].track, "virtual-track-x");
+        assert_eq!(events[0].kind, EventKind::Complete);
+        assert_eq!(events[0].t_ns, 10);
+        assert_eq!(events[0].dur_ns, 25);
+        assert_eq!(events[0].arg, Some(("bytes".to_string(), 64)));
+        clear();
+    }
+}

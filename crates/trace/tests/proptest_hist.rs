@@ -1,0 +1,69 @@
+//! Property tests for the log-bucketed histogram: every reported quantile
+//! must land within one bucket (≤ 6.3% relative error) of the exact
+//! sorted-sample quantile, across the full `u64` range — the contract the
+//! module docs promise and `tail_sweep` relies on for its p99 columns.
+
+use proptest::prelude::*;
+use saga_trace::metrics::{bucket_index, Histogram};
+
+/// The exact sorted-sample quantile at the same rank convention the
+/// histogram uses: the sample of rank `ceil(q * n)`, 1-based.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Samples spanning the exact linear buckets, the log range timings live
+/// in, and the extremes of the `u64` domain.
+fn sample_value() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..64,              // exact linear buckets
+        64u64..100_000_000,    // the nanosecond-timing range
+        any::<u64>(),          // full range, including the top octave
+    ]
+}
+
+proptest! {
+    #[test]
+    fn quantiles_within_one_bucket_of_exact(
+        mut vals in proptest::collection::vec(sample_value(), 1..300),
+    ) {
+        let h = Histogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&vals, q);
+            let est = h.quantile(q);
+            let (be, bi) = (bucket_index(exact), bucket_index(est));
+            prop_assert!(
+                be.abs_diff(bi) <= 1,
+                "q={}: histogram {} (bucket {}) vs exact {} (bucket {})",
+                q,
+                est,
+                bi,
+                exact,
+                be
+            );
+        }
+    }
+
+    #[test]
+    fn summary_tracks_exact_extremes_and_is_monotone(
+        mut vals in proptest::collection::vec(sample_value(), 1..300),
+    ) {
+        let h = Histogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        let s = h.summary();
+        prop_assert_eq!(s.count, vals.len() as u64);
+        prop_assert_eq!(s.min, vals[0]);
+        prop_assert_eq!(s.max, *vals.last().unwrap());
+        prop_assert!(s.min <= s.p50);
+        prop_assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
+        prop_assert!(s.p99 <= s.p999 && s.p999 <= s.max);
+    }
+}

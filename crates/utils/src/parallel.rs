@@ -156,10 +156,14 @@ impl ThreadPool {
             shutdown: AtomicBool::new(false),
         });
         let mut handles = Vec::with_capacity(threads.saturating_sub(1));
+        // Pool-unique thread names keep each worker on its own timeline
+        // track when several pools coexist (e.g. the pipelined driver's
+        // update and compute pools).
+        let pool_id = saga_trace::next_instance_id();
         for worker_id in 1..threads {
             let shared = Arc::clone(&shared);
             handles.push(thread::spawn_named(
-                format!("saga-worker-{worker_id}"),
+                format!("saga-p{pool_id}-worker-{worker_id}"),
                 move || worker_loop(&shared, worker_id),
             ));
         }
@@ -194,6 +198,8 @@ impl ThreadPool {
         F: Fn(usize) + Sync,
     {
         if self.threads == 1 {
+            #[cfg(not(loom))]
+            let _task = saga_trace::span!("task", worker = 0u64);
             f(0);
             return;
         }
@@ -212,7 +218,11 @@ impl ThreadPool {
             self.shared.work_ready.notify_all();
         }
         // The caller participates as worker 0.
-        f(0);
+        {
+            #[cfg(not(loom))]
+            let _task = saga_trace::span!("task", worker = 0u64);
+            f(0);
+        }
         let mut state = self.shared.state.lock();
         while state.remaining != 0 {
             self.shared.work_done.wait(&mut state);
@@ -344,10 +354,14 @@ fn worker_loop(shared: &Shared, worker_id: usize) {
                 shared.work_ready.wait(&mut state);
             }
         };
+        #[cfg(not(loom))]
+        let task = saga_trace::span!("task", worker = worker_id as u64);
         // SAFETY: the dispatcher blocks until `remaining == 0`, so the
         // closure behind the job's pointer is alive for the duration of
         // the call, and `run_on_all` only shares it immutably.
         unsafe { job.call_on(worker_id) };
+        #[cfg(not(loom))]
+        drop(task);
         let mut state = shared.state.lock();
         state.remaining -= 1;
         if state.remaining == 0 {

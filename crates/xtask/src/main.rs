@@ -1,8 +1,8 @@
 //! Workspace automation tasks (`cargo xtask <task>`).
 //!
-//! The only task today is `lint`: a SAFETY-invariant pass over every `.rs`
-//! file in the workspace that enforces the conventions the compiler cannot
-//! (see DESIGN.md §7):
+//! `lint` is a SAFETY-invariant pass over every `.rs` file in the
+//! workspace that enforces the conventions the compiler cannot (see
+//! DESIGN.md §7):
 //!
 //! 1. every `unsafe` block and `unsafe impl` is annotated with a
 //!    `// SAFETY:` comment (immediately above, or trailing on the line);
@@ -12,10 +12,19 @@
 //!    pool (`crates/utils/src/parallel.rs`), the sync facade
 //!    (`crates/utils/src/sync.rs`), and the model checker (`crates/loom/`)
 //!    — all other code must go through `saga_utils::parallel`;
-//! 4. `std::sync::atomic` is imported only by the sync facade and the
-//!    model checker — all other code must use `saga_utils::sync::atomic`
-//!    so that `--cfg loom` swaps in the model-checked types everywhere;
-//! 5. (informational) every `Ordering::Relaxed` site is listed for audit.
+//! 4. `std::sync::atomic` is imported only by the sync facade, the model
+//!    checker, and the trace layer (which sits *below* the facade) — all
+//!    other code must use `saga_utils::sync::atomic` so that `--cfg loom`
+//!    swaps in the model-checked types everywhere;
+//! 5. (informational) every `Ordering::Relaxed` site is listed for audit;
+//! 6. `println!` / `eprintln!` are banned in library code (any `src/`
+//!    file outside `src/bin/`) — library output must route through the
+//!    `saga_trace::progress!` facade or `saga_core::report`, so that
+//!    binaries own stdout and progress chatter is greppable in one place.
+//!
+//! `check-trace <file>` validates an exported Chrome trace-event JSON file
+//! (shape + strict per-track span nesting) via `saga_check::tracecheck` —
+//! CI runs it against the trace-smoke artifact.
 //!
 //! The scanner is deliberately line-based (no full parser is available
 //! offline): block comments, line comments, and string literals are
@@ -29,12 +38,43 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => lint(),
+        Some("check-trace") => check_trace(args.next()),
         Some(other) => {
-            eprintln!("unknown task `{other}`; available tasks: lint");
+            eprintln!("unknown task `{other}`; available tasks: lint, check-trace");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask <task>\n\ntasks:\n  lint    SAFETY-invariant pass");
+            eprintln!(
+                "usage: cargo xtask <task>\n\ntasks:\n  lint                 \
+                 SAFETY-invariant pass\n  check-trace <file>   validate an \
+                 exported Chrome trace-event JSON file"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Validates an exported Chrome trace-event JSON file (CI's trace-smoke
+/// step runs this against the artifact the `pipelined` binary writes).
+fn check_trace(path: Option<String>) -> ExitCode {
+    let Some(path) = path else {
+        eprintln!("usage: cargo xtask check-trace <file.trace.json>");
+        return ExitCode::FAILURE;
+    };
+    let doc = match std::fs::read_to_string(&path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("xtask check-trace: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match saga_check::tracecheck::validate(&doc) {
+        Ok(stats) => {
+            println!("xtask check-trace: OK ({path}: {stats})");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask check-trace: {path}: {e}");
             ExitCode::FAILURE
         }
     }
@@ -130,9 +170,29 @@ const THREAD_ALLOWLIST: &[&str] = &["crates/utils/src/parallel.rs", "crates/util
 /// Files allowed to name `std::sync::atomic` directly.
 const ATOMIC_ALLOWLIST: &[&str] = &["crates/utils/src/sync.rs"];
 
-/// Directory prefixes exempt from the facade bans (the model checker IS the
-/// other side of the facade, and must use the real primitives).
-const FACADE_EXEMPT_DIRS: &[&str] = &["crates/loom/"];
+/// Directory prefixes exempt from the facade bans: the model checker IS
+/// the other side of the facade, and the trace layer sits *below*
+/// `saga-utils` (the pool emits spans), so neither can route through
+/// `saga_utils::sync` — both use the real primitives.
+const FACADE_EXEMPT_DIRS: &[&str] = &["crates/loom/", "crates/trace/"];
+
+/// Library files allowed to call `println!` / `eprintln!` directly: the
+/// bench reporting facade (`emit*` / `finish_trace` own stdout for the
+/// figure binaries) — everything else goes through `saga_trace::progress!`.
+const PRINT_ALLOWLIST: &[&str] = &["crates/bench/src/lib.rs"];
+
+/// Directory prefixes exempt from the print ban: xtask is a terminal tool
+/// (its reports ARE its output) and `crates/trace/` defines the
+/// `progress!` facade itself, which expands to `eprintln!`.
+const PRINT_EXEMPT_DIRS: &[&str] = &["crates/xtask/", "crates/trace/"];
+
+/// True for library source: a file under some `src/` that is not a binary
+/// target (`src/bin/`, or the crate's `src/main.rs`). Integration tests
+/// (`tests/`) and benches own their stdout and are not library code.
+fn is_library_source(rel_path: &str) -> bool {
+    let in_src = rel_path.starts_with("src/") || rel_path.contains("/src/");
+    in_src && !rel_path.contains("/bin/") && !rel_path.ends_with("/main.rs")
+}
 
 /// One source line after comment/string stripping.
 struct Line {
@@ -170,6 +230,21 @@ fn scan_file(rel_path: &str, source: &str) -> Report {
                     "{rel_path}:{lineno}: direct `std::sync::atomic` use outside the sync \
                      facade (use `saga_utils::sync::atomic` so `--cfg loom` applies)"
                 ));
+            }
+        }
+
+        if is_library_source(rel_path)
+            && !PRINT_ALLOWLIST.contains(&rel_path)
+            && !PRINT_EXEMPT_DIRS.iter().any(|d| rel_path.starts_with(d))
+        {
+            for mac in ["eprintln!", "println!"] {
+                if contains_macro_call(code, mac) {
+                    report.violations.push(format!(
+                        "{rel_path}:{lineno}: direct `{mac}` in library code (route \
+                         progress through `saga_trace::progress!` or results through \
+                         `saga_core::report`)"
+                    ));
+                }
             }
         }
 
@@ -250,6 +325,23 @@ fn unsafe_sites(code: &str) -> Vec<UnsafeSite> {
 
 fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Macro-invocation match with an identifier boundary on the left, so that
+/// `println!` does not fire inside `eprintln!` (a `::`-qualified path like
+/// `std::println!` still counts). The needle ends in `!`, which bounds the
+/// right side by itself.
+fn contains_macro_call(code: &str, needle: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(needle) {
+        let at = start + pos;
+        start = at + needle.len();
+        if at == 0 || !is_ident_byte(bytes[at - 1]) {
+            return true;
+        }
+    }
+    false
 }
 
 /// `std::thread::spawn`-style path match with identifier boundaries, so
@@ -460,6 +552,49 @@ mod tests {
         let report = scan_file("crates/demo/src/lib.rs", src);
         assert!(report.violations.is_empty());
         assert_eq!(report.relaxed_sites, vec!["crates/demo/src/lib.rs:2"]);
+    }
+
+    #[test]
+    fn seeded_println_in_library_code_fails() {
+        let src = "fn f() {\n    println!(\"{}\", 1);\n}\n";
+        let report = scan_file("crates/demo/src/lib.rs", src);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].contains("`println!`"), "{report:?}");
+        assert!(report.violations[0].contains(":2:"), "{report:?}");
+    }
+
+    #[test]
+    fn seeded_eprintln_reports_its_own_name_once() {
+        let src = "fn f() {\n    eprintln!(\"x\");\n}\n";
+        let report = scan_file("crates/demo/src/lib.rs", src);
+        // `println!` is a substring of `eprintln!`; the identifier-boundary
+        // check must not double-report.
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].contains("`eprintln!`"), "{report:?}");
+    }
+
+    #[test]
+    fn print_ban_spares_binaries_tests_and_facades() {
+        let src = "fn main() {\n    println!(\"ok\");\n}\n";
+        for rel in [
+            "crates/bench/src/bin/fig6.rs", // binary target
+            "crates/demo/src/main.rs",      // crate root binary
+            "crates/xtask/src/main.rs",     // terminal tool
+            "crates/trace/src/lib.rs",      // defines the progress! facade
+            "crates/bench/src/lib.rs",      // emit*/finish_trace facade
+            "tests/pipeline.rs",            // integration test, not library
+        ] {
+            assert!(
+                scan_file(rel, src).violations.is_empty(),
+                "{rel} should be exempt from the print ban"
+            );
+        }
+    }
+
+    #[test]
+    fn println_inside_string_or_comment_is_ignored() {
+        let src = "fn f() {\n    let s = \"println!(1)\";\n    // eprintln! in prose\n    let _ = s;\n}\n";
+        assert!(scan_file("crates/demo/src/lib.rs", src).violations.is_empty());
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //!   the paper's Intel PCM hardware counters.
 //! - [`utils`] — the parallel runtime, memory-access probes, statistics, and
 //!   small shared primitives.
+//! - [`trace`] — the observability layer: structured spans and instants
+//!   (`SAGA_TRACE=1` exports a Chrome trace-event timeline), plus the
+//!   counter/gauge/histogram metrics registry (see README §Observability).
 //!
 //! # Quickstart
 //!
@@ -46,6 +49,7 @@ pub use saga_core as core;
 pub use saga_graph as graph;
 pub use saga_perf as perf;
 pub use saga_stream as stream;
+pub use saga_trace as trace;
 pub use saga_utils as utils;
 
 /// Convenient glob-import surface used by the examples and tests.
