@@ -2,15 +2,19 @@
 //!
 //! Table I: `v.depth ← min_{e ∈ InEdges(v)} (e.source.depth + 1)`.
 //!
-//! The FS kernel is the conventional frontier-based parallel BFS of the GAP
-//! benchmark suite (push direction, CAS-guarded depth relaxation).
+//! The FS kernel the engine runs is [`bfs_direction_optimizing`] — the
+//! Beamer-style sparse/dense kernel GAP ships, with the alpha/beta
+//! scout-count switch. The conventional push-only frontier BFS
+//! ([`bfs_from_scratch`]) stays exported as the comparison baseline.
 
 use crate::program::{ValueStore, VertexProgram};
-use crossbeam::queue::SegQueue;
 use saga_graph::properties::AtomicU32Array;
 use saga_graph::{GraphTopology, Node};
 use saga_utils::bitvec::AtomicBitVec;
+use saga_utils::frontier::FlatFrontier;
 use saga_utils::parallel::{Schedule, ThreadPool};
+use saga_utils::prefetch::PREFETCH_DISTANCE;
+use saga_utils::sync::atomic::{AtomicUsize, Ordering};
 
 /// Depth of a vertex not (yet) reachable from the root.
 pub const UNREACHED: u32 = u32::MAX;
@@ -92,13 +96,18 @@ pub fn bfs_from_scratch(
 ) -> usize {
     let n = graph.capacity();
     let mut visited = AtomicBitVec::new(n);
-    let next: SegQueue<Node> = SegQueue::new();
+    let mut next = FlatFrontier::new(n);
     let mut frontier = vec![program.root];
     let mut levels = 0;
     while !frontier.is_empty() {
         levels += 1;
         let grain = saga_utils::parallel::adaptive_grain(frontier.len(), pool.threads());
         pool.parallel_for(0..frontier.len(), Schedule::Dynamic(grain), |i| {
+            // Hide the random property read of the vertex a few slots
+            // behind the cursor while this one's neighbors are scanned.
+            if let Some(&ahead) = frontier.get(i + PREFETCH_DISTANCE) {
+                values.prefetch(ahead as usize);
+            }
             let v = frontier[i];
             let depth = values.load(v as usize);
             graph.for_each_out_neighbor(v, &mut |nb, _| {
@@ -107,21 +116,40 @@ pub fn bfs_from_scratch(
                 }
             });
         });
-        frontier.clear();
-        while let Some(v) = next.pop() {
-            frontier.push(v);
-        }
+        next.take_into(&mut frontier);
         visited.clear_all();
     }
     levels
 }
 
+/// What the direction-optimizing kernel did, level by level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirOptStats {
+    /// Levels expanded (same meaning as the [`bfs_from_scratch`] return).
+    pub levels: usize,
+    /// How many of those levels ran in the dense bottom-up direction.
+    pub bottom_up_levels: usize,
+}
+
+/// Switch top-down → bottom-up when the frontier's scouted out-edges
+/// exceed `1/ALPHA` of the unexplored edges (Beamer's `alpha`; GAP's
+/// default value).
+const ALPHA: u64 = 15;
+/// Switch bottom-up → top-down when the frontier shrinks below `n / BETA`
+/// vertices (Beamer's `beta`; GAP's default value).
+const BETA: usize = 18;
+
 /// Direction-optimizing BFS from scratch (Beamer et al.; the kernel GAP
 /// actually ships). Runs top-down (push) while the frontier is small and
 /// switches to bottom-up (every unvisited vertex pulls from its
-/// in-neighbors) once the frontier exceeds 1/20 of the vertices, where
-/// scanning the unvisited side is cheaper than pushing a huge frontier's
-/// edges.
+/// in-neighbors) while the frontier is dense, where scanning the unvisited
+/// side is cheaper than pushing a huge frontier's edges.
+///
+/// The switch uses the scout-count heuristics of the original paper: the
+/// out-degrees of newly discovered vertices are accumulated *at push time*
+/// (so the decision costs nothing extra), the kernel goes dense when that
+/// scout count exceeds `1/ALPHA` of the still-unexplored edges, and
+/// returns to sparse when the frontier drops under `n / BETA` vertices.
 ///
 /// Produces exactly the same depths as [`bfs_from_scratch`]; exposed
 /// separately so the classic and direction-optimizing kernels can be
@@ -132,31 +160,39 @@ pub fn bfs_direction_optimizing(
     values: &AtomicU32Array,
     pool: &ThreadPool,
 ) -> usize {
-    /// Switch to bottom-up when the frontier exceeds n / this.
-    const DIRECTION_SWITCH_FRACTION: usize = 20;
+    bfs_direction_optimizing_stats(program, graph, values, pool).levels
+}
 
+/// [`bfs_direction_optimizing`], returning the per-direction level counts
+/// (used by the heuristic shape tests and the compute benchmarks).
+pub fn bfs_direction_optimizing_stats(
+    program: &BfsProgram,
+    graph: &dyn GraphTopology,
+    values: &AtomicU32Array,
+    pool: &ThreadPool,
+) -> DirOptStats {
     let n = graph.capacity();
-    let switch_at = (n / DIRECTION_SWITCH_FRACTION).max(1);
     let mut visited = AtomicBitVec::new(n);
-    let next: SegQueue<Node> = SegQueue::new();
+    let mut next = FlatFrontier::new(n);
+    // Out-degrees of the vertices discovered this level, summed as they
+    // are pushed: the scout count of the *next* level's frontier.
+    let next_scout = AtomicUsize::new(0);
     let mut frontier = vec![program.root];
+    let mut scout_count = graph.out_degree(program.root) as u64;
+    let mut edges_to_check = graph.num_edges() as u64;
     let mut depth = 0u32;
-    let mut levels = 0;
+    let mut bottom_up = false;
+    let mut stats = DirOptStats::default();
     while !frontier.is_empty() {
-        levels += 1;
-        if frontier.len() < switch_at {
-            // Top-down step: push from the frontier.
-            let grain = saga_utils::parallel::adaptive_grain(frontier.len(), pool.threads());
-            pool.parallel_for(0..frontier.len(), Schedule::Dynamic(grain), |i| {
-                let v = frontier[i];
-                let d = values.load(v as usize);
-                graph.for_each_out_neighbor(v, &mut |nb, _| {
-                    if values.fetch_min(nb as usize, d + 1) && visited.try_set(nb as usize) {
-                        next.push(nb);
-                    }
-                });
-            });
+        stats.levels += 1;
+        if bottom_up {
+            // Stay dense until the frontier thins out.
+            bottom_up = frontier.len() >= (n / BETA).max(1);
         } else {
+            bottom_up = scout_count > edges_to_check / ALPHA;
+        }
+        if bottom_up {
+            stats.bottom_up_levels += 1;
             // Bottom-up step: every unvisited vertex scans its in-neighbors
             // for a frontier member; no CAS contention on the frontier side.
             let grain = saga_utils::parallel::adaptive_grain(n, pool.threads()).max(16);
@@ -172,18 +208,43 @@ pub fn bfs_direction_optimizing(
                 });
                 if found {
                     values.store(v, depth + 1);
+                    next_scout.fetch_add(graph.out_degree(v as Node), Ordering::Relaxed);
                     next.push(v as Node);
                 }
             });
+        } else {
+            // Top-down step: push from the frontier.
+            let grain = saga_utils::parallel::adaptive_grain(frontier.len(), pool.threads());
+            pool.parallel_for(0..frontier.len(), Schedule::Dynamic(grain), |i| {
+                if let Some(&ahead) = frontier.get(i + PREFETCH_DISTANCE) {
+                    values.prefetch(ahead as usize);
+                }
+                let v = frontier[i];
+                let d = values.load(v as usize);
+                let mut discovered: Vec<Node> = Vec::new();
+                graph.for_each_out_neighbor(v, &mut |nb, _| {
+                    if values.fetch_min(nb as usize, d + 1) && visited.try_set(nb as usize) {
+                        next.push(nb);
+                        discovered.push(nb);
+                    }
+                });
+                // Scout degrees are summed after the neighbor scan returns:
+                // chunk-locked structures (AC) hold their lock across
+                // `for_each`, so re-entering the topology from inside the
+                // callback can self-deadlock on a same-chunk neighbor.
+                let scouted: usize = discovered.iter().map(|&nb| graph.out_degree(nb)).sum();
+                if scouted != 0 {
+                    next_scout.fetch_add(scouted, Ordering::Relaxed);
+                }
+            });
         }
-        frontier.clear();
-        while let Some(v) = next.pop() {
-            frontier.push(v);
-        }
+        edges_to_check = edges_to_check.saturating_sub(scout_count);
+        scout_count = next_scout.swap(0, Ordering::Relaxed) as u64;
+        next.take_into(&mut frontier);
         visited.clear_all();
         depth += 1;
     }
-    levels
+    stats
 }
 
 #[cfg(test)]
@@ -257,7 +318,7 @@ mod tests {
     }
 
     #[test]
-    fn direction_optimizing_on_a_path_stays_top_down() {
+    fn direction_optimizing_on_a_path_starts_top_down() {
         let pool = ThreadPool::new(2);
         let g = build_graph(DataStructureKind::Stinger, 30, true, pool.threads());
         let edges: Vec<Edge> = (0..29).map(|i| Edge::new(i, i + 1, 1.0)).collect();
@@ -265,10 +326,37 @@ mod tests {
         let program = BfsProgram::new(0);
         let values = AtomicU32Array::filled(30, 0);
         reset_values(&program, &values, 30, &pool);
-        let levels = bfs_direction_optimizing(&program, g.as_ref(), &values, &pool);
+        let stats = bfs_direction_optimizing_stats(&program, g.as_ref(), &values, &pool);
         // 29 productive rounds plus the final empty-frontier check round.
-        assert_eq!(levels, 30);
+        assert_eq!(stats.levels, 30);
         assert_eq!(values.get(29), 29);
+        // A unit-width frontier never trips the scout heuristic while a
+        // meaningful share of the edges is unexplored.
+        assert!(
+            stats.levels - stats.bottom_up_levels >= 15,
+            "path should run mostly sparse, got {stats:?}"
+        );
     }
 
+    #[test]
+    fn dense_switch_fires_on_hub_heavy_input() {
+        // A star: the root's first frontier already scouts every edge, so
+        // the very next level must run bottom-up.
+        let pool = ThreadPool::new(2);
+        let n = 200usize;
+        let g = build_graph(DataStructureKind::AdjacencyShared, n, true, pool.threads());
+        let edges: Vec<Edge> = (1..n as Node).map(|i| Edge::new(0, i, 1.0)).collect();
+        g.update_batch(&edges, &pool);
+        let program = BfsProgram::new(0);
+        let values = AtomicU32Array::filled(n, 0);
+        reset_values(&program, &values, n, &pool);
+        let stats = bfs_direction_optimizing_stats(&program, g.as_ref(), &values, &pool);
+        assert!(
+            stats.bottom_up_levels >= 1,
+            "hub frontier must go dense, got {stats:?}"
+        );
+        for v in 1..n {
+            assert_eq!(values.get(v), 1, "vertex {v}");
+        }
+    }
 }

@@ -22,10 +22,11 @@
 //! cascade exceeds a size threshold.
 
 use crate::program::{EdgeScope, ValueStore, VertexProgram};
-use crossbeam::queue::SegQueue;
 use saga_graph::{Edge, GraphTopology, Node};
 use saga_utils::bitvec::AtomicBitVec;
+use saga_utils::frontier::FlatFrontier;
 use saga_utils::parallel::{Schedule, ThreadPool};
+use saga_utils::prefetch::PREFETCH_DISTANCE;
 use saga_utils::sync::atomic::{AtomicUsize, Ordering};
 
 /// What an incremental compute phase did.
@@ -77,13 +78,16 @@ pub fn incremental_compute<P: VertexProgram>(
     });
 
     let mut visited = AtomicBitVec::new(n);
-    let next: SegQueue<Node> = SegQueue::new();
+    let mut next = FlatFrontier::new(n);
     let recomputed = AtomicUsize::new(0);
     let triggered = AtomicUsize::new(0);
 
-    let process = |frontier: &[Node], visited: &AtomicBitVec| {
+    let process = |frontier: &[Node], visited: &AtomicBitVec, next: &FlatFrontier| {
         let grain = saga_utils::parallel::adaptive_grain(frontier.len(), pool.threads());
         pool.parallel_for(0..frontier.len(), Schedule::Dynamic(grain), |i| {
+            if let Some(&ahead) = frontier.get(i + PREFETCH_DISTANCE) {
+                values.prefetch_hint(ahead as usize);
+            }
             let v = frontier[i];
             recomputed.fetch_add(1, Ordering::Relaxed);
             // Lines 9–10: re-calculate the vertex function.
@@ -127,15 +131,12 @@ pub fn incremental_compute<P: VertexProgram>(
     };
     visited.clear_all();
     let mut iterations = 1;
-    process(&seeds, &visited);
+    process(&seeds, &visited, &next);
 
     // Lines 17–25: frontier propagation until quiescence.
     let mut frontier: Vec<Node> = Vec::new();
     loop {
-        frontier.clear();
-        while let Some(v) = next.pop() {
-            frontier.push(v);
-        }
+        next.take_into(&mut frontier);
         if frontier.is_empty() {
             break;
         }
@@ -148,7 +149,7 @@ pub fn incremental_compute<P: VertexProgram>(
             frontier.len(),
             &frontier[..frontier.len().min(5)]
         );
-        process(&frontier, &visited);
+        process(&frontier, &visited, &next);
     }
 
     IncOutcome {

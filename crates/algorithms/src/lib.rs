@@ -449,7 +449,11 @@ impl AlgorithmState {
         let iterations = match &self.inner {
             StateInner::Bfs(p, s) => {
                 fs::reset_values(p, s, n, pool);
-                bfs::bfs_from_scratch(p, graph, s, pool)
+                // The direction-optimizing kernel produces identical depths
+                // and dominates on dense-frontier batches (see the
+                // `extensions` bench); the classic push kernel stays
+                // exported for comparison.
+                bfs::bfs_direction_optimizing(p, graph, s, pool)
             }
             StateInner::Cc(p, s) => {
                 fs::reset_values(p, s, n, pool);

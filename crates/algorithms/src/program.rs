@@ -40,6 +40,12 @@ pub trait ValueStore<V: Copy>: Send + Sync {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+    /// Hints that slot `i` will be accessed soon. Defaults to a no-op;
+    /// the atomic-array stores forward it to a hardware prefetch so the
+    /// frontier loops can hide the latency of their random property reads.
+    fn prefetch_hint(&self, i: usize) {
+        let _ = i;
+    }
 }
 
 impl ValueStore<u32> for AtomicU32Array {
@@ -54,6 +60,9 @@ impl ValueStore<u32> for AtomicU32Array {
     }
     fn len(&self) -> usize {
         AtomicU32Array::len(self)
+    }
+    fn prefetch_hint(&self, i: usize) {
+        self.prefetch(i);
     }
 }
 
@@ -70,6 +79,9 @@ impl ValueStore<f32> for AtomicF32Array {
     fn len(&self) -> usize {
         AtomicF32Array::len(self)
     }
+    fn prefetch_hint(&self, i: usize) {
+        self.prefetch(i);
+    }
 }
 
 impl ValueStore<f64> for AtomicF64Array {
@@ -84,6 +96,9 @@ impl ValueStore<f64> for AtomicF64Array {
     }
     fn len(&self) -> usize {
         AtomicF64Array::len(self)
+    }
+    fn prefetch_hint(&self, i: usize) {
+        self.prefetch(i);
     }
 }
 

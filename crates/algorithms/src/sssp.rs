@@ -7,10 +7,12 @@
 //! stays competitive with INC on SSSP except on the largest dataset).
 
 use crate::program::{ValueStore, VertexProgram};
-use crossbeam::queue::SegQueue;
 use saga_graph::properties::AtomicF32Array;
 use saga_graph::{GraphTopology, Node};
+use saga_utils::bitvec::AtomicBitVec;
+use saga_utils::frontier::FlatFrontier;
 use saga_utils::parallel::{Schedule, ThreadPool};
+use saga_utils::prefetch::PREFETCH_DISTANCE;
 
 /// Default delta-stepping bucket width; edge weights are in `[1, 8.875]`
 /// (see `saga_stream::weight_for`), so 2.0 gives a healthy light/heavy mix.
@@ -106,11 +108,19 @@ pub fn sssp_delta_stepping(
     values: &AtomicF32Array,
     pool: &ThreadPool,
 ) -> usize {
+    let n = graph.capacity();
     let delta = program.delta;
     let bucket_of = |dist: f32| (dist / delta) as usize;
     let mut buckets: Vec<Vec<Node>> = vec![Vec::new()];
     buckets[0].push(program.root);
-    let relaxed: SegQueue<(usize, Node)> = SegQueue::new();
+    // Relaxed vertices are collected flat and deduplicated per phase; the
+    // bucket is (re)derived from the vertex's distance at drain time, which
+    // is equal-or-better than the value that was current at push time, so a
+    // vertex lands once in its best-known bucket instead of once per
+    // successful relaxation.
+    let mut relaxed_set = AtomicBitVec::new(n);
+    let mut relaxed = FlatFrontier::new(n);
+    let mut drained: Vec<Node> = Vec::new();
     let mut phases = 0;
     let mut current = 0usize;
     loop {
@@ -127,6 +137,9 @@ pub fn sssp_delta_stepping(
             let frontier = std::mem::take(&mut buckets[current]);
             let grain = saga_utils::parallel::adaptive_grain(frontier.len(), pool.threads());
             pool.parallel_for(0..frontier.len(), Schedule::Dynamic(grain), |i| {
+                if let Some(&ahead) = frontier.get(i + PREFETCH_DISTANCE) {
+                    values.prefetch(ahead as usize);
+                }
                 let v = frontier[i];
                 let dist = values.get(v as usize);
                 // Stale entry: the vertex settled in an earlier bucket.
@@ -135,12 +148,17 @@ pub fn sssp_delta_stepping(
                 }
                 graph.for_each_out_neighbor(v, &mut |nb, w| {
                     let candidate = dist + w;
-                    if values.fetch_min(nb as usize, candidate) {
-                        relaxed.push((bucket_of(candidate), nb));
+                    if values.fetch_min(nb as usize, candidate)
+                        && relaxed_set.try_set(nb as usize)
+                    {
+                        relaxed.push(nb);
                     }
                 });
             });
-            while let Some((b, v)) = relaxed.pop() {
+            relaxed.take_into(&mut drained);
+            relaxed_set.clear_all();
+            for &v in &drained {
+                let b = bucket_of(values.get(v as usize));
                 if b >= buckets.len() {
                     buckets.resize_with(b + 1, Vec::new);
                 }

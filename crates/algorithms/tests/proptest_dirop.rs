@@ -1,0 +1,121 @@
+//! Property-based direction-optimizing BFS equivalence: for arbitrary edge
+//! streams — including hub-heavy ones that push the scout-count heuristic
+//! into its bottom-up regime — the Beamer-style kernel must produce exactly
+//! the depths of classic top-down BFS and of a sequential reference walk,
+//! on every structure (the paper's four plus delta-CSR, whose replay
+//! crosses compaction boundaries when batches are large enough).
+
+use proptest::prelude::*;
+use saga_algorithms::bfs::{bfs_direction_optimizing, bfs_from_scratch, BfsProgram, UNREACHED};
+use saga_algorithms::fs::reset_values;
+use saga_graph::properties::AtomicU32Array;
+use saga_graph::{build_graph, DataStructureKind, Edge, GraphTopology, Node};
+use saga_utils::parallel::ThreadPool;
+
+const NODES: usize = 48;
+
+/// Uniform random batches, like the FS/INC property suite uses.
+fn arb_batches() -> impl Strategy<Value = Vec<Vec<Edge>>> {
+    prop::collection::vec(
+        prop::collection::vec((0..NODES as Node, 0..NODES as Node), 1..100),
+        1..4,
+    )
+    .prop_map(to_edges)
+}
+
+/// Hub-heavy batches: a handful of hubs fan out to arbitrary vertices, so
+/// mid-search frontiers cover most of the graph and the dense switch fires.
+fn arb_hub_batches() -> impl Strategy<Value = Vec<Vec<Edge>>> {
+    prop::collection::vec(
+        prop::collection::vec((0..4 as Node, 0..NODES as Node), 40..160),
+        1..3,
+    )
+    .prop_map(to_edges)
+}
+
+fn to_edges(batches: Vec<Vec<(Node, Node)>>) -> Vec<Vec<Edge>> {
+    batches
+        .into_iter()
+        .map(|batch| {
+            batch
+                .into_iter()
+                .map(|(s, d)| Edge::new(s, d, 1.0))
+                .collect()
+        })
+        .collect()
+}
+
+/// Sequential queue BFS over the structure's own topology view — the
+/// trust anchor both parallel kernels are compared against.
+fn reference_depths(g: &dyn GraphTopology, root: Node) -> Vec<u32> {
+    let mut depth = vec![UNREACHED; NODES];
+    depth[root as usize] = 0;
+    let mut queue = std::collections::VecDeque::from([root]);
+    while let Some(v) = queue.pop_front() {
+        let d = depth[v as usize];
+        let mut frontier: Vec<Node> = Vec::new();
+        g.for_each_out_neighbor(v, &mut |nb, _| frontier.push(nb));
+        for nb in frontier {
+            if depth[nb as usize] == UNREACHED {
+                depth[nb as usize] = d + 1;
+                queue.push_back(nb);
+            }
+        }
+    }
+    depth
+}
+
+fn check_dirop_equivalence(batches: &[Vec<Edge>], root: Node) -> Result<(), TestCaseError> {
+    let pool = ThreadPool::new(3);
+    for ds in DataStructureKind::ALL_WITH_DELTA {
+        let graph = build_graph(ds, NODES, true, pool.threads());
+        let program = BfsProgram::new(root);
+        for (i, batch) in batches.iter().enumerate() {
+            graph.update_batch(batch, &pool);
+            let reference = reference_depths(graph.as_ref(), root);
+
+            let classic = AtomicU32Array::filled(NODES, 0);
+            reset_values(&program, &classic, NODES, &pool);
+            bfs_from_scratch(&program, graph.as_ref(), &classic, &pool);
+            prop_assert_eq!(
+                &classic.to_vec(),
+                &reference,
+                "top-down batch {} on {:?}",
+                i,
+                ds
+            );
+
+            let dirop = AtomicU32Array::filled(NODES, 0);
+            reset_values(&program, &dirop, NODES, &pool);
+            bfs_direction_optimizing(&program, graph.as_ref(), &dirop, &pool);
+            prop_assert_eq!(
+                &dirop.to_vec(),
+                &reference,
+                "direction-optimizing batch {} on {:?}",
+                i,
+                ds
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn dirop_bfs_matches_topdown_on_all_structures(
+        batches in arb_batches(),
+        root in 0..NODES as Node,
+    ) {
+        check_dirop_equivalence(&batches, root)?;
+    }
+
+    #[test]
+    fn dirop_bfs_matches_topdown_on_hub_heavy_streams(
+        batches in arb_hub_batches(),
+        root in 0..4 as Node,
+    ) {
+        check_dirop_equivalence(&batches, root)?;
+    }
+}

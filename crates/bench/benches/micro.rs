@@ -175,6 +175,49 @@ fn bench_compute(c: &mut Criterion) {
     group.finish();
 }
 
+/// Guards the DAH probe-loop hoist: the low-degree Robin Hood table wraps
+/// with a hoisted power-of-two mask instead of a per-slot `%`, and this
+/// isolates exactly that loop (cluster scan + membership probe) so a
+/// regression to division-based wrapping shows up here first.
+fn bench_dah_probe(c: &mut Criterion) {
+    use saga_graph::hash_tables::RobinHoodEdgeTable;
+
+    const SOURCES: u32 = 2_000;
+    const DEGREE: u32 = 8; // below the DAH low→high threshold
+    let mut table = RobinHoodEdgeTable::new();
+    for src in 0..SOURCES {
+        for dst in 0..DEGREE {
+            table.insert(src, SOURCES + dst, 1.0);
+        }
+    }
+
+    let mut group = c.benchmark_group("dah_probe");
+    group.sample_size(10);
+    group.bench_function("cluster_scan", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for src in 0..SOURCES {
+                table.for_each_neighbor(src, &mut |nb, _| sum += nb as u64);
+            }
+            sum
+        });
+    });
+    group.bench_function("find_hit", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for src in 0..SOURCES {
+                for dst in 0..DEGREE {
+                    if table.find(src, SOURCES + dst).is_some() {
+                        hits += 1;
+                    }
+                }
+            }
+            hits
+        });
+    });
+    group.finish();
+}
+
 fn bench_cache_replay(c: &mut Criterion) {
     let pool = ThreadPool::new(2);
     let batch = short_tail_batch();
@@ -199,6 +242,7 @@ criterion_group!(
     bench_update_ingest,
     bench_traversal,
     bench_compute,
+    bench_dah_probe,
     bench_cache_replay
 );
 criterion_main!(benches);

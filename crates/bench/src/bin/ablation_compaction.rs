@@ -1,0 +1,72 @@
+//! Ablation: delta-CSR compaction-threshold floor. A low floor merges the
+//! overlay into the CSR snapshot eagerly (more `O(n + edges)` rebuilds,
+//! but neighbor scans stay almost entirely on the static side), a high
+//! floor lets the sorted delta chunks grow (cheap updates, but every scan
+//! pays the overlay merge). The sweep locates the knee against the
+//! default (`256`, scaled by snapshot size).
+//!
+//! ```text
+//! cargo run -p saga-bench --release --bin ablation_compaction
+//! ```
+
+use saga_algorithms::bfs::{bfs_direction_optimizing, BfsProgram};
+use saga_algorithms::fs::reset_values;
+use saga_bench::{config_from_env, emit};
+use saga_core::report::{fmt_secs, TextTable};
+use saga_graph::delta_csr::DeltaCsr;
+use saga_graph::properties::AtomicU32Array;
+use saga_graph::DynamicGraph;
+use saga_stream::profiles::DatasetProfile;
+use saga_utils::parallel::ThreadPool;
+use saga_utils::timer::Stopwatch;
+
+fn main() {
+    let cfg = config_from_env();
+    let pool = ThreadPool::new(cfg.threads);
+    let mut table = TextTable::new([
+        "Dataset", "threshold floor", "update s", "compute s (BFS/FS)", "compactions",
+    ]);
+    for profile in [DatasetProfile::livejournal(), DatasetProfile::talk()] {
+        let profile = profile.scaled_by(cfg.scale);
+        let stream = profile.generate(cfg.seed);
+        for floor in [64usize, 256, 1024, 4096, usize::MAX / 2] {
+            let label = if floor > 1 << 20 {
+                "never".to_string()
+            } else {
+                floor.to_string()
+            };
+            eprintln!(
+                "[ablation_compaction] {} @ floor {label} ...",
+                profile.name()
+            );
+            let graph = DeltaCsr::new(stream.num_nodes, stream.directed, pool.threads())
+                .with_compaction_threshold(floor);
+            let root = stream.edges.first().map(|e| e.src).unwrap_or(0);
+            let program = BfsProgram::new(root);
+            let values = AtomicU32Array::filled(stream.num_nodes, 0);
+            let mut update_s = 0.0;
+            let mut compute_s = 0.0;
+            for batch in stream.batches(stream.suggested_batch_size) {
+                let sw = Stopwatch::start();
+                graph.update_batch(batch, &pool);
+                update_s += sw.elapsed_secs();
+                let sw = Stopwatch::start();
+                reset_values(&program, &values, stream.num_nodes, &pool);
+                bfs_direction_optimizing(&program, &graph, &values, &pool);
+                compute_s += sw.elapsed_secs();
+            }
+            table.add_row([
+                profile.name().to_string(),
+                label,
+                fmt_secs(update_s),
+                fmt_secs(compute_s),
+                graph.compactions().to_string(),
+            ]);
+        }
+    }
+    emit(
+        "Ablation: delta-CSR compaction-threshold floor (default: 256)",
+        "ablation_compaction.txt",
+        &table.render(),
+    );
+}

@@ -1,0 +1,198 @@
+//! Compute-phase BFS benchmark: per-batch from-scratch latency on all five
+//! structures (the paper's four plus delta-CSR), the direction-optimizing
+//! vs. classic top-down kernel comparison on a dense-frontier graph, and a
+//! cache-simulated miss-rate contrast between delta-CSR's compacted
+//! neighbor scans and AS's pointer-chasing ones.
+//!
+//! Emits `results/BENCH_compute.json` (checked baseline; see
+//! `crates/check/tests/baseline.rs`).
+//!
+//! ```text
+//! cargo run -p saga-bench --release --bin bench_compute
+//! ```
+
+use saga_algorithms::bfs::{
+    bfs_direction_optimizing, bfs_direction_optimizing_stats, bfs_from_scratch, BfsProgram,
+};
+use saga_algorithms::fs::reset_values;
+use saga_bench::{config_from_env, emit};
+use saga_graph::delta_csr::DeltaCsr;
+use saga_graph::properties::AtomicU32Array;
+use saga_graph::{build_graph, DataStructureKind, DynamicGraph, Edge, GraphTopology, Node};
+use saga_perf::{replay_on_paper_machine, trace_phase};
+use saga_stream::profiles::DatasetProfile;
+use saga_utils::parallel::ThreadPool;
+use saga_utils::timer::Stopwatch;
+
+const NODES: usize = 20_000;
+const BATCH: usize = 20_000;
+const BATCHES: usize = 6;
+const REPS: usize = 3;
+/// Dense-frontier comparison graph: low diameter, uniform degree, so the
+/// middle BFS level covers most of the graph and the scout-count heuristic
+/// must go bottom-up.
+const DENSE_NODES: usize = 50_000;
+const DENSE_DEGREE: usize = 16;
+/// Cache-hierarchy scale factor for the simulated replay (same knob as
+/// `arch_suite`'s `SAGA_CACHE_SCALE` default).
+const CACHE_SCALE: usize = 16;
+
+fn time_best<F: FnMut() -> f64>(mut run: F) -> f64 {
+    (0..REPS).map(|_| run()).fold(f64::INFINITY, f64::min)
+}
+
+/// Per-batch mean FS BFS latency on one structure over the talk stream.
+fn bench_structure(ds: DataStructureKind, edges: &[Edge], threads: usize) -> String {
+    let pool = ThreadPool::new(threads);
+    let graph = build_graph(ds, NODES, true, pool.threads());
+    let program = BfsProgram::new(edges[0].src);
+    let values = AtomicU32Array::filled(NODES, 0);
+    let mut total = 0.0f64;
+    let mut batches = 0usize;
+    for batch in edges.chunks(BATCH) {
+        graph.update_batch(batch, &pool);
+        let best = time_best(|| {
+            reset_values(&program, &values, NODES, &pool);
+            let sw = Stopwatch::start();
+            bfs_direction_optimizing(&program, graph.as_ref(), &values, &pool);
+            sw.elapsed_secs()
+        });
+        total += best;
+        batches += 1;
+    }
+    let mean = total / batches as f64;
+    let name = ds.abbrev();
+    eprintln!(
+        "[bench_compute] {name} @ {threads} threads: mean per-batch BFS {:.6}s over {batches} batches",
+        mean
+    );
+    format!(
+        "    {{\"structure\": \"{name}\", \"threads\": {threads}, \"batches\": {batches}, \
+         \"mean_batch_seconds\": {mean:.6}, \"total_seconds\": {total:.6}}}"
+    )
+}
+
+/// Classic top-down vs. direction-optimizing BFS on a dense-frontier
+/// snapshot (built once; both kernels time pure compute).
+fn bench_direction(seed: u64, threads: usize) -> String {
+    let edges: Vec<(Node, Node, f32)> = (0..(DENSE_NODES * DENSE_DEGREE) as u64)
+        .map(|i| {
+            let r = saga_utils::hash::mix64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(i));
+            (
+                ((r >> 8) % DENSE_NODES as u64) as Node,
+                ((r >> 32) % DENSE_NODES as u64) as Node,
+                1.0,
+            )
+        })
+        .collect();
+    let pool = ThreadPool::new(threads);
+    let graph = saga_graph::csr::Csr::from_edges(DENSE_NODES, true, &edges);
+    let program = BfsProgram::new(edges[0].0);
+    let values = AtomicU32Array::filled(DENSE_NODES, 0);
+    let topdown = time_best(|| {
+        reset_values(&program, &values, DENSE_NODES, &pool);
+        let sw = Stopwatch::start();
+        bfs_from_scratch(&program, &graph, &values, &pool);
+        sw.elapsed_secs()
+    });
+    let dirop = time_best(|| {
+        reset_values(&program, &values, DENSE_NODES, &pool);
+        let sw = Stopwatch::start();
+        bfs_direction_optimizing(&program, &graph, &values, &pool);
+        sw.elapsed_secs()
+    });
+    reset_values(&program, &values, DENSE_NODES, &pool);
+    let stats = bfs_direction_optimizing_stats(&program, &graph, &values, &pool);
+    let speedup = topdown / dirop;
+    eprintln!(
+        "[bench_compute] dense dirop: topdown {topdown:.6}s, dirop {dirop:.6}s, \
+         speedup {speedup:.2}x ({}/{} levels bottom-up)",
+        stats.bottom_up_levels, stats.levels
+    );
+    format!(
+        "  \"direction_optimizing\": {{\"profile\": \"dense\", \"nodes\": {DENSE_NODES}, \
+         \"edges\": {}, \"threads\": {threads}, \"topdown_seconds\": {topdown:.6}, \
+         \"dirop_seconds\": {dirop:.6}, \"speedup\": {speedup:.3}, \
+         \"levels\": {}, \"bottom_up_levels\": {}}}",
+        DENSE_NODES * DENSE_DEGREE,
+        stats.levels,
+        stats.bottom_up_levels
+    )
+}
+
+/// Full-graph neighbor scan with the access probe on, replayed through the
+/// simulated paper hierarchy: compacted delta-CSR scans in vertex order are
+/// sequential in memory, AS's per-vertex heap blocks are not.
+fn bench_cache(edges: &[Edge]) -> String {
+    let pool = ThreadPool::new(1);
+    let scan = |g: &dyn GraphTopology| {
+        let mut sum = 0u64;
+        for v in 0..NODES {
+            g.for_each_out_neighbor(v as Node, &mut |nb, _| sum += u64::from(nb));
+        }
+        std::hint::black_box(sum);
+    };
+
+    let as_graph = build_graph(DataStructureKind::AdjacencyShared, NODES, true, pool.threads());
+    as_graph.update_batch(edges, &pool);
+    let as_trace = trace_phase(&pool, || scan(as_graph.as_ref()));
+    let as_report = replay_on_paper_machine(&as_trace, CACHE_SCALE);
+
+    let delta = DeltaCsr::new(NODES, true, pool.threads());
+    delta.update_batch(edges, &pool);
+    delta.compact();
+    let delta_trace = trace_phase(&pool, || scan(&delta));
+    let delta_report = replay_on_paper_machine(&delta_trace, CACHE_SCALE);
+
+    let rate = |dram: u64, accesses: u64| {
+        if accesses == 0 {
+            0.0
+        } else {
+            dram as f64 / accesses as f64
+        }
+    };
+    let as_miss = rate(as_report.dram_lines, as_report.accesses);
+    let delta_miss = rate(delta_report.dram_lines, delta_report.accesses);
+    eprintln!(
+        "[bench_compute] neighbor-scan miss rate (DRAM lines / line accesses): \
+         AS {as_miss:.4} ({}/{}), DeltaCSR {delta_miss:.4} ({}/{})",
+        as_report.dram_lines, as_report.accesses, delta_report.dram_lines, delta_report.accesses
+    );
+    format!(
+        "  \"cache\": {{\"cache_scale\": {CACHE_SCALE}, \
+         \"as_accesses\": {}, \"as_dram_lines\": {}, \"as_miss_rate\": {as_miss:.4}, \
+         \"delta_accesses\": {}, \"delta_dram_lines\": {}, \"delta_miss_rate\": {delta_miss:.4}}}",
+        as_report.accesses, as_report.dram_lines, delta_report.accesses, delta_report.dram_lines
+    )
+}
+
+fn main() {
+    let cfg = config_from_env();
+    let threads = cfg.threads.clamp(1, 8);
+    let edges = DatasetProfile::talk()
+        .scaled(NODES, BATCH * BATCHES)
+        .generate(cfg.seed)
+        .edges;
+
+    let rows: Vec<String> = DataStructureKind::ALL_WITH_DELTA
+        .into_iter()
+        .map(|ds| bench_structure(ds, &edges, threads))
+        .collect();
+    let direction = bench_direction(cfg.seed, threads);
+    let cache = bench_cache(&edges);
+
+    let body = format!(
+        "{{\n  \"benchmark\": \"compute_bfs\",\n  \"profile\": \"talk\",\n  \
+         \"nodes\": {NODES},\n  \"batch_edges\": {BATCH},\n  \"reps\": {REPS},\n  \
+         \"seed\": {},\n  \"results\": [\n{}\n  ],\n{},\n{}\n}}\n",
+        cfg.seed,
+        rows.join(",\n"),
+        direction,
+        cache
+    );
+    emit(
+        "Compute-phase BFS: per-batch latency, direction-optimizing speedup, cache contrast",
+        "BENCH_compute.json",
+        &body,
+    );
+}

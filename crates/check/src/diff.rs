@@ -261,10 +261,15 @@ fn counts_diff(
     None
 }
 
-/// Checks one program differentially across all 4 structures × {serial,
-/// partitioned} × {FS, INC} plus the pipelined INC driver, returning the
-/// first divergence found (or `None` when every combination agrees with
-/// the oracle model).
+/// Checks one program differentially across all 5 structures (the paper's
+/// four plus the delta-CSR extension) × {serial, partitioned} × {FS, INC}
+/// plus the pipelined INC driver, returning the first divergence found (or
+/// `None` when every combination agrees with the oracle model).
+///
+/// DeltaCsr rides the same matrix as the paper structures, which in
+/// particular replays every program *through compaction boundaries*: any
+/// INC/FS disagreement introduced by a snapshot merge shows up as a
+/// divergence against the oracle model.
 pub fn check_program(program: &OpProgram, config: &CheckConfig) -> Option<Divergence> {
     if program.batches.is_empty() {
         return None;
@@ -274,7 +279,7 @@ pub fn check_program(program: &OpProgram, config: &CheckConfig) -> Option<Diverg
     let ref_pool = ThreadPool::new(config.threads);
     let (model, oracle) = build_model(program, config.algorithm, root, &ref_pool);
 
-    for ds in DataStructureKind::ALL {
+    for ds in DataStructureKind::ALL_WITH_DELTA {
         // A fault plan corrupts this structure's *input*; the model keeps
         // describing the true program, so the corruption must surface as a
         // divergence on this structure only.

@@ -8,12 +8,24 @@
 //! model combination by [`crate::check_program`].
 
 use rand::Rng;
-use rand_xoshiro::rand_core::SeedableRng;
+use rand_xoshiro::rand_core::{RngCore, SeedableRng};
 use rand_xoshiro::Xoshiro256PlusPlus;
 
 /// Uniform draw from the inclusive range `[lo, hi]`.
+///
+/// Implemented directly over the raw generator (unbiased rejection of the
+/// wrap-around remainder zone) so program generation depends only on the
+/// xoshiro stream, not on any particular `rand` sampling algorithm.
 fn range(rng: &mut Xoshiro256PlusPlus, lo: usize, hi: usize) -> usize {
-    rng.gen_range_u64(lo as u64, hi as u64 + 1) as usize
+    debug_assert!(lo <= hi, "inclusive range needs lo <= hi");
+    let span = (hi - lo) as u64 + 1;
+    let zone = u64::MAX - u64::MAX % span;
+    loop {
+        let x = rng.next_u64();
+        if x < zone {
+            return (lo as u64 + x % span) as usize;
+        }
+    }
 }
 
 /// Bernoulli draw with probability `p`.

@@ -14,7 +14,11 @@ use saga_check::{
     check_program, fuzz_campaign, shrink, CheckConfig, Fault, FaultPlan, OpProgram,
     ProgramProfile,
 };
-use saga_graph::DataStructureKind;
+use saga_graph::delta_csr::DeltaCsr;
+use saga_graph::{DataStructureKind, DynamicGraph, Edge};
+use saga_stream::EdgeOp;
+use saga_utils::hash::mix64;
+use saga_utils::parallel::ThreadPool;
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
@@ -85,6 +89,82 @@ fn seeded_fault_is_caught_and_shrunk() {
         .to_test_snippet("dah_drops_deletes", "CheckConfig::quick()");
     assert!(snippet.contains("#[test]"), "snippet:\n{snippet}");
     assert!(snippet.contains("from_ops"), "snippet:\n{snippet}");
+}
+
+/// The delta-CSR column of the matrix is genuinely differential: a fault
+/// routed to DeltaCsr's input stream (deletes replayed with reversed
+/// endpoints) must surface as a divergence attributed to DeltaCsr.
+#[test]
+fn delta_csr_fault_is_caught() {
+    let program = OpProgram::from_ops(
+        4,
+        true,
+        &[&[
+            (EdgeOp::Insert, 0, 1),
+            (EdgeOp::Insert, 1, 2),
+            (EdgeOp::Delete, 0, 1),
+        ]],
+    );
+    let config = CheckConfig {
+        fault: Some(FaultPlan {
+            structure: DataStructureKind::DeltaCsr,
+            fault: Fault::ReverseDeleteEndpoints,
+        }),
+        ..CheckConfig::quick()
+    };
+    let d = check_program(&program, &config).expect("fault must diverge");
+    assert_eq!(d.structure, DataStructureKind::DeltaCsr);
+}
+
+/// A long mixed insert/delete program crosses DeltaCsr's default
+/// compaction threshold several times; the differential replay (INC == FS
+/// == oracle per batch) must stay clean straight through every snapshot
+/// merge. A side replay on a bare `DeltaCsr` witnesses that the threshold
+/// actually fired — otherwise this test would silently stop covering
+/// compaction if the default floor were raised.
+#[test]
+fn delta_csr_replays_clean_through_compaction() {
+    const CAP: usize = 48;
+    let batches: Vec<Vec<(EdgeOp, u32, u32)>> = (0..8u64)
+        .map(|b| {
+            (0..90u64)
+                .map(|i| {
+                    let r = mix64(b * 1_000 + i + 1);
+                    let src = ((r >> 8) % CAP as u64) as u32;
+                    let dst = ((r >> 32) % CAP as u64) as u32;
+                    let op = if r.is_multiple_of(5) {
+                        EdgeOp::Delete
+                    } else {
+                        EdgeOp::Insert
+                    };
+                    (op, src, dst)
+                })
+                .collect()
+        })
+        .collect();
+    let slices: Vec<&[(EdgeOp, u32, u32)]> = batches.iter().map(Vec::as_slice).collect();
+    let program = OpProgram::from_ops(CAP, true, &slices);
+
+    // Witness: the same op stream on a default-threshold DeltaCsr drains
+    // the overlay at least once (pending ops stay far below the op count).
+    let pool = ThreadPool::new(2);
+    let witness = DeltaCsr::new(CAP, true, pool.threads());
+    for batch in &batches {
+        let inserts: Vec<Edge> = batch
+            .iter()
+            .filter(|&&(op, _, _)| op == EdgeOp::Insert)
+            .map(|&(_, s, d)| Edge::new(s, d, saga_stream::edge_weight(s, d, true)))
+            .collect();
+        witness.update_batch(&inserts, &pool);
+    }
+    assert!(
+        witness.pending_delta_ops() < 300,
+        "program never crossed the compaction threshold (pending {})",
+        witness.pending_delta_ops()
+    );
+
+    let got = check_program(&program, &CheckConfig::quick());
+    assert!(got.is_none(), "{}", got.unwrap());
 }
 
 /// Every adversarial profile generates structurally valid programs whose

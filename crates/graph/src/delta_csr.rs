@@ -1,0 +1,647 @@
+//! Delta-CSR hybrid structure (**DeltaCSR**): an immutable CSR snapshot
+//! plus a small chunked delta overlay, merged on threshold.
+//!
+//! The four §III-A structures pick one point each on the update-cost /
+//! traversal-locality trade-off. Delta-CSR refuses the choice: reads run
+//! mostly over a *compacted CSR snapshot* — one contiguous, id-sorted edge
+//! array with offset indexing, the layout static frameworks use because it
+//! makes neighbor scans sequential and prefetchable — while writes go to a
+//! small *delta overlay* (per-chunk add/tombstone lists, same chunked
+//! ownership discipline as AC/DAH, so batch ingest stays lock-free within
+//! a chunk). When the overlay grows past a threshold proportional to the
+//! snapshot size, the structure *compacts*: snapshot and overlay are merged
+//! into a fresh CSR image and the overlay resets to empty. Compaction cost
+//! is `O(n + edges)`, amortized over the `Θ(threshold)` updates that funded
+//! it.
+//!
+//! Semantics match the other structures exactly (search-before-insert
+//! dedup, logical-edge counting, undirected mirroring), so Delta-CSR drops
+//! into every driver, compute model, and differential harness unmodified:
+//!
+//! - an edge is **present** iff it is in the overlay's adds, or in the
+//!   snapshot and not tombstoned;
+//! - inserting a present edge is a duplicate (no weight update, like AC);
+//! - deleting removes a delta add outright, tombstones a live snapshot
+//!   edge, and counts missing otherwise.
+//!
+//! Concurrency: the snapshot sits behind an [`RwLock`] read-locked for the
+//! duration of a batch or scan; overlay chunks are independently mutexed.
+//! Lock order is always snapshot-then-chunk (compaction takes the write
+//! lock first, then drains chunks), so the two-level scheme cannot
+//! deadlock.
+
+use crate::adjacency_chunked::{chunked_update, IngestScratch};
+use crate::{
+    DataStructureKind, DeletableGraph, DeleteStats, DynamicGraph, Edge, GraphTopology, Node,
+    UpdateStats, Weight,
+};
+use parking_lot::{Mutex, RwLock};
+use saga_utils::parallel::ThreadPool;
+use saga_utils::prefetch::{prefetch_index, PREFETCH_DISTANCE};
+use saga_utils::probe;
+use saga_utils::sync::atomic::{AtomicUsize, Ordering};
+
+/// Compaction fires when the overlay holds at least this many entries,
+/// regardless of snapshot size (keeps tiny graphs compacting at all).
+const DEFAULT_THRESHOLD_FLOOR: usize = 256;
+
+/// Compaction also fires once the overlay reaches this fraction of the
+/// snapshot's stored entries (¼), bounding scan overhead on large graphs.
+const THRESHOLD_SNAPSHOT_DIVISOR: usize = 4;
+
+/// One direction of the immutable CSR image. Neighbor lists are id-sorted,
+/// so snapshot membership tests are binary searches and merged scans stay
+/// sorted.
+#[derive(Default)]
+struct SnapshotDir {
+    offsets: Vec<usize>,
+    edges: Vec<(Node, Weight)>,
+}
+
+impl SnapshotDir {
+    fn empty(capacity: usize) -> Self {
+        Self {
+            offsets: vec![0; capacity + 1],
+            edges: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn neighbors(&self, v: Node) -> &[(Node, Weight)] {
+        &self.edges[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    #[inline]
+    fn contains(&self, v: Node, dst: Node) -> bool {
+        self.neighbors(v)
+            .binary_search_by_key(&dst, |&(n, _)| n)
+            .is_ok()
+    }
+}
+
+/// Both directions of the snapshot. Undirected graphs store each logical
+/// edge twice in `out` (mirror entries) and serve `in_*` from it, exactly
+/// like the dynamic structures; directed graphs keep a second image.
+struct Snapshot {
+    out: SnapshotDir,
+    inn: Option<SnapshotDir>,
+}
+
+/// Overlay state for the vertices owned by one chunk, indexed by
+/// `v / chunks`. `adds` are edges not live in the snapshot; `dels` are
+/// tombstones over snapshot entries. The two are disjoint views: an edge
+/// re-inserted after deletion keeps its tombstone and gains an add.
+struct DeltaChunk {
+    adds: Vec<Vec<(Node, Weight)>>,
+    dels: Vec<Vec<Node>>,
+}
+
+/// One direction of the chunked delta overlay.
+struct DeltaDir {
+    chunks: Vec<Mutex<DeltaChunk>>,
+}
+
+impl DeltaDir {
+    fn new(capacity: usize, chunks: usize) -> Self {
+        let chunks = chunks.max(1);
+        let store = (0..chunks)
+            .map(|c| {
+                let local_count = capacity.saturating_sub(c).div_ceil(chunks);
+                Mutex::new(DeltaChunk {
+                    adds: vec![Vec::new(); local_count],
+                    dels: vec![Vec::new(); local_count],
+                })
+            })
+            .collect();
+        Self { chunks: store }
+    }
+
+    #[inline]
+    fn chunk_of(&self, v: Node) -> usize {
+        v as usize % self.chunks.len()
+    }
+}
+
+/// Delta-CSR hybrid: CSR snapshot + chunked delta overlay with
+/// threshold-triggered compaction.
+///
+/// # Examples
+///
+/// ```
+/// use saga_graph::delta_csr::DeltaCsr;
+/// use saga_graph::{DeletableGraph, DynamicGraph, Edge, GraphTopology};
+/// use saga_utils::parallel::ThreadPool;
+///
+/// let pool = ThreadPool::new(2);
+/// let g = DeltaCsr::new(10, true, pool.threads());
+/// g.update_batch(&[Edge::new(0, 3, 1.0), Edge::new(0, 5, 2.0)], &pool);
+/// assert_eq!(g.out_degree(0), 2);
+/// g.delete_batch(&[Edge::new(0, 3, 0.0)], &pool);
+/// assert_eq!(g.out_neighbors(0), vec![(5, 2.0)]);
+/// ```
+pub struct DeltaCsr {
+    snapshot: RwLock<Snapshot>,
+    out: DeltaDir,
+    inn: Option<DeltaDir>,
+    capacity: usize,
+    directed: bool,
+    edges: AtomicUsize,
+    /// Overlay mutations since the last compaction (adds pushed, adds
+    /// retracted, tombstones pushed) — the compaction trigger.
+    delta_ops: AtomicUsize,
+    /// Stored entries in the current snapshot, mirrored out of the lock so
+    /// the trigger check stays lock-free.
+    snap_entries: AtomicUsize,
+    /// Merges performed over the structure's lifetime (ablation
+    /// observability).
+    compactions: AtomicUsize,
+    threshold_floor: usize,
+    scratch: Mutex<IngestScratch>,
+}
+
+impl std::fmt::Debug for DeltaCsr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeltaCsr")
+            .field("capacity", &self.capacity)
+            .field("directed", &self.directed)
+            .field("edges", &self.num_edges())
+            .field("delta_ops", &self.delta_ops.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl DeltaCsr {
+    /// Creates an empty Delta-CSR graph with the given number of
+    /// single-threaded overlay chunks (typically the update thread count).
+    pub fn new(capacity: usize, directed: bool, chunks: usize) -> Self {
+        Self {
+            snapshot: RwLock::new(Snapshot {
+                out: SnapshotDir::empty(capacity),
+                inn: directed.then(|| SnapshotDir::empty(capacity)),
+            }),
+            out: DeltaDir::new(capacity, chunks),
+            inn: directed.then(|| DeltaDir::new(capacity, chunks)),
+            capacity,
+            directed,
+            edges: AtomicUsize::new(0),
+            delta_ops: AtomicUsize::new(0),
+            snap_entries: AtomicUsize::new(0),
+            compactions: AtomicUsize::new(0),
+            threshold_floor: DEFAULT_THRESHOLD_FLOOR,
+            scratch: Mutex::new(IngestScratch::new()),
+        }
+    }
+
+    /// Overrides the compaction floor (overlay entries that force a merge
+    /// regardless of snapshot size) — the knob the compaction-threshold
+    /// ablation sweeps. The proportional part (overlay ≥ snapshot / 4)
+    /// is unchanged.
+    pub fn with_compaction_threshold(mut self, floor: usize) -> Self {
+        self.threshold_floor = floor.max(1);
+        self
+    }
+
+    /// Overlay mutations accumulated since the last compaction (test and
+    /// ablation observability).
+    pub fn pending_delta_ops(&self) -> usize {
+        self.delta_ops.load(Ordering::Acquire)
+    }
+
+    /// Snapshot merges performed so far (threshold-triggered and explicit).
+    pub fn compactions(&self) -> usize {
+        self.compactions.load(Ordering::Acquire)
+    }
+
+    /// The chunk that must ingest `edge` in the given direction (same
+    /// routing convention as AC/DAH).
+    fn key_chunk(&self, edge: &Edge, into_in: bool) -> usize {
+        if self.directed {
+            if into_in {
+                self.inn.as_ref().unwrap().chunk_of(edge.dst)
+            } else {
+                self.out.chunk_of(edge.src)
+            }
+        } else if into_in {
+            self.out.chunk_of(edge.dst)
+        } else {
+            self.out.chunk_of(edge.src)
+        }
+    }
+
+    /// Resolves `(delta direction, snapshot direction, src, dst)` for one
+    /// ingest pass, or `None` for the undirected self-loop mirror (which
+    /// is the same stored entry as its primary pass).
+    fn resolve<'a>(
+        &'a self,
+        snap: &'a Snapshot,
+        edge: &Edge,
+        into_in: bool,
+    ) -> Option<(&'a DeltaDir, &'a SnapshotDir, Node, Node)> {
+        let (delta, dir) = if self.directed && into_in {
+            (self.inn.as_ref().unwrap(), snap.inn.as_ref().unwrap())
+        } else {
+            (&self.out, &snap.out)
+        };
+        let (src, dst) = if into_in {
+            (edge.dst, edge.src)
+        } else {
+            (edge.src, edge.dst)
+        };
+        if !self.directed && into_in && src == dst {
+            return None; // self-loop mirror is the same entry
+        }
+        Some((delta, dir, src, dst))
+    }
+
+    fn ingest_insert(&self, snap: &Snapshot, chunk: usize, edge: &Edge, into_in: bool) -> bool {
+        let Some((delta, dir, src, dst)) = self.resolve(snap, edge, into_in) else {
+            return false;
+        };
+        let local = src as usize / delta.chunks.len();
+        let mut guard = delta.chunks[chunk].lock();
+        let DeltaChunk { adds, dels } = &mut *guard;
+        let adds = &mut adds[local];
+        probe::slice_read(adds);
+        let newly = if adds.iter().any(|&(n, _)| n == dst) {
+            false
+        } else if dir.contains(src, dst) && !dels[local].contains(&dst) {
+            probe::slice_read(dir.neighbors(src));
+            false
+        } else {
+            adds.push((dst, edge.weight));
+            probe::write(adds.last().unwrap() as *const (Node, Weight), 1);
+            self.delta_ops.fetch_add(1, Ordering::Relaxed);
+            true
+        };
+        if self.directed {
+            newly && !into_in
+        } else {
+            newly && src <= dst
+        }
+    }
+
+    fn ingest_remove(&self, snap: &Snapshot, chunk: usize, edge: &Edge, into_in: bool) -> bool {
+        let Some((delta, dir, src, dst)) = self.resolve(snap, edge, into_in) else {
+            return false;
+        };
+        let local = src as usize / delta.chunks.len();
+        let mut guard = delta.chunks[chunk].lock();
+        let DeltaChunk { adds, dels } = &mut *guard;
+        let adds = &mut adds[local];
+        probe::slice_read(adds);
+        let removed = if let Some(pos) = adds.iter().position(|&(n, _)| n == dst) {
+            adds.swap_remove(pos);
+            self.delta_ops.fetch_add(1, Ordering::Relaxed);
+            true
+        } else if dir.contains(src, dst) && !dels[local].contains(&dst) {
+            dels[local].push(dst);
+            probe::write(dels[local].last().unwrap() as *const Node, 1);
+            self.delta_ops.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        };
+        if self.directed {
+            removed && !into_in
+        } else {
+            removed && src <= dst
+        }
+    }
+
+    fn degree_of(&self, delta: &DeltaDir, dir: &SnapshotDir, v: Node) -> usize {
+        let chunk = delta.chunks[delta.chunk_of(v)].lock();
+        let local = v as usize / delta.chunks.len();
+        dir.neighbors(v).len() + chunk.adds[local].len() - chunk.dels[local].len()
+    }
+
+    fn for_each_dir(
+        &self,
+        delta: &DeltaDir,
+        dir: &SnapshotDir,
+        v: Node,
+        f: &mut dyn FnMut(Node, Weight),
+    ) {
+        let chunk = delta.chunks[delta.chunk_of(v)].lock();
+        let local = v as usize / delta.chunks.len();
+        let dels = &chunk.dels[local];
+        let slice = dir.neighbors(v);
+        probe::slice_read(slice);
+        if dels.is_empty() {
+            // Hot path: one sequential sweep over the contiguous snapshot
+            // slice, hinting the line PREFETCH_DISTANCE entries ahead.
+            for i in 0..slice.len() {
+                prefetch_index(slice, i + PREFETCH_DISTANCE);
+                let (n, w) = slice[i];
+                f(n, w);
+            }
+        } else {
+            for i in 0..slice.len() {
+                prefetch_index(slice, i + PREFETCH_DISTANCE);
+                let (n, w) = slice[i];
+                if !dels.contains(&n) {
+                    f(n, w);
+                }
+            }
+        }
+        let adds = &chunk.adds[local];
+        probe::slice_read(adds);
+        for &(n, w) in adds.iter() {
+            f(n, w);
+        }
+    }
+
+    /// Merges snapshot and overlay into a fresh CSR image if the overlay
+    /// has crossed the compaction threshold.
+    fn maybe_compact(&self) {
+        let ops = self.delta_ops.load(Ordering::Acquire);
+        let threshold = self
+            .threshold_floor
+            .max(self.snap_entries.load(Ordering::Acquire) / THRESHOLD_SNAPSHOT_DIVISOR);
+        if ops >= threshold {
+            self.compact();
+        }
+    }
+
+    /// Unconditional merge: rebuilds both CSR images with tombstones
+    /// applied and adds merged in id order, then resets the overlay.
+    pub fn compact(&self) {
+        let _span = saga_trace::span!("compaction", ops = self.delta_ops.load(Ordering::Relaxed) as u64);
+        let mut snap = self.snapshot.write();
+        let mut entries = 0usize;
+        let out = Self::merge_dir(self.capacity, &snap.out, &self.out, &mut entries);
+        let inn = self
+            .inn
+            .as_ref()
+            .map(|delta| Self::merge_dir(self.capacity, snap.inn.as_ref().unwrap(), delta, &mut entries));
+        *snap = Snapshot { out, inn };
+        self.snap_entries.store(entries, Ordering::Release);
+        self.delta_ops.store(0, Ordering::Release);
+        self.compactions.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Rebuilds one direction. Holds every chunk lock of the direction for
+    /// the duration (the snapshot write lock already excludes readers and
+    /// ingest batches; chunk locks are taken in index order).
+    fn merge_dir(
+        capacity: usize,
+        dir: &SnapshotDir,
+        delta: &DeltaDir,
+        entries: &mut usize,
+    ) -> SnapshotDir {
+        let mut guards: Vec<_> = delta.chunks.iter().map(|c| c.lock()).collect();
+        let chunk_count = delta.chunks.len();
+        let mut offsets = Vec::with_capacity(capacity + 1);
+        let mut edges = Vec::with_capacity(dir.edges.len());
+        offsets.push(0);
+        let mut merged: Vec<(Node, Weight)> = Vec::new();
+        for v in 0..capacity {
+            let chunk = &mut *guards[v % chunk_count];
+            let local = v / chunk_count;
+            let DeltaChunk { adds, dels } = chunk;
+            let adds = &mut adds[local];
+            let dels = &mut dels[local];
+            let live = dir.neighbors(v as Node);
+            if adds.is_empty() && dels.is_empty() {
+                edges.extend_from_slice(live);
+            } else {
+                dels.sort_unstable();
+                merged.clear();
+                merged.extend(
+                    live.iter()
+                        .filter(|&&(n, _)| dels.binary_search(&n).is_err())
+                        .copied(),
+                );
+                merged.extend_from_slice(adds);
+                // Snapshot lists stay id-sorted across compactions so
+                // membership stays a binary search and snapshots of
+                // different structures stay directly comparable.
+                merged.sort_unstable_by_key(|&(n, _)| n);
+                edges.extend_from_slice(&merged);
+                adds.clear();
+                dels.clear();
+            }
+            offsets.push(edges.len());
+        }
+        *entries += edges.len();
+        SnapshotDir { offsets, edges }
+    }
+}
+
+impl GraphTopology for DeltaCsr {
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn num_edges(&self) -> usize {
+        self.edges.load(Ordering::Acquire)
+    }
+
+    fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    fn out_degree(&self, v: Node) -> usize {
+        let snap = self.snapshot.read();
+        self.degree_of(&self.out, &snap.out, v)
+    }
+
+    fn in_degree(&self, v: Node) -> usize {
+        let snap = self.snapshot.read();
+        match (&self.inn, &snap.inn) {
+            (Some(delta), Some(dir)) => self.degree_of(delta, dir, v),
+            _ => self.degree_of(&self.out, &snap.out, v),
+        }
+    }
+
+    fn for_each_out_neighbor(&self, v: Node, f: &mut dyn FnMut(Node, Weight)) {
+        let snap = self.snapshot.read();
+        self.for_each_dir(&self.out, &snap.out, v, f);
+    }
+
+    fn for_each_in_neighbor(&self, v: Node, f: &mut dyn FnMut(Node, Weight)) {
+        let snap = self.snapshot.read();
+        match (&self.inn, &snap.inn) {
+            (Some(delta), Some(dir)) => self.for_each_dir(delta, dir, v, f),
+            _ => self.for_each_dir(&self.out, &snap.out, v, f),
+        }
+    }
+}
+
+impl DynamicGraph for DeltaCsr {
+    fn update_batch(&self, batch: &[Edge], pool: &ThreadPool) -> UpdateStats {
+        let inserted = {
+            let snap = self.snapshot.read();
+            chunked_update(
+                batch,
+                pool,
+                self.out.chunks.len(),
+                &self.scratch,
+                |edge, into_in| self.key_chunk(edge, into_in),
+                |chunk, edge, into_in| self.ingest_insert(&snap, chunk, edge, into_in),
+            )
+        };
+        self.edges.fetch_add(inserted, Ordering::AcqRel);
+        self.maybe_compact();
+        UpdateStats {
+            inserted,
+            duplicates: batch.len() - inserted,
+        }
+    }
+
+    fn kind(&self) -> DataStructureKind {
+        DataStructureKind::DeltaCsr
+    }
+}
+
+impl DeletableGraph for DeltaCsr {
+    fn delete_batch(&self, batch: &[Edge], pool: &ThreadPool) -> DeleteStats {
+        let removed = {
+            let snap = self.snapshot.read();
+            chunked_update(
+                batch,
+                pool,
+                self.out.chunks.len(),
+                &self.scratch,
+                |edge, into_in| self.key_chunk(edge, into_in),
+                |chunk, edge, into_in| self.ingest_remove(&snap, chunk, edge, into_in),
+            )
+        };
+        self.edges.fetch_sub(removed, Ordering::AcqRel);
+        self.maybe_compact();
+        DeleteStats {
+            removed,
+            missing: batch.len() - removed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(4)
+    }
+
+    #[test]
+    fn directed_insert_and_dedup() {
+        let g = DeltaCsr::new(10, true, 4);
+        let stats = g.update_batch(
+            &[Edge::new(1, 3, 2.0), Edge::new(1, 5, 1.0), Edge::new(1, 3, 9.0)],
+            &pool(),
+        );
+        assert_eq!(stats.inserted, 2);
+        assert_eq!(stats.duplicates, 1);
+        let mut out = g.out_neighbors(1);
+        out.sort_by_key(|&(n, _)| n);
+        assert_eq!(out, vec![(3, 2.0), (5, 1.0)]);
+        assert_eq!(g.in_neighbors(3), vec![(1, 2.0)]);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn undirected_counts_logical_edges() {
+        let g = DeltaCsr::new(10, false, 4);
+        let stats = g.update_batch(
+            &[Edge::new(2, 7, 1.0), Edge::new(7, 2, 1.0), Edge::new(3, 3, 1.0)],
+            &pool(),
+        );
+        assert_eq!(stats.inserted, 2);
+        assert_eq!(g.out_neighbors(2), vec![(7, 1.0)]);
+        assert_eq!(g.out_neighbors(7), vec![(2, 1.0)]);
+        assert_eq!(g.out_neighbors(3), vec![(3, 1.0)]);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn delete_spans_overlay_and_snapshot() {
+        let p = pool();
+        let g = DeltaCsr::new(10, true, 4);
+        g.update_batch(&[Edge::new(1, 3, 2.0), Edge::new(1, 5, 1.0)], &p);
+        g.compact(); // (1,3) and (1,5) now live in the snapshot
+        g.update_batch(&[Edge::new(1, 7, 4.0)], &p); // overlay add
+        let stats = g.delete_batch(
+            &[Edge::new(1, 3, 0.0), Edge::new(1, 7, 0.0), Edge::new(1, 9, 0.0)],
+            &p,
+        );
+        assert_eq!(stats.removed, 2);
+        assert_eq!(stats.missing, 1);
+        assert_eq!(g.out_neighbors(1), vec![(5, 1.0)]);
+        assert_eq!(g.out_degree(1), 1);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn reinsert_after_delete_through_compaction() {
+        let p = pool();
+        let g = DeltaCsr::new(10, true, 2);
+        g.update_batch(&[Edge::new(0, 1, 1.0)], &p);
+        g.compact();
+        g.delete_batch(&[Edge::new(0, 1, 0.0)], &p); // tombstone snapshot edge
+        assert!(g.out_neighbors(0).is_empty());
+        let stats = g.update_batch(&[Edge::new(0, 1, 5.0)], &p); // re-insert
+        assert_eq!(stats.inserted, 1);
+        assert_eq!(g.out_neighbors(0), vec![(1, 5.0)]);
+        assert_eq!(g.out_degree(0), 1);
+        g.compact();
+        assert_eq!(g.out_neighbors(0), vec![(1, 5.0)]);
+        assert_eq!(g.in_neighbors(1), vec![(0, 5.0)]);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn compaction_threshold_fires_automatically() {
+        let p = pool();
+        let g = DeltaCsr::new(200, true, 2).with_compaction_threshold(16);
+        let batch: Vec<Edge> = (0..40).map(|i| Edge::new(i, (i + 1) % 200, 1.0)).collect();
+        g.update_batch(&batch, &p);
+        // 40 logical edges × 2 directions = 80 overlay entries ≥ 16 ⇒ the
+        // batch-end check compacted and the overlay is empty again.
+        assert_eq!(g.pending_delta_ops(), 0);
+        assert_eq!(g.compactions(), 1);
+        assert_eq!(g.num_edges(), 40);
+        assert_eq!(g.out_neighbors(0), vec![(1, 1.0)]);
+        assert_eq!(g.in_neighbors(40), vec![(39, 1.0)]);
+    }
+
+    #[test]
+    fn merged_scan_is_id_sorted_after_compaction() {
+        let p = pool();
+        let g = DeltaCsr::new(50, true, 4);
+        g.update_batch(&[Edge::new(1, 30, 1.0), Edge::new(1, 10, 1.0)], &p);
+        g.compact();
+        g.update_batch(&[Edge::new(1, 20, 1.0), Edge::new(1, 5, 1.0)], &p);
+        g.compact();
+        assert_eq!(
+            g.out_neighbors(1),
+            vec![(5, 1.0), (10, 1.0), (20, 1.0), (30, 1.0)]
+        );
+    }
+
+    #[test]
+    fn undirected_self_loop_roundtrip() {
+        let p = pool();
+        let g = DeltaCsr::new(5, false, 2);
+        g.update_batch(&[Edge::new(3, 3, 1.0)], &p);
+        assert_eq!(g.out_degree(3), 1);
+        g.compact();
+        assert_eq!(g.out_neighbors(3), vec![(3, 1.0)]);
+        let stats = g.delete_batch(&[Edge::new(3, 3, 0.0)], &p);
+        assert_eq!(stats.removed, 1);
+        assert!(g.out_neighbors(3).is_empty());
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn degrees_mix_snapshot_and_overlay() {
+        let p = pool();
+        let g = DeltaCsr::new(20, true, 4);
+        g.update_batch(&[Edge::new(2, 4, 1.0), Edge::new(2, 6, 1.0)], &p);
+        g.compact();
+        g.update_batch(&[Edge::new(2, 8, 1.0)], &p);
+        g.delete_batch(&[Edge::new(2, 4, 0.0)], &p);
+        assert_eq!(g.out_degree(2), 2); // 2 snapshot − 1 tombstone + 1 add
+        assert_eq!(g.in_degree(8), 1);
+        assert_eq!(g.in_degree(4), 0);
+    }
+}

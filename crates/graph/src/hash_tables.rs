@@ -77,7 +77,9 @@ impl RobinHoodEdgeTable {
 
     /// Searches for edge `(src, dst)`; returns its weight if present.
     pub fn find(&self, src: Node, dst: Node) -> Option<Weight> {
-        let cap = self.slots.len();
+        // Capacity is always a power of two, so the wrap is a mask — hoisted
+        // out of the probe loop to keep the per-slot step division-free.
+        let mask = self.slots.len() - 1;
         let mut i = self.ideal_slot(src);
         let mut dist = 0u16;
         loop {
@@ -95,7 +97,7 @@ impl RobinHoodEdgeTable {
                     }
                 }
             }
-            i = (i + 1) % cap;
+            i = (i + 1) & mask;
             dist += 1;
         }
     }
@@ -119,8 +121,8 @@ impl RobinHoodEdgeTable {
     }
 
     fn insert_unchecked(&mut self, mut incoming: LowSlot) {
-        let cap = self.slots.len();
-        let mut i = (hash_node(incoming.src) as usize) & (cap - 1);
+        let mask = self.slots.len() - 1;
+        let mut i = (hash_node(incoming.src) as usize) & mask;
         incoming.probe_distance = 0;
         loop {
             probe::value_read(&self.slots[i]);
@@ -138,7 +140,7 @@ impl RobinHoodEdgeTable {
                     }
                 }
             }
-            i = (i + 1) % cap;
+            i = (i + 1) & mask;
             incoming.probe_distance += 1;
             probe::instructions(1);
         }
@@ -155,7 +157,7 @@ impl RobinHoodEdgeTable {
     /// Visits the cluster of `src`, yielding each of its `(dst, weight)`
     /// edges — the low-degree traversal path of DAH.
     pub fn for_each_neighbor(&self, src: Node, f: &mut dyn FnMut(Node, Weight)) {
-        let cap = self.slots.len();
+        let mask = self.slots.len() - 1;
         let mut i = self.ideal_slot(src);
         let mut dist = 0u16;
         loop {
@@ -171,7 +173,7 @@ impl RobinHoodEdgeTable {
                     }
                 }
             }
-            i = (i + 1) % cap;
+            i = (i + 1) & mask;
             dist += 1;
         }
     }
@@ -204,7 +206,7 @@ impl RobinHoodEdgeTable {
     }
 
     fn remove(&mut self, src: Node, dst: Node) {
-        let cap = self.slots.len();
+        let mask = self.slots.len() - 1;
         let mut i = self.ideal_slot(src);
         let mut dist = 0u16;
         loop {
@@ -219,14 +221,14 @@ impl RobinHoodEdgeTable {
                     }
                 }
             }
-            i = (i + 1) % cap;
+            i = (i + 1) & mask;
             dist += 1;
         }
         // Backward-shift deletion keeps probe distances tight.
         self.slots[i] = None;
         self.len -= 1;
         let mut prev = i;
-        let mut j = (i + 1) % cap;
+        let mut j = (i + 1) & mask;
         loop {
             match &self.slots[j] {
                 Some(slot) if slot.probe_distance > 0 => {
@@ -235,7 +237,7 @@ impl RobinHoodEdgeTable {
                     probe::value_write(&self.slots[prev]);
                     self.slots[prev] = Some(moved);
                     prev = j;
-                    j = (j + 1) % cap;
+                    j = (j + 1) & mask;
                 }
                 _ => return,
             }
@@ -309,14 +311,14 @@ impl OpenEdgeTable {
 
     /// Whether edge to `dst` is present.
     pub fn contains(&self, dst: Node) -> bool {
-        let cap = self.slots.len();
+        let mask = self.slots.len() - 1;
         let mut i = self.ideal_slot(dst);
         loop {
             probe::value_read(&self.slots[i]);
             match &self.slots[i] {
                 None => return false,
                 Some(slot) if slot.dst == dst => return true,
-                Some(_) => i = (i + 1) % cap,
+                Some(_) => i = (i + 1) & mask,
             }
         }
     }
@@ -326,7 +328,7 @@ impl OpenEdgeTable {
         if (self.len + 1) * MAX_LOAD_DEN > self.slots.len() * MAX_LOAD_NUM {
             self.grow();
         }
-        let cap = self.slots.len();
+        let mask = self.slots.len() - 1;
         let mut i = self.ideal_slot(dst);
         loop {
             probe::value_read(&self.slots[i]);
@@ -339,7 +341,7 @@ impl OpenEdgeTable {
                 }
                 Some(slot) if slot.dst == dst => return false,
                 Some(_) => {
-                    i = (i + 1) % cap;
+                    i = (i + 1) & mask;
                     probe::instructions(1);
                 }
             }
@@ -369,23 +371,23 @@ impl OpenEdgeTable {
     /// later entries in the probe run are re-inserted if the hole broke
     /// their reachability from their ideal slot.
     pub fn remove(&mut self, dst: Node) -> bool {
-        let cap = self.slots.len();
+        let mask = self.slots.len() - 1;
         let mut i = self.ideal_slot(dst);
         loop {
             match &self.slots[i] {
                 None => return false,
                 Some(slot) if slot.dst == dst => break,
-                Some(_) => i = (i + 1) % cap,
+                Some(_) => i = (i + 1) & mask,
             }
         }
         self.slots[i] = None;
         self.len -= 1;
         // Re-place the remainder of the probe run.
-        let mut j = (i + 1) % cap;
+        let mut j = (i + 1) & mask;
         while let Some(slot) = self.slots[j].take() {
             self.len -= 1;
             self.insert(slot.dst, slot.weight);
-            j = (j + 1) % cap;
+            j = (j + 1) & mask;
         }
         true
     }
@@ -509,6 +511,39 @@ mod tests {
         // Reinsertion after removal works.
         assert!(t.insert(0, 9.0));
         assert!(t.contains(0));
+    }
+
+    #[test]
+    fn capacity_stays_power_of_two_across_growth() {
+        // Both probe loops wrap with `& (capacity - 1)`, which is only a
+        // valid modulus while the slot count is a power of two. Drive both
+        // tables through several doublings and check the invariant at every
+        // step.
+        let mut low = RobinHoodEdgeTable::new();
+        assert!(low.slots.len().is_power_of_two());
+        for i in 0..2048u32 {
+            low.insert(i % 97, i, 1.0);
+            assert!(
+                low.slots.len().is_power_of_two(),
+                "low-degree capacity {} after {} inserts",
+                low.slots.len(),
+                i + 1
+            );
+        }
+        assert!(low.slots.len() > INITIAL_CAPACITY);
+
+        let mut high = OpenEdgeTable::new();
+        assert!(high.slots.len().is_power_of_two());
+        for i in 0..2048u32 {
+            high.insert(i, 1.0);
+            assert!(
+                high.slots.len().is_power_of_two(),
+                "high-degree capacity {} after {} inserts",
+                high.slots.len(),
+                i + 1
+            );
+        }
+        assert!(high.slots.len() > INITIAL_CAPACITY);
     }
 
     #[test]

@@ -70,6 +70,12 @@ impl AtomicF64Array {
     pub fn to_vec(&self) -> Vec<f64> {
         (0..self.len()).map(|i| self.get(i)).collect()
     }
+
+    /// Hints that element `i` will be read soon (no-op when out of bounds).
+    #[inline]
+    pub fn prefetch(&self, i: usize) {
+        saga_utils::prefetch::prefetch_index(&self.data, i);
+    }
 }
 
 /// Shared array of `f32` values (SSSP distances, SSWP widths).
@@ -167,6 +173,12 @@ impl AtomicF32Array {
     pub fn to_vec(&self) -> Vec<f32> {
         (0..self.len()).map(|i| self.get(i)).collect()
     }
+
+    /// Hints that element `i` will be read soon (no-op when out of bounds).
+    #[inline]
+    pub fn prefetch(&self, i: usize) {
+        saga_utils::prefetch::prefetch_index(&self.data, i);
+    }
 }
 
 /// Shared array of `u32` values (BFS depths, CC labels, MC values).
@@ -231,6 +243,12 @@ impl AtomicU32Array {
     /// Copies all values out.
     pub fn to_vec(&self) -> Vec<u32> {
         (0..self.len()).map(|i| self.get(i)).collect()
+    }
+
+    /// Hints that element `i` will be read soon (no-op when out of bounds).
+    #[inline]
+    pub fn prefetch(&self, i: usize) {
+        saga_utils::prefetch::prefetch_index(&self.data, i);
     }
 }
 

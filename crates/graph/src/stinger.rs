@@ -15,9 +15,16 @@
 //!    1.57–1.76× slower than AS on short-tailed graphs (§V-B) while being
 //!    ~3.9× faster than AS on heavy-tailed ones.
 //!
-//! Blocks are separate heap allocations reached through pointers, giving
-//! the occasional pointer-chasing the paper blames for Stinger's compute
-//! latency; the access probe records each hop for the cache simulator.
+//! Blocks live in a per-direction **arena** ([`BlockArena`]): a pool of
+//! fixed-size segments allocated 64 blocks at a time, addressed by dense
+//! `u32` block ids and recycled through a free list when deletions drop
+//! empty tail blocks. Compared to one `Arc<Mutex<Block>>` heap allocation
+//! per block, the arena keeps block headers contiguous, makes steady-state
+//! block allocation malloc-free (pop the free list or bump a cursor into a
+//! warm segment), and shrinks a chain link from a pointer to a 4-byte id.
+//! Traversal still hops id → segment → block — the pointer-chasing the
+//! paper blames for Stinger's compute latency — and the access probe
+//! records each hop for the cache simulator.
 
 use crate::adjacency_chunked::IngestScratch;
 use crate::adjacency_shared::{ingest_edge, pass_key, pass_op, BUCKETS_PER_WORKER};
@@ -31,32 +38,134 @@ use std::sync::Arc;
 /// Edges per block, matching the paper's Stinger configuration.
 pub const DEFAULT_BLOCK_SIZE: usize = 16;
 
+/// Blocks allocated per arena segment.
+const BLOCKS_PER_SEGMENT: usize = 64;
+
 /// One fixed-capacity edge block.
 struct Block {
     edges: Vec<(Node, Weight)>,
 }
 
-impl Block {
-    fn with_capacity(cap: usize) -> Self {
+/// One arena segment: [`BLOCKS_PER_SEGMENT`] block headers in a single
+/// contiguous slab, each block's edge storage pre-reserved at the arena's
+/// block size so filling a block never reallocates.
+struct Segment {
+    blocks: Vec<Mutex<Block>>,
+}
+
+impl Segment {
+    fn new(block_size: usize) -> Self {
         Self {
-            edges: Vec::with_capacity(cap),
+            blocks: (0..BLOCKS_PER_SEGMENT)
+                .map(|_| {
+                    Mutex::new(Block {
+                        edges: Vec::with_capacity(block_size),
+                    })
+                })
+                .collect(),
         }
+    }
+}
+
+/// Distinguishes the lock ids the probe reports for different arenas (out
+/// vs in lists, multiple graphs in one process).
+static ARENA_TAGS: AtomicUsize = AtomicUsize::new(1);
+
+/// Segment-pool allocator for edge blocks.
+///
+/// Blocks are addressed by dense `u32` ids: `id / BLOCKS_PER_SEGMENT`
+/// selects the segment, `id % BLOCKS_PER_SEGMENT` the slot. Allocation
+/// pops the free list (blocks recycled by deletion compaction) or bumps a
+/// cursor; the segment directory only takes its write lock to append a
+/// fresh segment, so steady-state allocation performs no heap allocation
+/// at all.
+///
+/// Safety of recycling is a protocol, not a type: a block id is owned by
+/// exactly one vertex chain, every reader of a chain holds that vertex's
+/// `op_lock` at least shared, and ids are only released while the deleting
+/// thread holds it exclusively — so no traversal can observe a block after
+/// it returns to the free list.
+struct BlockArena {
+    segments: RwLock<Vec<Arc<Segment>>>,
+    free: Mutex<Vec<u32>>,
+    next: AtomicUsize,
+    block_size: usize,
+    /// High bits of the probe lock ids this arena reports.
+    tag: u64,
+}
+
+impl BlockArena {
+    fn new(block_size: usize) -> Self {
+        Self {
+            segments: RwLock::new(Vec::new()),
+            free: Mutex::new(Vec::new()),
+            next: AtomicUsize::new(0),
+            block_size,
+            tag: (ARENA_TAGS.fetch_add(1, Ordering::Relaxed) as u64) << 32,
+        }
+    }
+
+    /// The probe lock id of block `id` (unique across arenas).
+    fn lock_id(&self, id: u32) -> u64 {
+        self.tag | id as u64
+    }
+
+    /// Runs `f` on block `id`'s mutex. The directory read lock is held only
+    /// long enough to pin the segment.
+    fn with_block<R>(&self, id: u32, f: impl FnOnce(&Mutex<Block>) -> R) -> R {
+        let seg = {
+            let dir = self.segments.read();
+            Arc::clone(&dir[id as usize / BLOCKS_PER_SEGMENT])
+        };
+        // The id → segment → block walk is a dependent pointer hop (the
+        // pointer-chasing the paper attributes Stinger's compute latency
+        // to); the probe records it as a separate access.
+        let block = &seg.blocks[id as usize % BLOCKS_PER_SEGMENT];
+        probe::value_read(block);
+        f(block)
+    }
+
+    /// Allocates a block id: recycled if possible, bumped otherwise. The
+    /// returned block is empty with `block_size` capacity reserved.
+    fn alloc(&self) -> u32 {
+        if let Some(id) = self.free.lock().pop() {
+            return id;
+        }
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        {
+            let dir = self.segments.read();
+            if id < dir.len() * BLOCKS_PER_SEGMENT {
+                return id as u32;
+            }
+        }
+        let mut dir = self.segments.write();
+        while dir.len() * BLOCKS_PER_SEGMENT <= id {
+            dir.push(Arc::new(Segment::new(self.block_size)));
+        }
+        id as u32
+    }
+
+    /// Returns an emptied block to the free list. Callers must hold the
+    /// owning vertex's `op_lock` exclusively (see the type-level contract).
+    fn release(&self, id: u32) {
+        self.free.lock().push(id);
     }
 }
 
 /// Per-vertex header: degree + the block chain.
 ///
-/// The chain is a vector of `Arc<Mutex<Block>>`; the vector itself is only
+/// The chain is a vector of arena block ids; the vector itself is only
 /// locked to append a block (or to snapshot the chain), while per-edge work
 /// locks individual blocks — the fine-grained scheme of Fig. 4.
 struct VertexEntry {
     degree: AtomicU32,
-    chain: Mutex<Vec<Arc<Mutex<Block>>>>,
-    /// Inserters hold this shared (they stay concurrent — the intra-node
-    /// parallelism of Fig. 4); deleters hold it exclusively so their
-    /// compaction cannot interleave an insert's two scans. The no-holes
-    /// invariant (every block full except the tail) that makes concurrent
-    /// duplicate detection sound depends on this.
+    chain: Mutex<Vec<u32>>,
+    /// Inserters and traversals hold this shared (they stay concurrent —
+    /// the intra-node parallelism of Fig. 4); deleters hold it exclusively
+    /// so their compaction cannot interleave an insert's two scans, and so
+    /// the block ids they recycle cannot be observed by a racing reader.
+    /// The no-holes invariant (every block full except the tail) that makes
+    /// concurrent duplicate detection sound depends on this too.
     op_lock: RwLock<()>,
 }
 
@@ -73,6 +182,7 @@ impl VertexEntry {
 /// One direction of Stinger adjacency.
 pub(crate) struct StingerLists {
     vertices: Vec<VertexEntry>,
+    arena: BlockArena,
     block_size: usize,
 }
 
@@ -80,11 +190,12 @@ impl StingerLists {
     pub(crate) fn new(capacity: usize, block_size: usize) -> Self {
         Self {
             vertices: (0..capacity).map(|_| VertexEntry::new()).collect(),
+            arena: BlockArena::new(block_size),
             block_size,
         }
     }
 
-    fn snapshot(&self, v: Node) -> Vec<Arc<Mutex<Block>>> {
+    fn snapshot(&self, v: Node) -> Vec<u32> {
         let chain = self.vertices[v as usize].chain.lock();
         probe::slice_read(&chain);
         chain.clone()
@@ -100,11 +211,14 @@ impl StingerLists {
         // Scan 1: search the chain for the target edge. Serialization is
         // per *block* (fine-grained locks give intra-node parallelism), so
         // each block's scan is reported against its own lock id.
-        for block in &snapshot {
-            let guard = block.lock();
-            probe::slice_read(&guard.edges);
-            probe::critical(Arc::as_ptr(block) as u64, guard.edges.len() as u64 + 1);
-            if guard.edges.iter().any(|&(n, _)| n == dst) {
+        for &id in &snapshot {
+            let found = self.arena.with_block(id, |block| {
+                let guard = block.lock();
+                probe::slice_read(&guard.edges);
+                probe::critical(self.arena.lock_id(id), guard.edges.len() as u64 + 1);
+                guard.edges.iter().any(|&(n, _)| n == dst)
+            });
+            if found {
                 return false;
             }
         }
@@ -112,18 +226,24 @@ impl StingerLists {
         // Scan 2: walk the chain again looking for an empty slot,
         // re-checking for the edge under each block's lock so a racing
         // insert of the same edge is caught.
-        for block in &snapshot {
-            let mut guard = block.lock();
-            probe::slice_read(&guard.edges);
-            probe::critical(Arc::as_ptr(block) as u64, guard.edges.len() as u64 + 1);
-            if guard.edges.iter().any(|&(n, _)| n == dst) {
-                return false;
-            }
-            if guard.edges.len() < self.block_size {
-                guard.edges.push((dst, weight));
-                probe::write(guard.edges.last().unwrap() as *const (Node, Weight), 1);
-                entry.degree.fetch_add(1, Ordering::AcqRel);
-                return true;
+        for &id in &snapshot {
+            let outcome = self.arena.with_block(id, |block| {
+                let mut guard = block.lock();
+                probe::slice_read(&guard.edges);
+                probe::critical(self.arena.lock_id(id), guard.edges.len() as u64 + 1);
+                if guard.edges.iter().any(|&(n, _)| n == dst) {
+                    return Some(false);
+                }
+                if guard.edges.len() < self.block_size {
+                    guard.edges.push((dst, weight));
+                    probe::write(guard.edges.last().unwrap() as *const (Node, Weight), 1);
+                    entry.degree.fetch_add(1, Ordering::AcqRel);
+                    return Some(true);
+                }
+                None
+            });
+            if let Some(inserted) = outcome {
+                return inserted;
             }
         }
 
@@ -131,41 +251,59 @@ impl StingerLists {
         // serializes appenders; blocks added since the snapshot are checked
         // first (they may hold the edge or an empty slot).
         let mut chain = entry.chain.lock();
-        for block in chain.iter().skip(snapshot.len()) {
-            let mut guard = block.lock();
-            probe::slice_read(&guard.edges);
-            if guard.edges.iter().any(|&(n, _)| n == dst) {
-                return false;
-            }
-            if guard.edges.len() < self.block_size {
-                guard.edges.push((dst, weight));
-                probe::write(guard.edges.last().unwrap() as *const (Node, Weight), 1);
-                entry.degree.fetch_add(1, Ordering::AcqRel);
-                return true;
+        for &id in chain.iter().skip(snapshot.len()) {
+            let outcome = self.arena.with_block(id, |block| {
+                let mut guard = block.lock();
+                probe::slice_read(&guard.edges);
+                if guard.edges.iter().any(|&(n, _)| n == dst) {
+                    return Some(false);
+                }
+                if guard.edges.len() < self.block_size {
+                    guard.edges.push((dst, weight));
+                    probe::write(guard.edges.last().unwrap() as *const (Node, Weight), 1);
+                    entry.degree.fetch_add(1, Ordering::AcqRel);
+                    return Some(true);
+                }
+                None
+            });
+            if let Some(inserted) = outcome {
+                return inserted;
             }
         }
-        let mut block = Block::with_capacity(self.block_size);
-        block.edges.push((dst, weight));
-        probe::write(block.edges.last().unwrap() as *const (Node, Weight), 1);
-        chain.push(Arc::new(Mutex::new(block)));
+        let id = self.arena.alloc();
+        self.arena.with_block(id, |block| {
+            let mut guard = block.lock();
+            guard.edges.push((dst, weight));
+            probe::write(guard.edges.last().unwrap() as *const (Node, Weight), 1);
+        });
+        chain.push(id);
         entry.degree.fetch_add(1, Ordering::AcqRel);
         true
     }
 
     /// Removes edge `(src, dst)` if present, compacting the chain so every
     /// block except the tail stays full (the invariant concurrent inserts
-    /// rely on). Returns `true` when removed.
+    /// rely on). Emptied tail blocks go back to the arena free list.
+    /// Returns `true` when removed.
     pub(crate) fn remove(&self, src: Node, dst: Node) -> bool {
         let entry = &self.vertices[src as usize];
-        // Exclusive per-vertex access: no insert can interleave.
+        // Exclusive per-vertex access: no insert or traversal can
+        // interleave, and nobody else can hold ids we recycle.
         let _exclusive = entry.op_lock.write();
         let chain_snapshot = entry.chain.lock().clone();
         let mut found: Option<usize> = None;
-        for (bi, block) in chain_snapshot.iter().enumerate() {
-            let mut guard = block.lock();
-            probe::slice_read(&guard.edges);
-            if let Some(pos) = guard.edges.iter().position(|&(n, _)| n == dst) {
-                guard.edges.swap_remove(pos);
+        for (bi, &id) in chain_snapshot.iter().enumerate() {
+            let hit = self.arena.with_block(id, |block| {
+                let mut guard = block.lock();
+                probe::slice_read(&guard.edges);
+                if let Some(pos) = guard.edges.iter().position(|&(n, _)| n == dst) {
+                    guard.edges.swap_remove(pos);
+                    true
+                } else {
+                    false
+                }
+            });
+            if hit {
                 found = Some(bi);
                 break;
             }
@@ -175,26 +313,30 @@ impl StingerLists {
         };
         entry.degree.fetch_sub(1, Ordering::AcqRel);
         // Compaction: refill the hole from the tail block, then drop empty
-        // tail blocks.
+        // tail blocks back into the arena.
         let mut chain = entry.chain.lock();
-        while let Some(last) = chain.last() {
-            if Arc::ptr_eq(last, &chain_snapshot[bi]) {
+        while let Some(&last) = chain.last() {
+            if last == chain_snapshot[bi] {
                 break; // the hole is in the tail: already the partial block
             }
-            let moved = last.lock().edges.pop();
+            let moved = self.arena.with_block(last, |block| block.lock().edges.pop());
             match moved {
                 Some(edge) => {
-                    chain_snapshot[bi].lock().edges.push(edge);
+                    self.arena
+                        .with_block(chain_snapshot[bi], |block| block.lock().edges.push(edge));
                     break;
                 }
                 None => {
                     chain.pop(); // stale empty tail
+                    self.arena.release(last);
                 }
             }
         }
-        while let Some(last) = chain.last() {
-            if last.lock().edges.is_empty() {
+        while let Some(&last) = chain.last() {
+            let empty = self.arena.with_block(last, |block| block.lock().edges.is_empty());
+            if empty {
                 chain.pop();
+                self.arena.release(last);
             } else {
                 break;
             }
@@ -207,17 +349,18 @@ impl StingerLists {
     }
 
     pub(crate) fn for_each(&self, v: Node, f: &mut dyn FnMut(Node, Weight)) {
+        // Shared op-lock: a concurrent deleter of this vertex could
+        // otherwise recycle a snapshotted block id under the scan.
+        let _shared = self.vertices[v as usize].op_lock.read();
         let snapshot = self.snapshot(v);
-        for block in &snapshot {
-            // Following the chain is a dependent pointer hop (the
-            // pointer-chasing the paper attributes Stinger's compute
-            // latency to); the probe records it as a separate access.
-            probe::value_read(block.as_ref());
-            let guard = block.lock();
-            probe::slice_read(&guard.edges);
-            for &(n, w) in guard.edges.iter() {
-                f(n, w);
-            }
+        for &id in &snapshot {
+            self.arena.with_block(id, |block| {
+                let guard = block.lock();
+                probe::slice_read(&guard.edges);
+                for &(n, w) in guard.edges.iter() {
+                    f(n, w);
+                }
+            });
         }
     }
 }
@@ -494,9 +637,36 @@ mod tests {
         assert_eq!(ns, (2..=9).collect::<Vec<_>>());
         // Blocks 0..n-1 must be full (the concurrent-insert invariant).
         let chain = g.out.vertices[0].chain.lock().clone();
-        for block in &chain[..chain.len() - 1] {
-            assert_eq!(block.lock().edges.len(), 4);
+        for &id in &chain[..chain.len() - 1] {
+            g.out.arena.with_block(id, |block| {
+                assert_eq!(block.lock().edges.len(), 4);
+            });
         }
+    }
+
+    #[test]
+    fn arena_recycles_blocks_through_churn() {
+        let g = Stinger::with_block_size(4, true, 2);
+        let p = pool();
+        let batch: Vec<Edge> = (0..30).map(|i| Edge::new(0, 1 + (i % 3), 1.0)).collect();
+        g.update_batch(&batch, &p); // 3 edges -> 2 blocks
+        let high_water = g.out.arena.next.load(Ordering::Relaxed);
+        // Delete and reinsert the same edges repeatedly: freed tail blocks
+        // must be reused, never newly bumped.
+        for _ in 0..5 {
+            g.delete_batch(&batch[..3], &p);
+            assert_eq!(g.out_degree(0), 0);
+            g.update_batch(&batch[..3], &p);
+            assert_eq!(g.out_degree(0), 3);
+        }
+        assert_eq!(
+            g.out.arena.next.load(Ordering::Relaxed),
+            high_water,
+            "churn must be served from the free list"
+        );
+        let mut ns: Vec<Node> = g.out_neighbors(0).into_iter().map(|(n, _)| n).collect();
+        ns.sort_unstable();
+        assert_eq!(ns, vec![1, 2, 3]);
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //! - [`partition`] — a reusable two-pass parallel counting-sort partitioner
 //!   that groups a batch's edges by destination chunk in `O(batch)` key
 //!   evaluations, replacing the per-chunk batch rescan in the update phase.
+//! - [`frontier`] — a flat structure-of-arrays frontier (atomic bump cursor
+//!   over contiguous storage) replacing the segment-queue next-level
+//!   collectors in the BFS/SSSP/INC frontier loops.
+//! - [`prefetch`] — safe software-prefetch wrappers; the only module
+//!   allowed to touch the raw intrinsics (enforced by `cargo xtask lint`).
 //! - [`timer`] — monotonic phase timers for the batch-latency metric (Eq. 1).
 //! - [`hash`] — small deterministic hash functions for the degree-aware
 //!   hashing data structure.
@@ -31,9 +36,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod bitvec;
+pub mod frontier;
 pub mod hash;
 pub mod parallel;
 pub mod partition;
+pub mod prefetch;
 pub mod probe;
 pub mod stats;
 pub mod sync;

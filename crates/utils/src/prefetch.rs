@@ -1,0 +1,97 @@
+//! Software prefetch hints for the suite's hot neighbor-scan loops.
+//!
+//! The streaming-graph compute phase is dominated by reads whose addresses
+//! are known several iterations ahead of their use — the next entries of a
+//! CSR edge slice, the property slots of the vertices queued behind the
+//! current frontier cursor. Issuing a prefetch hint for those addresses
+//! overlaps their cache-miss latency with useful work, which is exactly the
+//! access-pattern remedy the memory-characterization literature prescribes
+//! for graph workloads (and what the paper's PCM counters would observe as
+//! a lower miss rate).
+//!
+//! This module is the **only** place in the workspace allowed to touch the
+//! raw prefetch intrinsics (`cargo xtask lint` enforces that): every call
+//! site elsewhere goes through the safe wrappers below, which compile to
+//! `_mm_prefetch` on x86-64 and to nothing on other targets.
+//!
+//! # Examples
+//!
+//! ```
+//! use saga_utils::prefetch;
+//!
+//! let edges: Vec<u64> = (0..64).collect();
+//! let mut sum = 0u64;
+//! for i in 0..edges.len() {
+//!     prefetch::prefetch_index(&edges, i + prefetch::PREFETCH_DISTANCE);
+//!     sum += edges[i];
+//! }
+//! assert_eq!(sum, 64 * 63 / 2);
+//! ```
+
+/// How far ahead of the consuming iteration the scan loops hint. Eight
+/// entries is far enough to cover an L2 miss at the suite's scan speeds
+/// while staying inside one-or-two cache lines of lead for small elements.
+pub const PREFETCH_DISTANCE: usize = 8;
+
+/// Hints that the cache line containing `*ptr` will be read soon
+/// (temporal, all cache levels — `_MM_HINT_T0`).
+///
+/// Accepts any pointer value: prefetch is a hint, not an access, so a
+/// dangling or out-of-bounds address is harmless (the hint is dropped).
+#[inline(always)]
+pub fn prefetch_read<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` never dereferences its operand; it is a pure
+    // scheduling hint with no architectural effect, so it is sound for any
+    // address value, including null and dangling pointers. The intrinsic
+    // is baseline SSE, available on every x86_64 target.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(ptr as *const i8);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = ptr;
+}
+
+/// Prefetches `slice[i]` if `i` is in bounds; quietly does nothing
+/// otherwise, so scan loops can hint `i + PREFETCH_DISTANCE` without
+/// guarding the tail.
+#[inline(always)]
+pub fn prefetch_index<T>(slice: &[T], i: usize) {
+    if let Some(elem) = slice.get(i) {
+        prefetch_read(elem as *const T);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_is_transparent_to_the_scan() {
+        let data: Vec<u32> = (0..100).collect();
+        let mut with_hints = 0u64;
+        for i in 0..data.len() {
+            prefetch_index(&data, i + PREFETCH_DISTANCE);
+            with_hints += data[i] as u64;
+        }
+        let plain: u64 = data.iter().map(|&x| x as u64).sum();
+        assert_eq!(with_hints, plain);
+    }
+
+    #[test]
+    fn out_of_bounds_hints_are_dropped() {
+        let data = [1u8, 2, 3];
+        prefetch_index(&data, 3);
+        prefetch_index(&data, usize::MAX);
+        let empty: [u64; 0] = [];
+        prefetch_index(&empty, 0);
+    }
+
+    #[test]
+    fn raw_pointer_hint_accepts_any_address() {
+        prefetch_read(std::ptr::null::<u64>());
+        let x = 42u64;
+        prefetch_read(&x as *const u64);
+        assert_eq!(x, 42);
+    }
+}

@@ -20,7 +20,12 @@
 //! 6. `println!` / `eprintln!` are banned in library code (any `src/`
 //!    file outside `src/bin/`) — library output must route through the
 //!    `saga_trace::progress!` facade or `saga_core::report`, so that
-//!    binaries own stdout and progress chatter is greppable in one place.
+//!    binaries own stdout and progress chatter is greppable in one place;
+//! 7. hardware prefetch intrinsics (`_mm_prefetch`, or any `core::arch` /
+//!    `std::arch` path) live only in `crates/utils/src/prefetch.rs` — hot
+//!    paths call `saga_utils::prefetch` / the property arrays' `prefetch`
+//!    helpers, so the per-target gating (and its SAFETY argument) stays in
+//!    one audited file.
 //!
 //! `check-trace <file>` validates an exported Chrome trace-event JSON file
 //! (shape + strict per-track span nesting) via `saga_check::tracecheck` —
@@ -170,6 +175,11 @@ const THREAD_ALLOWLIST: &[&str] = &["crates/utils/src/parallel.rs", "crates/util
 /// Files allowed to name `std::sync::atomic` directly.
 const ATOMIC_ALLOWLIST: &[&str] = &["crates/utils/src/sync.rs"];
 
+/// The one file allowed to name hardware prefetch intrinsics (or any
+/// `core::arch` / `std::arch` path): the per-target facade everything else
+/// calls through.
+const PREFETCH_ALLOWLIST: &[&str] = &["crates/utils/src/prefetch.rs"];
+
 /// Directory prefixes exempt from the facade bans: the model checker IS
 /// the other side of the facade, and the trace layer sits *below*
 /// `saga-utils` (the pool emits spans), so neither can route through
@@ -231,6 +241,17 @@ fn scan_file(rel_path: &str, source: &str) -> Report {
                      facade (use `saga_utils::sync::atomic` so `--cfg loom` applies)"
                 ));
             }
+        }
+
+        if (code.contains("_mm_prefetch")
+            || contains_token_path(code, "core::arch")
+            || contains_token_path(code, "std::arch"))
+            && !PREFETCH_ALLOWLIST.contains(&rel_path)
+        {
+            report.violations.push(format!(
+                "{rel_path}:{lineno}: arch intrinsic outside the prefetch facade \
+                 (route through `saga_utils::prefetch` so target gating stays in one file)"
+            ));
         }
 
         if is_library_source(rel_path)
@@ -544,6 +565,23 @@ mod tests {
         assert!(report.violations[0].contains("sync facade"), "{report:?}");
         assert!(scan_file("crates/utils/src/sync.rs", src).violations.is_empty());
         assert!(scan_file("crates/loom/src/sync.rs", src).violations.is_empty());
+    }
+
+    #[test]
+    fn prefetch_intrinsic_outside_facade_fails_and_facade_passes() {
+        let src = "fn f(p: *const u8) {\n    unsafe { core::arch::x86_64::_mm_prefetch::<0>(p as *const i8) }; // SAFETY: no deref.\n}\n";
+        let report = scan_file("crates/graph/src/csr.rs", src);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].contains("prefetch facade"), "{report:?}");
+        assert!(scan_file("crates/utils/src/prefetch.rs", src)
+            .violations
+            .is_empty());
+    }
+
+    #[test]
+    fn arch_path_in_string_or_comment_is_ignored() {
+        let src = "fn f() {\n    let s = \"core::arch::x86_64\";\n    // _mm_prefetch in prose\n    let _ = s;\n}\n";
+        assert!(scan_file("crates/demo/src/lib.rs", src).violations.is_empty());
     }
 
     #[test]

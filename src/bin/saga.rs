@@ -29,7 +29,7 @@ run options:
   --dataset <LJ|Orkut|RMAT|Wiki|Talk>   synthetic profile (default: LJ)
   --file <path>                         SNAP edge-list file instead of a profile
   --undirected                          treat --file edges as undirected
-  --structure <AS|AC|Stinger|DAH>       data structure (default: AS)
+  --structure <AS|AC|Stinger|DAH|DeltaCSR>  data structure (default: AS)
   --algorithm <BFS|CC|MC|PR|SSSP|SSWP>  algorithm (default: PR)
   --model <FS|INC>                      compute model (default: INC)
   --scale <f>                           dataset scale multiplier (default: 1.0)
@@ -41,7 +41,7 @@ run options:
 }
 
 fn parse_structure(s: &str) -> Option<DataStructureKind> {
-    DataStructureKind::ALL
+    DataStructureKind::ALL_WITH_DELTA
         .into_iter()
         .find(|k| k.abbrev().eq_ignore_ascii_case(s))
 }
@@ -78,7 +78,7 @@ fn list() {
             if p.is_directed() { "directed" } else { "undirected" },
         );
     }
-    println!("\nstructures: AS, AC, Stinger, DAH");
+    println!("\nstructures: AS, AC, Stinger, DAH, DeltaCSR");
     println!("algorithms: BFS, CC, MC, PR, SSSP, SSWP");
     println!("compute models: FS, INC");
 }
