@@ -34,7 +34,7 @@ pub mod sssp;
 pub mod sswp;
 
 use inc::DeletionOutcome;
-use parking_lot::Mutex;
+use saga_utils::sync::Mutex;
 use program::{EdgeScope, ValueStore, VertexProgram};
 use saga_graph::properties::{AtomicF32Array, AtomicF64Array, AtomicU32Array};
 use saga_graph::{Edge, GraphTopology, Node};

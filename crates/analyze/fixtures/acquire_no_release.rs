@@ -1,0 +1,24 @@
+//! Seeded violation: an Acquire load with no Release-side producer in
+//! the group — the counter is only ever bumped Relaxed, so the Acquire
+//! ordering synchronizes with nothing (and suggests a missing Release).
+//~ EXPECT: atomic:acquire-no-release:acquire_no_release.epoch
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An epoch counter consumers treat as a publication marker.
+pub struct Epoch {
+    epoch: AtomicU64,
+}
+
+impl Epoch {
+    /// Producer bumps the epoch Relaxed…
+    pub fn bump(&self) -> u64 {
+        let prev = self.epoch.fetch_add(1, Ordering::Relaxed);
+        prev
+    }
+
+    /// …while the consumer expects Acquire semantics from it.
+    pub fn wait_for(&self, target: u64) -> bool {
+        self.epoch.load(Ordering::Acquire) >= target
+    }
+}

@@ -1,0 +1,45 @@
+//! Clean counterpart of `deadlock_callback_pr6.rs`: the shipped PR-6
+//! fix. The callback only collects the frontier into a scratch vector;
+//! degree queries run *after* the scan, when no chunk lock is held.
+//! Must analyze clean.
+//~ CLEAN
+
+use parking_lot::Mutex;
+
+/// Chunk-locked adjacency lists: vertex `v` lives in chunk `v % chunks`.
+pub struct ChunkedLists {
+    chunks: Vec<Mutex<Vec<Vec<u32>>>>,
+}
+
+impl ChunkedLists {
+    /// Out-degree of `v`: locks the owning chunk.
+    pub fn out_degree(&self, v: u32) -> usize {
+        let chunk = self.chunks[v as usize % self.chunks.len()].lock();
+        chunk[v as usize / self.chunks.len()].len()
+    }
+
+    /// Invokes `f` for every out-neighbor of `v` — while holding the
+    /// owning chunk's lock.
+    pub fn for_each_out_neighbor(&self, v: u32, f: &mut dyn FnMut(u32)) {
+        let chunk = self.chunks[v as usize % self.chunks.len()].lock();
+        for &dst in chunk[v as usize / self.chunks.len()].iter() {
+            f(dst);
+        }
+    }
+}
+
+/// The post-fix BFS step: two-phase collect-then-query, so no topology
+/// call re-enters the chunk lock held by the scan.
+pub fn hybrid_step(g: &ChunkedLists, frontier: &[u32]) -> usize {
+    let mut discovered = Vec::new();
+    for &u in frontier {
+        g.for_each_out_neighbor(u, &mut |v| {
+            discovered.push(v);
+        });
+    }
+    let mut scout = 0usize;
+    for &v in &discovered {
+        scout += g.out_degree(v);
+    }
+    scout
+}

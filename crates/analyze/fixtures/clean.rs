@@ -1,0 +1,50 @@
+//! Clean fixture: consistent lock order, scoped guards, paired atomics.
+//! Exercises every check's negative path — must analyze clean.
+//~ CLEAN
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// State with a documented alpha-before-beta lock order and a properly
+/// paired publish counter.
+pub struct Engine {
+    alpha: Mutex<Vec<u32>>,
+    beta: Mutex<Vec<u32>>,
+    published: AtomicUsize,
+}
+
+impl Engine {
+    /// Same order everywhere: alpha, then beta.
+    pub fn ingest(&self, v: u32) {
+        let mut alpha = self.alpha.lock();
+        alpha.push(v);
+        let mut beta = self.beta.lock();
+        beta.push(v);
+    }
+
+    /// Scoped re-use: the alpha guard dies before beta is taken again.
+    pub fn rebalance(&self) {
+        {
+            let mut alpha = self.alpha.lock();
+            alpha.sort();
+        }
+        let mut beta = self.beta.lock();
+        beta.dedup();
+    }
+
+    /// Release publish…
+    pub fn publish(&self, n: usize) {
+        self.published.store(n, Ordering::Release);
+    }
+
+    /// …paired with an Acquire consumer, plus a Relaxed stats read that
+    /// is fine alongside the pairing.
+    pub fn published(&self) -> usize {
+        self.published.load(Ordering::Acquire)
+    }
+
+    /// Relaxed fast-path peek (informational listing only).
+    pub fn published_hint(&self) -> usize {
+        self.published.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,48 @@
+//! Seeded violation: the PR-6 AC chunk-lock self-deadlock, pre-fix shape.
+//!
+//! PR 6's direction-optimizing BFS summed scout degrees *inside* the
+//! neighbor-scan callback. `for_each_out_neighbor` holds the chunk lock
+//! across the callback, and `out_degree` re-acquires the same chunk lock
+//! (`v % chunks` ownership means the callback's vertex can hash to the
+//! chunk already held) — a self-deadlock with non-reentrant locks. The
+//! shipped fix collects the frontier first and queries degrees after the
+//! scan (see `callback_clean_postfix.rs` for that shape).
+//!
+//! This file is analyzed in isolation and must produce exactly:
+//~ EXPECT: callback:deadlock_callback_pr6.hybrid_step:deadlock_callback_pr6.chunks
+
+use parking_lot::Mutex;
+
+/// Chunk-locked adjacency lists: vertex `v` lives in chunk `v % chunks`.
+pub struct ChunkedLists {
+    chunks: Vec<Mutex<Vec<Vec<u32>>>>,
+}
+
+impl ChunkedLists {
+    /// Out-degree of `v`: locks the owning chunk.
+    pub fn out_degree(&self, v: u32) -> usize {
+        let chunk = self.chunks[v as usize % self.chunks.len()].lock();
+        chunk[v as usize / self.chunks.len()].len()
+    }
+
+    /// Invokes `f` for every out-neighbor of `v` — while holding the
+    /// owning chunk's lock (the provider side of the bug).
+    pub fn for_each_out_neighbor(&self, v: u32, f: &mut dyn FnMut(u32)) {
+        let chunk = self.chunks[v as usize % self.chunks.len()].lock();
+        for &dst in chunk[v as usize / self.chunks.len()].iter() {
+            f(dst);
+        }
+    }
+}
+
+/// The pre-fix BFS step: sums scout degrees inside the neighbor scan,
+/// so `out_degree` runs under the chunk lock the scan already holds.
+pub fn hybrid_step(g: &ChunkedLists, frontier: &[u32]) -> usize {
+    let mut scout = 0usize;
+    for &u in frontier {
+        g.for_each_out_neighbor(u, &mut |v| {
+            scout += g.out_degree(v);
+        });
+    }
+    scout
+}

@@ -1,0 +1,43 @@
+//! Seeded violation: the PR-6 shape routed through a guard-returning
+//! helper — the provider acquires via `lock_list` (which returns a
+//! `MutexGuard`), so the analyzer must credit the acquisition to the
+//! caller to see that the lock is held across the callback.
+//~ EXPECT: callback:guard_helper.collect_degrees:guard_helper.lists
+
+use parking_lot::{Mutex, MutexGuard};
+
+/// Per-vertex lists behind a locking helper.
+pub struct SharedLists {
+    lists: Vec<Mutex<Vec<u32>>>,
+}
+
+impl SharedLists {
+    /// Guard-returning helper: the acquisition happens here, the guard
+    /// lives at the caller.
+    fn lock_list(&self, v: u32) -> MutexGuard<'_, Vec<u32>> {
+        self.lists[v as usize].lock()
+    }
+
+    /// Degree via the helper.
+    pub fn degree(&self, v: u32) -> usize {
+        let list = self.lock_list(v);
+        list.len()
+    }
+
+    /// Provider: holds the helper-acquired guard across the callback.
+    pub fn for_each(&self, v: u32, f: &mut dyn FnMut(u32)) {
+        let list = self.lock_list(v);
+        for &dst in list.iter() {
+            f(dst);
+        }
+    }
+}
+
+/// Re-enters `degree` (which re-acquires `lists`) from inside the scan.
+pub fn collect_degrees(g: &SharedLists, v: u32) -> usize {
+    let mut total = 0usize;
+    g.for_each(v, &mut |dst| {
+        total += g.degree(dst);
+    });
+    total
+}

@@ -1,0 +1,30 @@
+//! Seeded violation: a classic AB/BA lock-order cycle between two
+//! mutexes — thread one runs `transfer`, thread two runs `audit`, each
+//! holds its first lock while waiting for the other's.
+//~ EXPECT: lock-cycle:lock_cycle_ab.accounts,lock_cycle_ab.journal
+
+use parking_lot::Mutex;
+
+/// Two independently locked pieces of state.
+pub struct Ledger {
+    accounts: Mutex<Vec<i64>>,
+    journal: Mutex<Vec<String>>,
+}
+
+impl Ledger {
+    /// Locks `accounts` then `journal`.
+    pub fn transfer(&self, from: usize, to: usize, amount: i64) {
+        let mut accounts = self.accounts.lock();
+        accounts[from] -= amount;
+        accounts[to] += amount;
+        let mut journal = self.journal.lock();
+        journal.push(format!("{from}->{to}: {amount}"));
+    }
+
+    /// Locks `journal` then `accounts` — the opposite order.
+    pub fn audit(&self) -> usize {
+        let journal = self.journal.lock();
+        let accounts = self.accounts.lock();
+        journal.len() + accounts.len()
+    }
+}

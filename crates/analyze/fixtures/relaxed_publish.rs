@@ -1,0 +1,29 @@
+//! Seeded violation: a Relaxed store into a group whose readers load
+//! Acquire. The happy path publishes with Release, but the reset path
+//! stores Relaxed — readers that synchronize on the Acquire load can
+//! miss the writes the reset was supposed to order.
+//~ EXPECT: atomic:relaxed-publish:relaxed_publish.snapshot
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Pointer-sized snapshot index readers consume with Acquire.
+pub struct SnapshotCell {
+    snapshot: AtomicUsize,
+}
+
+impl SnapshotCell {
+    /// Correct publish path.
+    pub fn publish(&self, idx: usize) {
+        self.snapshot.store(idx, Ordering::Release);
+    }
+
+    /// The bug: the reset path skips the Release ordering.
+    pub fn reset(&self) {
+        self.snapshot.store(0, Ordering::Relaxed);
+    }
+
+    /// Consumer pairs with `publish` — and silently not with `reset`.
+    pub fn current(&self) -> usize {
+        self.snapshot.load(Ordering::Acquire)
+    }
+}

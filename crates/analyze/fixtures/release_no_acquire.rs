@@ -1,0 +1,23 @@
+//! Seeded violation: a Release publish whose consumers all load Relaxed
+//! — the release fence synchronizes with nothing, so readers can observe
+//! the new index before the data it guards.
+//~ EXPECT: atomic:release-no-acquire:release_no_acquire.head
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Single-producer ring: `head` publishes how far the buffer is valid.
+pub struct Ring {
+    head: AtomicUsize,
+}
+
+impl Ring {
+    /// Producer: publishes the new head with Release…
+    pub fn publish(&self, new_head: usize) {
+        self.head.store(new_head, Ordering::Release);
+    }
+
+    /// …but the consumer reads it Relaxed, so the pairing is broken.
+    pub fn readable(&self) -> usize {
+        self.head.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,23 @@
+//! Seeded violation: same-class nested acquisition. Per-vertex locks
+//! taken for both endpoints of an edge without index ordering: when two
+//! threads insert (a,b) and (b,a), each holds one vertex lock while
+//! waiting for the other — and `src == dst` self-loops deadlock alone.
+//~ EXPECT: lock-cycle:self_nest.lists
+
+use parking_lot::Mutex;
+
+/// Per-vertex adjacency lists, one mutex per vertex.
+pub struct SharedLists {
+    lists: Vec<Mutex<Vec<u32>>>,
+}
+
+impl SharedLists {
+    /// Inserts an undirected edge by holding both endpoint locks at once,
+    /// in argument order rather than index order.
+    pub fn insert_undirected(&self, src: u32, dst: u32) {
+        let mut fwd = self.lists[src as usize].lock();
+        let mut bwd = self.lists[dst as usize].lock();
+        fwd.push(dst);
+        bwd.push(src);
+    }
+}

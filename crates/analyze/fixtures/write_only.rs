@@ -1,0 +1,18 @@
+//! Seeded violation: an atomic that is only ever written (discarded
+//! RMWs), never read — dead synchronization state, or a consumer that
+//! was never wired up.
+//~ EXPECT: atomic:write-only:write_only.retries
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A retry counter nothing reads.
+pub struct Stats {
+    retries: AtomicU64,
+}
+
+impl Stats {
+    /// Bumps the counter and discards the old value; no load anywhere.
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+}

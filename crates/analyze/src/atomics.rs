@@ -1,0 +1,235 @@
+//! Atomics-protocol audit: groups atomic operations by `file_stem.field`
+//! and checks publish/consume pairing per group. Subsumes the old xtask
+//! `Ordering::Relaxed` listing (now the informational section of the
+//! analyze report).
+
+use std::collections::BTreeMap;
+
+use crate::model::{AtomicSite, Model};
+use crate::report::Finding;
+
+/// Audit output: gating findings plus the informational Relaxed listing.
+#[derive(Debug, Default)]
+pub struct AtomicsAudit {
+    /// Pairing violations.
+    pub findings: Vec<Finding>,
+    /// Every operation that uses `Relaxed` (informational, not gating).
+    pub relaxed_sites: Vec<String>,
+}
+
+/// Ordering strength facts for one site.
+struct OpFacts {
+    is_load: bool,
+    is_store: bool,
+    is_rmw: bool,
+    acquire_side: bool,
+    release_side: bool,
+    /// Ordering is exactly `Release` — a deliberate publish, as opposed
+    /// to a SeqCst store whose intent is total order rather than pairing.
+    explicit_release: bool,
+    relaxed: bool,
+}
+
+fn facts(op: &AtomicSite) -> OpFacts {
+    let is_load = op.method == "load";
+    let is_store = op.method == "store";
+    let is_rmw = !is_load && !is_store;
+    // For compare-exchange the success ordering (first) carries both
+    // sides; the failure ordering is load-only and can stay weaker.
+    let success = op.orderings.first().map(String::as_str).unwrap_or("Relaxed");
+    let acquire_side = matches!(success, "Acquire" | "AcqRel" | "SeqCst");
+    let release_side = matches!(success, "Release" | "AcqRel" | "SeqCst");
+    let explicit_release = success == "Release";
+    let relaxed = op.orderings.iter().any(|o| o == "Relaxed");
+    OpFacts {
+        is_load,
+        is_store,
+        is_rmw,
+        acquire_side,
+        release_side,
+        explicit_release,
+        relaxed,
+    }
+}
+
+/// Runs the audit over every non-test function's atomic sites.
+pub fn check(model: &Model) -> AtomicsAudit {
+    let mut audit = AtomicsAudit::default();
+    let mut groups: BTreeMap<String, Vec<(&AtomicSite, String)>> = BTreeMap::new();
+    for f in &model.fns {
+        for op in &f.atomics {
+            groups
+                .entry(op.group.clone())
+                .or_default()
+                .push((op, format!("{}:{}", f.file, op.line)));
+            if op.orderings.iter().any(|o| o == "Relaxed") {
+                audit.relaxed_sites.push(format!(
+                    "{}:{} {}.{}({})",
+                    f.file,
+                    op.line,
+                    op.group,
+                    op.method,
+                    op.orderings.join(", ")
+                ));
+            }
+        }
+    }
+
+    for (group, ops) in &groups {
+        let has_release_store = ops
+            .iter()
+            .any(|(o, _)| facts(o).is_store && facts(o).release_side);
+        // Only *explicit* Release stores demand a pairing partner; a
+        // SeqCst store is a total-order statement, and pairing it with
+        // Relaxed fast-path loads is a legitimate pattern.
+        let has_explicit_release_store = ops
+            .iter()
+            .any(|(o, _)| facts(o).is_store && facts(o).explicit_release);
+        let has_acquire_load = ops
+            .iter()
+            .any(|(o, _)| facts(o).is_load && facts(o).acquire_side);
+        let has_acquire_rmw = ops
+            .iter()
+            .any(|(o, _)| facts(o).is_rmw && facts(o).acquire_side);
+        let has_release_rmw = ops
+            .iter()
+            .any(|(o, _)| facts(o).is_rmw && facts(o).release_side);
+        let has_relaxed_store = ops
+            .iter()
+            .any(|(o, _)| facts(o).is_store && facts(o).relaxed);
+        let any_read = ops
+            .iter()
+            .any(|(o, _)| facts(o).is_load || (facts(o).is_rmw && !o.discarded));
+
+        let sites = |pred: &dyn Fn(&OpFacts) -> bool| -> String {
+            ops.iter()
+                .filter(|(o, _)| pred(&facts(o)))
+                .map(|(_, s)| s.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+
+        // Release store with no acquire-side consumer anywhere: the
+        // publish ordering buys nothing, or the consumer is missing.
+        if has_explicit_release_store && !has_acquire_load && !has_acquire_rmw {
+            audit.findings.push(Finding {
+                key: format!("atomic:release-no-acquire:{group}"),
+                message: format!(
+                    "`{group}` has Release store(s) [{}] but no Acquire-side load or RMW pairs with them",
+                    sites(&|f| f.is_store && f.explicit_release)
+                ),
+            });
+        }
+        // Acquire load with no release-side producer: the consume
+        // ordering synchronizes with nothing in this group.
+        if has_acquire_load && !has_release_store && !has_release_rmw {
+            audit.findings.push(Finding {
+                key: format!("atomic:acquire-no-release:{group}"),
+                message: format!(
+                    "`{group}` has Acquire load(s) [{}] but no Release-side store or RMW pairs with them",
+                    sites(&|f| f.is_load && f.acquire_side)
+                ),
+            });
+        }
+        // Relaxed publish: a plain Relaxed store into a group whose
+        // readers expect Acquire — the store should be Release (or the
+        // loads weakened). Pure-Relaxed counter groups stay quiet.
+        if has_relaxed_store && has_acquire_load {
+            audit.findings.push(Finding {
+                key: format!("atomic:relaxed-publish:{group}"),
+                message: format!(
+                    "`{group}` mixes Relaxed store(s) [{}] with Acquire load(s) [{}]; the publish side should be Release",
+                    sites(&|f| f.is_store && f.relaxed),
+                    sites(&|f| f.is_load && f.acquire_side)
+                ),
+            });
+        }
+        // Write-only atomic: every operation discards the old value and
+        // nothing ever loads it — dead synchronization state.
+        if !any_read && !ops.is_empty() {
+            audit.findings.push(Finding {
+                key: format!("atomic:write-only:{group}"),
+                message: format!(
+                    "`{group}` is written [{}] but never read — dead atomic or missing consumer",
+                    ops.iter().map(|(_, s)| s.as_str()).collect::<Vec<_>>().join(", ")
+                ),
+            });
+        }
+    }
+    audit.findings.sort_by(|a, b| a.key.cmp(&b.key));
+    audit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, SourceFile};
+
+    fn audit_of(src: &str) -> AtomicsAudit {
+        check(&Model::build(&[SourceFile::new("crates/x/src/cell.rs", src)]))
+    }
+
+    #[test]
+    fn paired_release_acquire_is_clean() {
+        let a = audit_of(
+            "impl C {\n    fn w(&self) { self.head.store(1, Ordering::Release); }\n    fn r(&self) -> u64 { self.head.load(Ordering::Acquire) }\n}\n",
+        );
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn release_store_without_acquire_is_flagged() {
+        let a = audit_of("impl C {\n    fn w(&self) { self.head.store(1, Ordering::Release); }\n}\n");
+        assert!(a.findings.iter().any(|f| f.key == "atomic:release-no-acquire:cell.head"));
+    }
+
+    #[test]
+    fn acquire_load_without_release_is_flagged() {
+        let a = audit_of(
+            "impl C {\n    fn r(&self) -> u64 { self.head.load(Ordering::Acquire) }\n    fn w(&self) { self.head.store(1, Ordering::Relaxed); }\n}\n",
+        );
+        assert!(a.findings.iter().any(|f| f.key == "atomic:acquire-no-release:cell.head"));
+        assert!(a.findings.iter().any(|f| f.key == "atomic:relaxed-publish:cell.head"));
+    }
+
+    #[test]
+    fn acqrel_rmw_satisfies_both_sides() {
+        let a = audit_of(
+            "impl C {\n    fn add(&self) { let old = self.words.fetch_or(1, Ordering::AcqRel); }\n    fn r(&self) -> u64 { self.words.load(Ordering::Acquire) }\n}\n",
+        );
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn pure_relaxed_counter_is_quiet_but_listed() {
+        let a = audit_of(
+            "impl C {\n    fn bump(&self) { let n = self.hits.fetch_add(1, Ordering::Relaxed); }\n    fn r(&self) -> u64 { self.hits.load(Ordering::Relaxed) }\n}\n",
+        );
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+        assert_eq!(a.relaxed_sites.len(), 2);
+    }
+
+    #[test]
+    fn write_only_atomic_is_flagged() {
+        let a = audit_of("impl C {\n    fn bump(&self) { self.hits.fetch_add(1, Ordering::Relaxed); }\n}\n");
+        assert!(a.findings.iter().any(|f| f.key == "atomic:write-only:cell.hits"));
+    }
+
+    #[test]
+    fn seqcst_store_with_relaxed_loads_is_quiet() {
+        // Control-plane writes at SeqCst, hot-path reads at Relaxed —
+        // the probe/budget pattern. Not a pairing violation.
+        let a = audit_of(
+            "impl C {\n    fn set(&self) { self.budget.store(9, Ordering::SeqCst); }\n    fn hot(&self) -> u64 { self.budget.load(Ordering::Relaxed) }\n}\n",
+        );
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn compare_exchange_success_ordering_counts() {
+        let a = audit_of(
+            "impl C {\n    fn cas(&self) { let _ = self.stamp.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed); }\n    fn r(&self) -> u64 { self.stamp.load(Ordering::Acquire) }\n}\n",
+        );
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+}

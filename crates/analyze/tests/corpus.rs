@@ -1,0 +1,88 @@
+//! Corpus test: the lexer and item parser must handle every `.rs` file in
+//! the workspace — total lexing (spans tile the source exactly) and
+//! panic-free item parsing with sane line numbers.
+
+use std::path::Path;
+
+use saga_analyze::collect_sources;
+use saga_analyze::lexer::{lex, TokenKind};
+use saga_analyze::parser::parse;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("analyze lives two levels below the workspace root")
+}
+
+#[test]
+fn lexes_every_workspace_file_totally() {
+    let files = collect_sources(workspace_root()).expect("collect workspace sources");
+    assert!(
+        files.len() > 50,
+        "suspiciously small corpus: {} files",
+        files.len()
+    );
+    for f in &files {
+        let tokens = lex(&f.source);
+        // Spans are in-bounds, non-overlapping, and tile the whole file.
+        let mut cursor = 0usize;
+        for t in &tokens {
+            assert_eq!(
+                t.start, cursor,
+                "{}: token gap/overlap at byte {} ({:?})",
+                f.path, cursor, t.kind
+            );
+            assert!(
+                t.end > t.start && t.end <= f.source.len(),
+                "{}: bad span {}..{}",
+                f.path,
+                t.start,
+                t.end
+            );
+            cursor = t.end;
+        }
+        assert_eq!(cursor, f.source.len(), "{}: lexer stopped early", f.path);
+        // Concatenating the token texts reproduces the source.
+        let rebuilt: String = tokens.iter().map(|t| t.text(&f.source)).collect();
+        assert_eq!(rebuilt, f.source, "{}: token texts do not concatenate", f.path);
+        // Nothing in the workspace should lex as Unknown.
+        for t in &tokens {
+            assert_ne!(
+                t.kind,
+                TokenKind::Unknown,
+                "{}: unknown token {:?} at {}..{}",
+                f.path,
+                t.text(&f.source),
+                t.start,
+                t.end
+            );
+        }
+    }
+}
+
+#[test]
+fn parses_every_workspace_file() {
+    let files = collect_sources(workspace_root()).expect("collect workspace sources");
+    let mut total_fns = 0usize;
+    for f in &files {
+        let fns = parse(&f.source);
+        for func in &fns {
+            assert!(!func.name.is_empty(), "{}: unnamed fn", f.path);
+            let lines = f.source.lines().count();
+            assert!(
+                func.line >= 1 && func.line <= lines.max(1),
+                "{}: fn {} has line {} of {}",
+                f.path,
+                func.name,
+                func.line,
+                lines
+            );
+        }
+        total_fns += fns.len();
+    }
+    assert!(
+        total_fns > 500,
+        "suspiciously few functions parsed: {total_fns}"
+    );
+}

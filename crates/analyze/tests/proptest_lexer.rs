@@ -1,0 +1,77 @@
+//! Property tests for the analyzer's lexer: on arbitrary input — not just
+//! well-formed Rust — token spans must be non-overlapping, in-bounds, and
+//! concatenate back to the source byte-for-byte. Totality is what lets
+//! the corpus test and the whole-repo analysis trust the token stream.
+
+use proptest::prelude::*;
+use saga_analyze::lexer::lex;
+
+/// Printable-ASCII runs (the bulk of real source).
+fn ascii_run() -> impl Strategy<Value = String> {
+    proptest::collection::vec(32u8..127u8, 0..8)
+        .prop_map(|b| b.into_iter().map(char::from).collect())
+}
+
+/// Arbitrary scalar values folded to `char`, surrogates skipped — the
+/// lexer must stay total on any unicode, not just source-y text.
+fn unicode_run() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u32..0x0011_0000, 0..4)
+        .prop_map(|v| v.into_iter().filter_map(char::from_u32).collect())
+}
+
+/// Strings biased toward lexer trouble: comment openers, string quotes,
+/// raw-string hashes, lifetimes vs. char literals, and plain unicode.
+fn source_strategy() -> impl Strategy<Value = String> {
+    let fragment = prop_oneof![
+        Just("//".to_string()),
+        Just("/*".to_string()),
+        Just("*/".to_string()),
+        Just("\"".to_string()),
+        Just("\\\"".to_string()),
+        Just("r#\"".to_string()),
+        Just("\"#".to_string()),
+        Just("'a".to_string()),
+        Just("'a'".to_string()),
+        Just("0x1f".to_string()),
+        Just("1..2".to_string()),
+        Just("fn f() {}".to_string()),
+        Just("self.m.lock()".to_string()),
+        ascii_run(),
+        unicode_run(),
+    ];
+    proptest::collection::vec(fragment, 0..24).prop_map(|v| v.concat())
+}
+
+/// Longer pure-unicode strings for the second property.
+fn unicode_long() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u32..0x0011_0000, 0..64)
+        .prop_map(|v| v.into_iter().filter_map(char::from_u32).collect())
+}
+
+proptest! {
+    #[test]
+    fn spans_tile_arbitrary_input(src in source_strategy()) {
+        let tokens = lex(&src);
+        let mut cursor = 0usize;
+        for t in &tokens {
+            prop_assert_eq!(t.start, cursor, "gap/overlap at byte {}", cursor);
+            prop_assert!(t.end > t.start, "empty span at {}", t.start);
+            prop_assert!(t.end <= src.len(), "span {}..{} out of bounds", t.start, t.end);
+            cursor = t.end;
+        }
+        prop_assert_eq!(cursor, src.len(), "lexer stopped before the end");
+        let rebuilt: String = tokens.iter().map(|t| t.text(&src)).collect();
+        prop_assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn spans_tile_arbitrary_unicode(src in unicode_long()) {
+        let tokens = lex(&src);
+        let mut cursor = 0usize;
+        for t in &tokens {
+            prop_assert_eq!(t.start, cursor);
+            cursor = t.end;
+        }
+        prop_assert_eq!(cursor, src.len());
+    }
+}

@@ -25,7 +25,7 @@
 //! deliberately preserved.
 
 use crate::{DataStructureKind, DynamicGraph, Edge, GraphTopology, Node, UpdateStats, Weight};
-use parking_lot::Mutex;
+use saga_utils::sync::Mutex;
 use saga_utils::parallel::ThreadPool;
 use saga_utils::partition::Partitioner;
 use saga_utils::probe;

@@ -24,7 +24,7 @@
 
 use crate::adjacency_chunked::IngestScratch;
 use crate::{DataStructureKind, DynamicGraph, Edge, GraphTopology, Node, UpdateStats, Weight};
-use parking_lot::{Mutex, MutexGuard};
+use saga_utils::sync::{Mutex, MutexGuard};
 use saga_utils::parallel::{Schedule, ThreadPool};
 use saga_utils::probe;
 use saga_utils::sync::atomic::{AtomicUsize, Ordering};

@@ -24,7 +24,7 @@
 use crate::adjacency_chunked::{chunked_update, chunked_update_rescan, IngestScratch};
 use crate::hash_tables::{OpenEdgeTable, RobinHoodEdgeTable};
 use crate::{DataStructureKind, DynamicGraph, Edge, GraphTopology, Node, UpdateStats, Weight};
-use parking_lot::Mutex;
+use saga_utils::sync::Mutex;
 use saga_utils::parallel::ThreadPool;
 use saga_utils::probe;
 use saga_utils::sync::atomic::{AtomicUsize, Ordering};

@@ -35,7 +35,7 @@ use crate::{
     DataStructureKind, DeletableGraph, DeleteStats, DynamicGraph, Edge, GraphTopology, Node,
     UpdateStats, Weight,
 };
-use parking_lot::{Mutex, RwLock};
+use saga_utils::sync::{Mutex, RwLock};
 use saga_utils::parallel::ThreadPool;
 use saga_utils::prefetch::{prefetch_index, PREFETCH_DISTANCE};
 use saga_utils::probe;

@@ -29,11 +29,11 @@
 use crate::adjacency_chunked::IngestScratch;
 use crate::adjacency_shared::{ingest_edge, pass_key, pass_op, BUCKETS_PER_WORKER};
 use crate::{DataStructureKind, DynamicGraph, Edge, GraphTopology, Node, UpdateStats, Weight};
-use parking_lot::{Mutex, RwLock};
+use saga_utils::sync::{Mutex, RwLock};
 use saga_utils::parallel::{Schedule, ThreadPool};
 use saga_utils::probe;
 use saga_utils::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
-use std::sync::Arc;
+use saga_utils::sync::Arc;
 
 /// Edges per block, matching the paper's Stinger configuration.
 pub const DEFAULT_BLOCK_SIZE: usize = 16;

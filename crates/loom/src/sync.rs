@@ -388,3 +388,113 @@ impl Condvar {
         rt::cond_notify_one(self.key());
     }
 }
+
+/// A modeled reader-writer lock with the `parking_lot` API shape.
+///
+/// The model is deliberately conservative: readers serialize with each
+/// other exactly like writers (both map onto the model's exclusive lock).
+/// That forfeits exploration of reader-reader concurrency — which is
+/// data-race-free by construction — but preserves every lock-ordering and
+/// hold-across-callback interleaving, which is what the model checker is
+/// for. See DESIGN.md §7.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    data: UnsafeCell<T>,
+    /// Never read: keeps the type non-zero-sized so address-based
+    /// identity cannot alias (see [`Mutex::_addr`]).
+    _addr: u8,
+}
+
+// SAFETY: both guard flavors go through the model scheduler's exclusive
+// lock, so `data` is only ever reached by the single thread holding it.
+unsafe impl<T: Send> Sync for RwLock<T> {}
+// SAFETY: ownership transfer of the cell is sound whenever `T: Send`.
+unsafe impl<T: Send> Send for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    /// Creates a new modeled reader-writer lock.
+    pub const fn new(data: T) -> Self {
+        Self {
+            data: UnsafeCell::new(data),
+            _addr: 0,
+        }
+    }
+
+    fn key(&self) -> usize {
+        self as *const Self as *const () as usize
+    }
+
+    /// Acquires a read guard (exclusive under the model).
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        rt::mutex_lock(self.key());
+        RwLockReadGuard { lock: self }
+    }
+
+    /// Acquires a write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        rt::mutex_lock(self.key());
+        RwLockWriteGuard { lock: self }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    /// Exclusive access without locking (`&mut self` proves no sharing).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+/// Guard returned by [`RwLock::read`]; releases the model lock on drop.
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the scheduler granted this thread the lock and will not
+        // grant it again until the guard drops.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        rt::mutex_unlock(self.lock.key());
+    }
+}
+
+/// Guard returned by [`RwLock::write`]; releases the model lock on drop.
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: as in the read guard — the model lock is held for the
+        // guard's lifetime.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: write guards hold the model's exclusive lock, so the
+        // access cannot race.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        rt::mutex_unlock(self.lock.key());
+    }
+}

@@ -24,10 +24,14 @@ pub use std::sync::atomic;
 pub use saga_loom::sync::atomic;
 
 #[cfg(not(loom))]
-pub use parking_lot::{Condvar, Mutex, MutexGuard};
+pub use parking_lot::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 
 #[cfg(loom)]
-pub use saga_loom::sync::{Condvar, Mutex, MutexGuard};
+pub use saga_loom::sync::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 
 pub use std::sync::Arc;
 

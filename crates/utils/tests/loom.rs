@@ -81,6 +81,32 @@ fn bitvec_try_set_single_winner() {
     });
 }
 
+/// The facade's modeled `RwLock` (exclusive under the model, see
+/// DESIGN.md §7): a racing writer and reader-then-writer can interleave
+/// any way, but guard-protected increments must never be lost and the
+/// final value must be exactly the sum of both threads' additions.
+#[test]
+fn rwlock_guarded_increments_are_not_lost() {
+    saga_loom::model(|| {
+        let lock = Arc::new(saga_utils::sync::RwLock::new(0u32));
+        let t = {
+            let lock = Arc::clone(&lock);
+            saga_utils::sync::thread::spawn_named("writer".into(), move || {
+                let mut g = lock.write();
+                *g += 1;
+            })
+        };
+        let seen = *lock.read();
+        assert!(seen <= 1, "read saw a value never written");
+        {
+            let mut g = lock.write();
+            *g += 2;
+        }
+        let _ = t.join();
+        assert_eq!(*lock.read(), 3, "an increment was lost");
+    });
+}
+
 /// `GenerationMarks::try_mark` (the affected tracker's dedup CAS): single
 /// winner per generation in every interleaving of its retry loop.
 #[test]

@@ -16,7 +16,10 @@
 //!    checker, and the trace layer (which sits *below* the facade) — all
 //!    other code must use `saga_utils::sync::atomic` so that `--cfg loom`
 //!    swaps in the model-checked types everywhere;
-//! 5. (informational) every `Ordering::Relaxed` site is listed for audit;
+//! 5. `parking_lot` is imported only by the sync facade (the analyzer's
+//!    seeded fixtures, which are not compiled, keep the raw idiom so the
+//!    fixture shapes match real pre-facade code) — all other code takes
+//!    locks from `saga_utils::sync` for the same `--cfg loom` swap;
 //! 6. `println!` / `eprintln!` are banned in library code (any `src/`
 //!    file outside `src/bin/`) — library output must route through the
 //!    `saga_trace::progress!` facade or `saga_core::report`, so that
@@ -26,6 +29,10 @@
 //!    paths call `saga_utils::prefetch` / the property arrays' `prefetch`
 //!    helpers, so the per-target gating (and its SAFETY argument) stays in
 //!    one audited file.
+//!
+//! The old informational `Ordering::Relaxed` listing moved to
+//! `cargo xtask analyze`, whose atomics-protocol audit groups sites by
+//! field and checks publish/consume pairing instead of just listing them.
 //!
 //! `check-trace <file>` validates an exported Chrome trace-event JSON file
 //! (shape + strict per-track span nesting) via `saga_check::tracecheck` —
@@ -43,16 +50,18 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => lint(),
+        Some("analyze") => analyze(),
         Some("check-trace") => check_trace(args.next()),
         Some(other) => {
-            eprintln!("unknown task `{other}`; available tasks: lint, check-trace");
+            eprintln!("unknown task `{other}`; available tasks: lint, analyze, check-trace");
             ExitCode::FAILURE
         }
         None => {
             eprintln!(
                 "usage: cargo xtask <task>\n\ntasks:\n  lint                 \
-                 SAFETY-invariant pass\n  check-trace <file>   validate an \
-                 exported Chrome trace-event JSON file"
+                 SAFETY-invariant pass\n  analyze              static \
+                 lock-order & atomics-protocol analysis\n  check-trace <file>   \
+                 validate an exported Chrome trace-event JSON file"
             );
             ExitCode::FAILURE
         }
@@ -85,6 +94,56 @@ fn check_trace(path: Option<String>) -> ExitCode {
     }
 }
 
+/// Runs the static analyzer (`saga-analyze`) as a gate: first the
+/// seeded-violation fixture corpus must be flagged exactly (the analyzer
+/// proving it still catches the PR-6 deadlock shape and friends), then
+/// the production tree must be clean modulo the justified `analyze.allow`
+/// entries. The text report and lock-order DOT graph are written to
+/// `target/analyze/` for the CI artifact.
+fn analyze() -> ExitCode {
+    let root = workspace_root();
+
+    // 1. Fixture self-check: every seeded violation must be flagged.
+    match saga_analyze::check_fixtures(&root.join("crates/analyze/fixtures")) {
+        Ok(summary) => println!("xtask analyze: {summary}"),
+        Err(e) => {
+            eprintln!("xtask analyze: fixture self-check FAILED:\n{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // 2. Whole-repo analysis, filtered by the allowlist.
+    let allow = std::fs::read_to_string(root.join("analyze.allow")).unwrap_or_default();
+    let report = match saga_analyze::run_repo(&root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask analyze: cannot read sources: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // 3. Artifacts.
+    let out_dir = root.join("target/analyze");
+    let rendered = report.render();
+    if let Err(e) = std::fs::create_dir_all(&out_dir)
+        .and_then(|()| std::fs::write(out_dir.join("report.txt"), &rendered))
+        .and_then(|()| std::fs::write(out_dir.join("lock_order.dot"), &report.dot))
+    {
+        eprintln!("xtask analyze: cannot write artifacts: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    print!("{rendered}");
+    println!("\nartifacts: target/analyze/report.txt, target/analyze/lock_order.dot");
+    if report.clean() {
+        println!("xtask analyze: OK");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask analyze: FAILED (see violations above)");
+        ExitCode::FAILURE
+    }
+}
+
 /// Workspace root, derived from this crate's manifest directory.
 fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -103,7 +162,6 @@ fn lint() -> ExitCode {
     files.sort();
 
     let mut violations = Vec::new();
-    let mut relaxed = Vec::new();
     for path in &files {
         let source = match std::fs::read_to_string(path) {
             Ok(s) => s,
@@ -119,16 +177,9 @@ fn lint() -> ExitCode {
             .replace('\\', "/");
         let report = scan_file(&rel, &source);
         violations.extend(report.violations);
-        relaxed.extend(report.relaxed_sites);
     }
 
     println!("xtask lint: scanned {} files", files.len());
-    if !relaxed.is_empty() {
-        println!("\nOrdering::Relaxed audit ({} sites — informational):", relaxed.len());
-        for site in &relaxed {
-            println!("  {site}");
-        }
-    }
     if violations.is_empty() {
         println!("\nxtask lint: OK (no SAFETY-invariant violations)");
         ExitCode::SUCCESS
@@ -165,8 +216,6 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
 struct Report {
     /// Convention violations (fail the lint).
     violations: Vec<String>,
-    /// `Ordering::Relaxed` sites (informational audit).
-    relaxed_sites: Vec<String>,
 }
 
 /// Files allowed to spawn OS threads directly.
@@ -174,6 +223,11 @@ const THREAD_ALLOWLIST: &[&str] = &["crates/utils/src/parallel.rs", "crates/util
 
 /// Files allowed to name `std::sync::atomic` directly.
 const ATOMIC_ALLOWLIST: &[&str] = &["crates/utils/src/sync.rs"];
+
+/// The one compiled file allowed to import `parking_lot` directly: the
+/// sync facade, which re-exports its primitives (or the loom-modeled
+/// versions) to the rest of the workspace.
+const PARKING_LOT_ALLOWLIST: &[&str] = &["crates/utils/src/sync.rs"];
 
 /// The one file allowed to name hardware prefetch intrinsics (or any
 /// `core::arch` / `std::arch` path): the per-target facade everything else
@@ -183,8 +237,11 @@ const PREFETCH_ALLOWLIST: &[&str] = &["crates/utils/src/prefetch.rs"];
 /// Directory prefixes exempt from the facade bans: the model checker IS
 /// the other side of the facade, and the trace layer sits *below*
 /// `saga-utils` (the pool emits spans), so neither can route through
-/// `saga_utils::sync` — both use the real primitives.
-const FACADE_EXEMPT_DIRS: &[&str] = &["crates/loom/", "crates/trace/"];
+/// `saga_utils::sync` — both use the real primitives. The analyzer's
+/// seeded-violation fixtures are never compiled and deliberately keep the
+/// raw idiom so their shapes match real pre-facade code.
+const FACADE_EXEMPT_DIRS: &[&str] =
+    &["crates/loom/", "crates/trace/", "crates/analyze/fixtures/"];
 
 /// Library files allowed to call `println!` / `eprintln!` directly: the
 /// bench reporting facade (`emit*` / `finish_trace` own stdout for the
@@ -241,6 +298,14 @@ fn scan_file(rel_path: &str, source: &str) -> Report {
                      facade (use `saga_utils::sync::atomic` so `--cfg loom` applies)"
                 ));
             }
+            if contains_token_path(code, "parking_lot")
+                && !PARKING_LOT_ALLOWLIST.contains(&rel_path)
+            {
+                report.violations.push(format!(
+                    "{rel_path}:{lineno}: direct `parking_lot` use outside the sync \
+                     facade (take locks from `saga_utils::sync` so `--cfg loom` applies)"
+                ));
+            }
         }
 
         if (code.contains("_mm_prefetch")
@@ -267,10 +332,6 @@ fn scan_file(rel_path: &str, source: &str) -> Report {
                     ));
                 }
             }
-        }
-
-        if code.contains("Ordering::Relaxed") {
-            report.relaxed_sites.push(format!("{rel_path}:{lineno}"));
         }
 
         for site in unsafe_sites(code) {
@@ -585,11 +646,23 @@ mod tests {
     }
 
     #[test]
-    fn relaxed_ordering_is_reported_not_failed() {
+    fn relaxed_ordering_is_not_a_lint_violation() {
+        // The Relaxed audit lives in `cargo xtask analyze` now.
         let src = "fn f(c: &saga_utils::sync::atomic::AtomicUsize) {\n    c.load(Ordering::Relaxed);\n}\n";
-        let report = scan_file("crates/demo/src/lib.rs", src);
-        assert!(report.violations.is_empty());
-        assert_eq!(report.relaxed_sites, vec!["crates/demo/src/lib.rs:2"]);
+        assert!(scan_file("crates/demo/src/lib.rs", src).violations.is_empty());
+    }
+
+    #[test]
+    fn parking_lot_outside_facade_fails_and_facade_passes() {
+        let src = "use parking_lot::{Mutex, RwLock};\n";
+        let report = scan_file("crates/graph/src/lib.rs", src);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].contains("`parking_lot`"), "{report:?}");
+        assert!(scan_file("crates/utils/src/sync.rs", src).violations.is_empty());
+        assert!(scan_file("crates/loom/src/sync.rs", src).violations.is_empty());
+        assert!(scan_file("crates/analyze/fixtures/clean.rs", src)
+            .violations
+            .is_empty());
     }
 
     #[test]
