@@ -83,6 +83,26 @@ impl PrProgram {
     pub fn epsilon(&self) -> f64 {
         self.epsilon
     }
+
+    /// The FS stopping tolerance on the L1 rank change.
+    pub fn fs_tolerance(&self) -> f64 {
+        self.fs_tolerance
+    }
+
+    /// The FS iteration cap.
+    pub fn max_iters(&self) -> usize {
+        self.max_iters
+    }
+
+    /// The damping factor.
+    pub fn damping(&self) -> f64 {
+        self.damping
+    }
+
+    /// The fixed vertex-universe size this instance ranks over.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
 }
 
 impl VertexProgram for PrProgram {

@@ -1,0 +1,265 @@
+//! Superstep-boundary checkpoints.
+//!
+//! A checkpoint is taken only at the gather-end barrier, where the
+//! invariant "all mailboxes empty, all shard states consistent" holds by
+//! construction — so a checkpoint is just the per-shard property arrays
+//! plus the per-shard active lists, and recovery is a restore + replay
+//! with no message-replay machinery. The store always keeps the latest
+//! checkpoint in memory; configuring a directory additionally persists
+//! each checkpoint to its own file so a restarted *process* can recover
+//! too (see `recover_from_disk` on the engine and the EXPERIMENTS.md
+//! kill-and-recover recipe).
+//!
+//! The on-disk format is deliberately dumb: little-endian `u64` words
+//! (counts, vertex ids, and values via [`ValueCodec`] bit-casts). It is a
+//! crash artifact, not an interchange format.
+
+use saga_graph::Node;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Bit-level serialization of a property value into a `u64` word.
+pub trait ValueCodec: Copy {
+    /// The value's bits, widened to 64.
+    fn to_word(self) -> u64;
+    /// Inverse of [`to_word`](Self::to_word).
+    fn from_word(word: u64) -> Self;
+}
+
+impl ValueCodec for u32 {
+    fn to_word(self) -> u64 {
+        self as u64
+    }
+    fn from_word(word: u64) -> Self {
+        word as u32
+    }
+}
+
+impl ValueCodec for f32 {
+    fn to_word(self) -> u64 {
+        self.to_bits() as u64
+    }
+    fn from_word(word: u64) -> Self {
+        f32::from_bits(word as u32)
+    }
+}
+
+impl ValueCodec for f64 {
+    fn to_word(self) -> u64 {
+        self.to_bits()
+    }
+    fn from_word(word: u64) -> Self {
+        f64::from_bits(word)
+    }
+}
+
+/// Checkpointing policy.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointConfig {
+    /// Snapshot every `interval` supersteps (0 and 1 both mean "every
+    /// superstep"); the superstep-0 baseline is always taken.
+    pub interval: usize,
+    /// When set, every checkpoint is also written to
+    /// `dir/ckpt-<superstep>.bin`.
+    pub dir: Option<PathBuf>,
+}
+
+impl CheckpointConfig {
+    /// The effective snapshot period (≥ 1).
+    pub fn period(&self) -> usize {
+        self.interval.max(1)
+    }
+}
+
+/// One superstep-boundary snapshot: the state a run can restart from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint<V> {
+    /// The superstep about to execute when this snapshot was taken.
+    pub superstep: usize,
+    /// Per-shard property values, shard-local order.
+    pub values: Vec<Vec<V>>,
+    /// Per-shard active vertex lists (global ids).
+    pub active: Vec<Vec<Node>>,
+}
+
+/// Holder of the latest checkpoint, with optional on-disk mirroring.
+#[derive(Debug)]
+pub struct CheckpointStore<V> {
+    config: CheckpointConfig,
+    latest: Option<Checkpoint<V>>,
+    /// Checkpoints published over the store's lifetime (diagnostics).
+    published: usize,
+}
+
+impl<V: ValueCodec> CheckpointStore<V> {
+    /// An empty store with the given policy.
+    pub fn new(config: CheckpointConfig) -> Self {
+        Self {
+            config,
+            latest: None,
+            published: 0,
+        }
+    }
+
+    /// The checkpointing policy.
+    pub fn config(&self) -> &CheckpointConfig {
+        &self.config
+    }
+
+    /// Number of checkpoints published so far.
+    pub fn published(&self) -> usize {
+        self.published
+    }
+
+    /// The most recent checkpoint, if any.
+    pub fn latest(&self) -> Option<&Checkpoint<V>> {
+        self.latest.as_ref()
+    }
+
+    /// Installs `checkpoint` as the latest and mirrors it to disk when a
+    /// directory is configured. Disk failure is reported but does not
+    /// invalidate the in-memory copy.
+    pub fn publish(&mut self, checkpoint: Checkpoint<V>) -> io::Result<()> {
+        let result = match &self.config.dir {
+            Some(dir) => write_checkpoint(dir, &checkpoint),
+            None => Ok(()),
+        };
+        self.latest = Some(checkpoint);
+        self.published += 1;
+        result
+    }
+
+    /// Loads the highest-superstep checkpoint file from `dir` (a process
+    /// that died and restarted has no in-memory copy). Returns `None` when
+    /// the directory holds no checkpoint files.
+    pub fn load_latest_from_disk(dir: &Path) -> io::Result<Option<Checkpoint<V>>> {
+        let mut best: Option<(usize, PathBuf)> = None;
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            let Some(step) = parse_checkpoint_name(&path) else {
+                continue;
+            };
+            if best.as_ref().is_none_or(|(b, _)| step > *b) {
+                best = Some((step, path));
+            }
+        }
+        match best {
+            Some((_, path)) => Ok(Some(read_checkpoint(&path)?)),
+            None => Ok(None),
+        }
+    }
+}
+
+fn parse_checkpoint_name(path: &Path) -> Option<usize> {
+    let name = path.file_name()?.to_str()?;
+    let step = name.strip_prefix("ckpt-")?.strip_suffix(".bin")?;
+    step.parse().ok()
+}
+
+fn write_checkpoint<V: ValueCodec>(dir: &Path, cp: &Checkpoint<V>) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut words: Vec<u64> = Vec::new();
+    words.push(cp.superstep as u64);
+    words.push(cp.values.len() as u64);
+    for (values, active) in cp.values.iter().zip(&cp.active) {
+        words.push(values.len() as u64);
+        words.extend(values.iter().map(|v| v.to_word()));
+        words.push(active.len() as u64);
+        words.extend(active.iter().map(|&v| v as u64));
+    }
+    let mut bytes = Vec::with_capacity(words.len() * 8);
+    for w in words {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    // Write to a temp name then rename, so a crash mid-write never leaves
+    // a truncated file that parses as the newest checkpoint.
+    let final_path = dir.join(format!("ckpt-{}.bin", cp.superstep));
+    let tmp_path = dir.join(format!(".ckpt-{}.tmp", cp.superstep));
+    let mut f = std::fs::File::create(&tmp_path)?;
+    f.write_all(&bytes)?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp_path, &final_path)
+}
+
+fn read_checkpoint<V: ValueCodec>(path: &Path) -> io::Result<Checkpoint<V>> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    let mut cursor = 0usize;
+    let mut next = || -> io::Result<u64> {
+        let end = cursor + 8;
+        let chunk = bytes.get(cursor..end).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "truncated checkpoint")
+        })?;
+        cursor = end;
+        Ok(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")))
+    };
+    let superstep = next()? as usize;
+    let shards = next()? as usize;
+    let mut values = Vec::with_capacity(shards);
+    let mut active = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let n = next()? as usize;
+        let mut vals = Vec::with_capacity(n);
+        for _ in 0..n {
+            vals.push(V::from_word(next()?));
+        }
+        values.push(vals);
+        let a = next()? as usize;
+        let mut act = Vec::with_capacity(a);
+        for _ in 0..a {
+            act.push(next()? as Node);
+        }
+        active.push(act);
+    }
+    Ok(Checkpoint {
+        superstep,
+        values,
+        active,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint<f32> {
+        Checkpoint {
+            superstep: 3,
+            values: vec![vec![0.5, f32::INFINITY], vec![-1.25]],
+            active: vec![vec![1], vec![2]],
+        }
+    }
+
+    #[test]
+    fn value_codec_roundtrips_bitwise() {
+        for v in [0u32, 7, u32::MAX] {
+            assert_eq!(u32::from_word(v.to_word()), v);
+        }
+        for v in [0.0f32, -0.0, 1.5, f32::INFINITY, f32::NEG_INFINITY] {
+            assert_eq!(f32::from_word(v.to_word()).to_bits(), v.to_bits());
+        }
+        for v in [0.0f64, 1e-300, -5.5, f64::INFINITY] {
+            assert_eq!(f64::from_word(v.to_word()).to_bits(), v.to_bits());
+        }
+        // NaN payloads survive too — "bitwise identical" means bitwise.
+        let nan = f64::from_bits(0x7ff8_0000_dead_beef);
+        assert_eq!(f64::from_word(nan.to_word()).to_bits(), nan.to_bits());
+    }
+
+    #[test]
+    fn in_memory_store_keeps_the_latest() {
+        let mut store: CheckpointStore<f32> = CheckpointStore::new(CheckpointConfig::default());
+        assert!(store.latest().is_none());
+        assert_eq!(store.config().period(), 1, "interval 0 means every superstep");
+        store.publish(sample()).unwrap();
+        let mut second = sample();
+        second.superstep = 5;
+        store.publish(second.clone()).unwrap();
+        assert_eq!(store.latest(), Some(&second));
+        assert_eq!(store.published(), 2);
+    }
+
+    // Disk round-trip coverage lives in `tests/bsp.rs`
+    // (`CARGO_TARGET_TMPDIR` is only provided to integration targets).
+}

@@ -1,0 +1,546 @@
+//! The sharded BSP superstep engine.
+//!
+//! A run executes supersteps until quiescence (fold programs) or
+//! convergence (sum programs). Each superstep is three barrier crossings:
+//!
+//! 1. **Scatter** — every worker walks its shards' active vertices and
+//!    posts push-form messages ([`MessageProgram::message`]) into the
+//!    per-(src, dst) mailbox cells.
+//! 2. *barrier* — flips the phase; every cell now has its writer done.
+//! 3. **Gather** — every worker drains its shards' inbound cells in
+//!    ascending source-shard order and folds (or sums) the messages into
+//!    the shard-local property array, building the next active frontier.
+//! 4. *barrier* — the leader (last arriver) runs the sequential epilogue:
+//!    termination check, superstep advance, and checkpoint publication.
+//! 5. *barrier* — publishes the leader's decision to everyone.
+//!
+//! Checkpoints are taken only at the gather-end boundary, where all
+//! mailboxes are empty by construction, so a snapshot is just per-shard
+//! values + active lists. Because each mailbox cell has a single writer
+//! and a single reader per superstep, the drain order is fixed, and the
+//! sum mode accumulates in that fixed order, replaying from a checkpoint
+//! with the same thread count is **bitwise identical** to an
+//! uninterrupted run — the property `saga-check`'s kill-and-recover
+//! harness asserts.
+
+use crate::checkpoint::{Checkpoint, CheckpointConfig, CheckpointStore, ValueCodec};
+use crate::layout::ShardLayout;
+use crate::mailbox::Mailboxes;
+use saga_algorithms::message::{GatherMode, MessageProgram};
+use saga_algorithms::program::EdgeScope;
+use saga_graph::properties::ShardValues;
+use saga_graph::{GraphTopology, Node, Weight};
+use saga_trace::metrics;
+use saga_utils::barrier::Barrier;
+use saga_utils::bitvec::GenerationMarks;
+use saga_utils::parallel::ThreadPool;
+use saga_utils::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use saga_utils::sync::Mutex;
+use std::io;
+
+/// Which half of a superstep a simulated kill lands in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillPhase {
+    /// Die after sending roughly half the shard's outbound messages.
+    Scatter,
+    /// Die after draining roughly half the shard's inbound cells.
+    Gather,
+}
+
+/// A one-shot fault injection: the worker owning `shard` abandons its
+/// work mid-`phase` of `superstep`. The spec is consumed when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillSpec {
+    /// Superstep index the kill fires in.
+    pub superstep: usize,
+    /// Victim shard.
+    pub shard: usize,
+    /// Scatter- or gather-side kill.
+    pub phase: KillPhase,
+}
+
+/// Error returned by [`BspEngine::run`] when an armed [`KillSpec`] fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Killed {
+    /// The superstep the worker died in.
+    pub superstep: usize,
+}
+
+/// Summary of a completed (un-killed) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BspOutcome {
+    /// Supersteps executed, counting any replayed after a recovery.
+    pub supersteps: usize,
+    /// Messages sent across all supersteps of this `run` call.
+    pub messages: u64,
+}
+
+/// One shard's owner-private state. Guarded by a `Mutex` for safe
+/// hand-off across runs, but never contended: the owning worker is the
+/// only locker during a phase.
+struct ShardState<V> {
+    values: ShardValues<V>,
+    active: Vec<Node>,
+    next_active: Vec<Node>,
+    /// Dedup marks for `next_active`, one slot per local vertex.
+    marks: GenerationMarks,
+    /// Sum-mode accumulator scratch, one slot per local vertex.
+    acc: Vec<V>,
+}
+
+/// Per-run shared coordination state.
+struct Control {
+    barrier: Barrier,
+    /// Messages sent, whole run.
+    messages: AtomicU64,
+    /// Messages sent this superstep (leader swaps to zero).
+    step_messages: AtomicU64,
+    /// Fold mode: total next-frontier size this superstep.
+    active_total: AtomicUsize,
+    /// Sum mode: Σ delta_magnitude in 1e-12 fixed point this superstep.
+    delta_fixed: AtomicU64,
+    done: AtomicBool,
+    killed: AtomicBool,
+    killed_step: AtomicUsize,
+}
+
+/// The sharded BSP executor for one [`MessageProgram`].
+pub struct BspEngine<P: MessageProgram>
+where
+    P::Value: ValueCodec,
+{
+    program: P,
+    layout: ShardLayout,
+    shards: Vec<Mutex<ShardState<P::Value>>>,
+    mail: Mailboxes<P::Value>,
+    store: Mutex<CheckpointStore<P::Value>>,
+    /// Snapshot period, copied out of the config to keep the store lock
+    /// out of the leader's hot path.
+    period: usize,
+    superstep: AtomicUsize,
+    kill: Mutex<Option<KillSpec>>,
+}
+
+impl<P: MessageProgram> BspEngine<P>
+where
+    P::Value: ValueCodec,
+{
+    /// A new engine over `capacity` vertices in `shards` shards. Initial
+    /// values come from [`saga_algorithms::program::VertexProgram::initial`];
+    /// no vertex starts active — call [`reset_all_active`](Self::reset_all_active)
+    /// or [`set_active`](Self::set_active) before [`begin`](Self::begin).
+    pub fn new(program: P, capacity: usize, shards: usize, config: CheckpointConfig) -> Self {
+        let layout = ShardLayout::new(capacity, shards);
+        let shard_states = (0..shards)
+            .map(|s| {
+                let range = layout.range(s);
+                let data: Vec<P::Value> = range
+                    .clone()
+                    .map(|v| program.initial(v as Node, capacity))
+                    .collect();
+                Mutex::new(ShardState {
+                    values: ShardValues::from_vec(range.start, data),
+                    active: Vec::new(),
+                    next_active: Vec::new(),
+                    marks: GenerationMarks::new(range.len()),
+                    acc: Vec::new(),
+                })
+            })
+            .collect();
+        let period = config.period();
+        Self {
+            program,
+            layout,
+            shards: shard_states,
+            mail: Mailboxes::new(shards),
+            store: Mutex::new(CheckpointStore::new(config)),
+            period,
+            superstep: AtomicUsize::new(0),
+            kill: Mutex::new(None),
+        }
+    }
+
+    /// The vertex → shard mapping.
+    pub fn layout(&self) -> &ShardLayout {
+        &self.layout
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &P {
+        &self.program
+    }
+
+    /// Number of checkpoints published so far.
+    pub fn checkpoints_published(&self) -> usize {
+        self.store.lock().published()
+    }
+
+    /// Arms a one-shot fault injection for the next run.
+    pub fn arm_kill(&mut self, spec: KillSpec) {
+        *self.kill.lock() = Some(spec);
+    }
+
+    /// Resets every vertex to its initial value and marks all vertices
+    /// active — the from-scratch / full-recompute starting state.
+    pub fn reset_all_active(&mut self) {
+        let capacity = self.layout.capacity();
+        for (s, shard) in self.shards.iter().enumerate() {
+            let range = self.layout.range(s);
+            let mut st = shard.lock();
+            for v in range.clone() {
+                st.values.set(v, self.program.initial(v as Node, capacity));
+            }
+            st.active.clear();
+            st.active.extend(range.map(|v| v as Node));
+            st.next_active.clear();
+        }
+    }
+
+    /// Replaces shard `s`'s active list with `seeds` (global ids, each
+    /// owned by `s`). Values are left as-is — incremental runs resume
+    /// from the previous batch's converged state.
+    pub fn set_active(&mut self, s: usize, seeds: impl IntoIterator<Item = Node>) {
+        let range = self.layout.range(s);
+        let mut st = self.shards[s].lock();
+        st.active.clear();
+        st.active.extend(seeds);
+        debug_assert!(st
+            .active
+            .iter()
+            .all(|&v| range.contains(&(v as usize))));
+        st.next_active.clear();
+    }
+
+    /// Rewinds the superstep counter, discards stale messages, and
+    /// publishes the superstep-0 baseline checkpoint. Call after seeding
+    /// activity and before [`run`](Self::run).
+    pub fn begin(&mut self) {
+        self.mail.clear();
+        self.superstep.store(0, Ordering::Relaxed);
+        self.publish_checkpoint(0);
+    }
+
+    /// Runs supersteps to completion on `pool`. Returns `Err(Killed)` if
+    /// an armed [`KillSpec`] fired; the caller then restores the last
+    /// barrier snapshot with [`recover`](Self::recover) (or
+    /// [`recover_from_disk`](Self::recover_from_disk)) and re-runs.
+    pub fn run(&self, graph: &dyn GraphTopology, pool: &ThreadPool) -> Result<BspOutcome, Killed> {
+        let threads = pool.threads();
+        let nshards = self.layout.shards();
+        let mode = self.program.gather_mode();
+        let ctl = Control {
+            barrier: Barrier::new(threads),
+            messages: AtomicU64::new(0),
+            step_messages: AtomicU64::new(0),
+            active_total: AtomicUsize::new(0),
+            delta_fixed: AtomicU64::new(0),
+            done: AtomicBool::new(false),
+            killed: AtomicBool::new(false),
+            killed_step: AtomicUsize::new(0),
+        };
+        pool.run_on_all(|w| {
+            let mut bufs: Vec<Vec<(Node, P::Value)>> = (0..nshards).map(|_| Vec::new()).collect();
+            let mut neighbors: Vec<(Node, Weight)> = Vec::new();
+            loop {
+                let step = self.superstep.load(Ordering::Relaxed);
+                let _step_span =
+                    (w == 0).then(|| saga_trace::span!("bsp-superstep", step = step));
+                {
+                    let _span = saga_trace::span!("bsp-scatter", worker = w);
+                    let mut sent = 0u64;
+                    for s in (w..nshards).step_by(threads) {
+                        let limit = self.take_kill(step, s, KillPhase::Scatter).map(|_| {
+                            ctl.killed.store(true, Ordering::SeqCst);
+                            // Half the frontier's messages escape before
+                            // the worker "dies".
+                            self.shards[s].lock().active.len() / 2
+                        });
+                        sent += self.scatter_shard(graph, s, limit, &mut bufs, &mut neighbors);
+                    }
+                    ctl.step_messages.fetch_add(sent, Ordering::Relaxed);
+                }
+                ctl.barrier.wait();
+                {
+                    let _span = saga_trace::span!("bsp-gather", worker = w);
+                    for s in (w..nshards).step_by(threads) {
+                        let limit = self.take_kill(step, s, KillPhase::Gather).map(|_| {
+                            ctl.killed.store(true, Ordering::SeqCst);
+                            nshards / 2
+                        });
+                        match mode {
+                            GatherMode::Fold => {
+                                let (processed, activated) = self.gather_shard_fold(s, limit);
+                                metrics::indexed_counter("bsp.shard_messages", s).add(processed);
+                                ctl.active_total.fetch_add(activated, Ordering::Relaxed);
+                            }
+                            GatherMode::Sum => {
+                                let (processed, delta) = self.gather_shard_sum(s, limit);
+                                metrics::indexed_counter("bsp.shard_messages", s).add(processed);
+                                ctl.delta_fixed.fetch_add(delta, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+                if ctl.barrier.wait() {
+                    self.superstep_epilogue(step, &ctl, mode);
+                }
+                ctl.barrier.wait();
+                if ctl.done.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        });
+        if ctl.killed.load(Ordering::SeqCst) {
+            return Err(Killed {
+                superstep: ctl.killed_step.load(Ordering::SeqCst),
+            });
+        }
+        Ok(BspOutcome {
+            supersteps: self.superstep.load(Ordering::Relaxed),
+            messages: ctl.messages.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Restores the latest in-memory checkpoint: all shard values and
+    /// active lists, with every in-flight message discarded. Returns the
+    /// superstep the next [`run`](Self::run) resumes from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no checkpoint was ever published ([`begin`](Self::begin)
+    /// always publishes the superstep-0 baseline).
+    pub fn recover(&mut self) -> usize {
+        let cp = self
+            .store
+            .lock()
+            .latest()
+            .cloned()
+            .expect("no checkpoint to recover from");
+        self.restore(&cp)
+    }
+
+    /// Like [`recover`](Self::recover), but reads the newest checkpoint
+    /// file from the configured directory — the path a fully restarted
+    /// process takes.
+    pub fn recover_from_disk(&mut self) -> io::Result<usize> {
+        let dir = self
+            .store
+            .lock()
+            .config()
+            .dir
+            .clone()
+            .expect("disk checkpointing not configured");
+        let cp = CheckpointStore::<P::Value>::load_latest_from_disk(&dir)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, "no checkpoint files on disk")
+        })?;
+        Ok(self.restore(&cp))
+    }
+
+    /// All vertex values in global-id order (shard ranges tile the
+    /// universe, so plain concatenation is the identity permutation).
+    pub fn values_vec(&self) -> Vec<P::Value> {
+        let mut out = Vec::with_capacity(self.layout.capacity());
+        for shard in &self.shards {
+            out.extend_from_slice(shard.lock().values.as_slice());
+        }
+        out
+    }
+
+    fn restore(&mut self, cp: &Checkpoint<P::Value>) -> usize {
+        assert_eq!(
+            cp.values.len(),
+            self.shards.len(),
+            "checkpoint shard count mismatch"
+        );
+        for (s, shard) in self.shards.iter().enumerate() {
+            let mut st = shard.lock();
+            st.values.restore(&cp.values[s]);
+            st.active.clear();
+            st.active.extend_from_slice(&cp.active[s]);
+            st.next_active.clear();
+        }
+        self.mail.clear();
+        self.superstep.store(cp.superstep, Ordering::Relaxed);
+        cp.superstep
+    }
+
+    /// Consumes the armed kill spec iff it names this (step, shard, phase).
+    fn take_kill(&self, step: usize, shard: usize, phase: KillPhase) -> Option<KillSpec> {
+        let mut kill = self.kill.lock();
+        match *kill {
+            Some(k) if k.superstep == step && k.shard == shard && k.phase == phase => kill.take(),
+            _ => None,
+        }
+    }
+
+    /// Scatter phase for shard `s`: consume the active list, posting
+    /// messages along out-edges (plus in-edges for symmetric-scope
+    /// programs on directed graphs). `limit` caps the number of active
+    /// vertices processed — the kill simulation's "died mid-phase".
+    fn scatter_shard(
+        &self,
+        graph: &dyn GraphTopology,
+        s: usize,
+        limit: Option<usize>,
+        bufs: &mut [Vec<(Node, P::Value)>],
+        neighbors: &mut Vec<(Node, Weight)>,
+    ) -> u64 {
+        let scope_both = self.program.scope() == EdgeScope::Symmetric && graph.is_directed();
+        let need_degree = self.program.gather_mode() == GatherMode::Sum;
+        let mut st = self.shards[s].lock();
+        let st = &mut *st;
+        let take = limit.unwrap_or(st.active.len()).min(st.active.len());
+        let mut sent = 0u64;
+        for idx in 0..take {
+            let v = st.active[idx];
+            let value = st.values.get(v as usize);
+            // Collect-then-query: buffer the adjacency before touching the
+            // graph again (degree query) or the mailboxes — graph callbacks
+            // must not re-enter the structure.
+            neighbors.clear();
+            graph.for_each_out_neighbor(v, &mut |nb, w| neighbors.push((nb, w)));
+            if scope_both {
+                graph.for_each_in_neighbor(v, &mut |nb, w| neighbors.push((nb, w)));
+            }
+            if neighbors.is_empty() {
+                continue;
+            }
+            let out_degree = if need_degree { graph.out_degree(v) } else { 0 };
+            for &(nb, w) in neighbors.iter() {
+                if let Some(msg) = self.program.message(value, w, out_degree) {
+                    bufs[self.layout.shard_of(nb as usize)].push((nb, msg));
+                    sent += 1;
+                }
+            }
+        }
+        st.active.clear();
+        for (dst, buf) in bufs.iter_mut().enumerate() {
+            self.mail.post(s, dst, buf);
+        }
+        sent
+    }
+
+    /// Fold-mode gather for shard `s`: drain inbound cells in ascending
+    /// source-shard order, fold each message with `combine`, and build the
+    /// next frontier from significant changes. `limit` caps how many
+    /// source cells are drained (kill simulation). Returns
+    /// `(messages processed, next frontier size)`.
+    fn gather_shard_fold(&self, s: usize, limit: Option<usize>) -> (u64, usize) {
+        let nshards = self.layout.shards();
+        let base = self.layout.range(s).start;
+        let drain = limit.unwrap_or(nshards).min(nshards);
+        let mut st = self.shards[s].lock();
+        let st = &mut *st;
+        st.marks.next_generation();
+        st.next_active.clear();
+        let mut processed = 0u64;
+        for src in 0..drain {
+            for (v, msg) in self.mail.take(src, s) {
+                processed += 1;
+                let old = st.values.get(v as usize);
+                let new = self.program.combine(old, msg);
+                if self.program.significant_change(old, new) {
+                    st.values.set(v as usize, new);
+                    if st.marks.try_mark(v as usize - base) {
+                        st.next_active.push(v);
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut st.active, &mut st.next_active);
+        (processed, st.active.len())
+    }
+
+    /// Sum-mode gather for shard `s`: accumulate all inbound messages into
+    /// the per-vertex accumulator (fixed source-shard order — float sums
+    /// stay deterministic), then apply `finish` to every local vertex.
+    /// Every vertex stays active. Returns `(messages processed, Σ
+    /// delta_magnitude in 1e-12 fixed point)`. A `limit` kill abandons the
+    /// shard before the finish sweep, leaving values untouched.
+    fn gather_shard_sum(&self, s: usize, limit: Option<usize>) -> (u64, u64) {
+        let nshards = self.layout.shards();
+        let range = self.layout.range(s);
+        let base = range.start;
+        let mut st = self.shards[s].lock();
+        let st = &mut *st;
+        st.acc.clear();
+        st.acc.resize(range.len(), self.program.zero());
+        let mut processed = 0u64;
+        let drain = limit.unwrap_or(nshards).min(nshards);
+        for src in 0..drain {
+            for (v, msg) in self.mail.take(src, s) {
+                let i = v as usize - base;
+                st.acc[i] = self.program.add(st.acc[i], msg);
+                processed += 1;
+            }
+        }
+        if limit.is_some() {
+            return (processed, 0);
+        }
+        let mut delta = 0u64;
+        for i in 0..range.len() {
+            let v = base + i;
+            let old = st.values.get(v);
+            let new = self.program.finish(st.acc[i]);
+            if new != old {
+                st.values.set(v, new);
+                delta += (self.program.delta_magnitude(old, new) * 1e12).round() as u64;
+            }
+        }
+        st.active.clear();
+        st.active.extend(range.map(|v| v as Node));
+        (processed, delta)
+    }
+
+    /// Leader-only work between the gather barrier and the release
+    /// barrier: metrics, termination, superstep advance, checkpointing.
+    fn superstep_epilogue(&self, step: usize, ctl: &Control, mode: GatherMode) {
+        let sent = ctl.step_messages.swap(0, Ordering::Relaxed);
+        ctl.messages.fetch_add(sent, Ordering::Relaxed);
+        metrics::histogram("bsp.superstep_messages").record(sent);
+        metrics::counter("bsp.supersteps").incr();
+        let active = ctl.active_total.swap(0, Ordering::Relaxed);
+        let delta = ctl.delta_fixed.swap(0, Ordering::Relaxed);
+        if ctl.killed.load(Ordering::SeqCst) {
+            // The superstep's state is poisoned: don't advance, don't
+            // checkpoint — the caller recovers from the last barrier.
+            ctl.killed_step.store(step, Ordering::SeqCst);
+            ctl.done.store(true, Ordering::SeqCst);
+            return;
+        }
+        let next = step + 1;
+        self.superstep.store(next, Ordering::Relaxed);
+        let done = match mode {
+            GatherMode::Fold => active == 0,
+            GatherMode::Sum => {
+                (delta as f64 / 1e12) < self.program.sum_tolerance()
+                    || next >= self.program.max_supersteps()
+            }
+        };
+        if done {
+            ctl.done.store(true, Ordering::SeqCst);
+        } else if next.is_multiple_of(self.period) {
+            self.publish_checkpoint(next);
+        }
+    }
+
+    /// Snapshots every shard (sequential walk — callers hold no shard
+    /// locks here) and publishes to the store.
+    fn publish_checkpoint(&self, step: usize) {
+        let mut values = Vec::with_capacity(self.shards.len());
+        let mut active = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let st = shard.lock();
+            values.push(st.values.as_slice().to_vec());
+            active.push(st.active.clone());
+        }
+        let cp = Checkpoint {
+            superstep: step,
+            values,
+            active,
+        };
+        if let Err(e) = self.store.lock().publish(cp) {
+            saga_trace::progress!("bsp: checkpoint {step} not mirrored to disk: {e}");
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Sharded bulk-synchronous-parallel (BSP) execution for SAGA-Bench.
+//!
+//! The serial compute path (`saga-algorithms`) runs each vertex program as
+//! a pull-based sweep over one shared property array. This crate runs the
+//! *same* programs owner-computes style: the vertex universe is cut into
+//! contiguous shards ([`layout::ShardLayout`]), each shard keeps its
+//! property values in a private dense array
+//! ([`saga_graph::properties::ShardValues`]), and supersteps alternate a
+//! scatter phase (push-form messages into per-shard-pair mailboxes,
+//! [`mailbox::Mailboxes`]) with a gather phase (fold or sum the inbox into
+//! shard state) separated by a leader-electing barrier
+//! ([`saga_utils::barrier::Barrier`]).
+//!
+//! At every gather-end barrier the mailboxes are empty by construction,
+//! so the engine snapshots shard state there
+//! ([`checkpoint::CheckpointStore`], optionally mirrored to disk). A
+//! worker killed mid-superstep ([`engine::KillSpec`]) is restarted from
+//! the last barrier and — because every mailbox cell has one writer and
+//! one reader per superstep, drained in fixed order — finishes with
+//! **bitwise-identical** results. `saga-check` asserts both properties:
+//! sharded-vs-serial agreement and kill-and-recover equality.
+//!
+//! [`ShardedState`] is the driver-facing wrapper mirroring
+//! [`saga_algorithms::AlgorithmState`]: it picks the engine for an
+//! [`AlgorithmKind`], routes per-batch seed sets to their shards with the
+//! radix [`Partitioner`], and maps BSP outcomes back onto
+//! [`ComputeOutcome`].
+
+pub mod checkpoint;
+pub mod engine;
+pub mod layout;
+pub mod mailbox;
+
+pub use checkpoint::CheckpointConfig;
+pub use engine::{BspOutcome, KillPhase, KillSpec, Killed};
+
+use crate::checkpoint::ValueCodec;
+use crate::engine::BspEngine;
+use crate::layout::ShardLayout;
+use saga_algorithms::message::MessageProgram;
+use saga_algorithms::{
+    bfs::BfsProgram, cc::CcProgram, mc::McProgram, pr::PrProgram, sssp::SsspProgram,
+    sswp::SswpProgram,
+};
+use saga_algorithms::{AlgorithmKind, AlgorithmParams, ComputeModelKind, ComputeOutcome, VertexValues};
+use saga_graph::{GraphTopology, Node};
+use saga_utils::parallel::ThreadPool;
+use saga_utils::partition::Partitioner;
+
+enum Inner {
+    Bfs(BspEngine<BfsProgram>),
+    Cc(BspEngine<CcProgram>),
+    Mc(BspEngine<McProgram>),
+    Pr(BspEngine<PrProgram>),
+    Sssp(BspEngine<SsspProgram>),
+    Sswp(BspEngine<SswpProgram>),
+}
+
+macro_rules! with_engine {
+    ($inner:expr, $e:ident => $body:expr) => {
+        match $inner {
+            Inner::Bfs($e) => $body,
+            Inner::Cc($e) => $body,
+            Inner::Mc($e) => $body,
+            Inner::Pr($e) => $body,
+            Inner::Sssp($e) => $body,
+            Inner::Sswp($e) => $body,
+        }
+    };
+}
+
+/// Sharded counterpart of [`saga_algorithms::AlgorithmState`]: the same
+/// algorithm kinds and parameters, executed by the BSP engine.
+pub struct ShardedState {
+    kind: AlgorithmKind,
+    model: ComputeModelKind,
+    capacity: usize,
+    shards: usize,
+    /// Radix router for per-batch seed sets (reused across batches, so
+    /// its internal index buffers amortize like the ingest partitioner's).
+    partitioner: Partitioner,
+    recoveries: usize,
+    inner: Inner,
+}
+
+impl std::fmt::Debug for ShardedState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedState")
+            .field("kind", &self.kind)
+            .field("model", &self.model)
+            .field("capacity", &self.capacity)
+            .field("shards", &self.shards)
+            .finish()
+    }
+}
+
+impl ShardedState {
+    /// Creates a sharded state over a fixed `capacity`-vertex universe cut
+    /// into `shards` shards, with the same program construction as
+    /// [`saga_algorithms::AlgorithmState::new`].
+    pub fn new(
+        kind: AlgorithmKind,
+        model: ComputeModelKind,
+        capacity: usize,
+        shards: usize,
+        params: AlgorithmParams,
+        checkpoints: CheckpointConfig,
+    ) -> Self {
+        let inner = match kind {
+            AlgorithmKind::Bfs => Inner::Bfs(BspEngine::new(
+                BfsProgram::new(params.root),
+                capacity,
+                shards,
+                checkpoints,
+            )),
+            AlgorithmKind::Cc => Inner::Cc(BspEngine::new(
+                CcProgram::new(),
+                capacity,
+                shards,
+                checkpoints,
+            )),
+            AlgorithmKind::Mc => Inner::Mc(BspEngine::new(
+                McProgram::new(),
+                capacity,
+                shards,
+                checkpoints,
+            )),
+            AlgorithmKind::PageRank => Inner::Pr(BspEngine::new(
+                PrProgram::new(capacity)
+                    .with_epsilon(params.pr_epsilon)
+                    .with_fs_tolerance(params.pr_fs_tolerance),
+                capacity,
+                shards,
+                checkpoints,
+            )),
+            AlgorithmKind::Sssp => Inner::Sssp(BspEngine::new(
+                SsspProgram::new(params.root).with_delta(params.sssp_delta),
+                capacity,
+                shards,
+                checkpoints,
+            )),
+            AlgorithmKind::Sswp => Inner::Sswp(BspEngine::new(
+                SswpProgram::new(params.root),
+                capacity,
+                shards,
+                checkpoints,
+            )),
+        };
+        Self {
+            kind,
+            model,
+            capacity,
+            shards,
+            partitioner: Partitioner::new(),
+            recoveries: 0,
+            inner,
+        }
+    }
+
+    /// Which algorithm this state runs.
+    pub fn kind(&self) -> AlgorithmKind {
+        self.kind
+    }
+
+    /// Which compute model this state uses.
+    pub fn model(&self) -> ComputeModelKind {
+        self.model
+    }
+
+    /// Number of vertices in the universe.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// How many kill-and-recover cycles have happened so far.
+    pub fn recoveries(&self) -> usize {
+        self.recoveries
+    }
+
+    /// Whether batch sources' existing out-neighbors must be seeded as
+    /// affected (mirrors [`saga_algorithms::AlgorithmState`]'s tracker
+    /// wiring; the answer comes from the same program trait).
+    pub fn affects_source_neighborhood(&self) -> bool {
+        use saga_algorithms::program::VertexProgram;
+        with_engine!(&self.inner, e => e.program().affects_source_neighborhood())
+    }
+
+    /// Whether the program reduces over both edge directions
+    /// ([`saga_algorithms::program::EdgeScope::Symmetric`], i.e. CC).
+    pub fn symmetric_scope(&self) -> bool {
+        use saga_algorithms::program::{EdgeScope, VertexProgram};
+        with_engine!(&self.inner, e => e.program().scope() == EdgeScope::Symmetric)
+    }
+
+    /// Checkpoints published across all batches so far.
+    pub fn checkpoints_published(&self) -> usize {
+        with_engine!(&self.inner, e => e.checkpoints_published())
+    }
+
+    /// Arms a one-shot simulated worker kill for the next batch's run.
+    pub fn inject_kill(&mut self, spec: KillSpec) {
+        with_engine!(&mut self.inner, e => e.arm_kill(spec));
+    }
+
+    /// Runs the compute phase for one update batch — the sharded
+    /// counterpart of [`saga_algorithms::AlgorithmState::perform_alg`].
+    ///
+    /// Incremental fold-mode batches without deletions seed the frontier
+    /// from `affected` (the tracker marks both endpoints of every insert,
+    /// so push-form propagation from the seeds covers every new edge).
+    /// From-scratch batches, PageRank (whole-graph power iteration), and
+    /// any batch with deletions (monotone fold state cannot be repaired
+    /// by pushing) recompute from initial values with all vertices
+    /// active; the latter case reports `fs_fallback`.
+    ///
+    /// A run interrupted by an armed [`KillSpec`] is recovered from the
+    /// latest superstep checkpoint and re-run to completion — the outcome
+    /// then counts the replayed supersteps too.
+    pub fn perform_batch(
+        &mut self,
+        graph: &dyn GraphTopology,
+        affected: &[Node],
+        had_deletes: bool,
+        pool: &ThreadPool,
+    ) -> ComputeOutcome {
+        let full = self.model == ComputeModelKind::FromScratch
+            || self.kind == AlgorithmKind::PageRank
+            || had_deletes;
+        if !full {
+            let layout = ShardLayout::new(self.capacity, self.shards);
+            self.partitioner
+                .partition(pool, affected.len(), self.shards, |i| {
+                    layout.shard_of(affected[i] as usize)
+                });
+        }
+        let partitioner = &self.partitioner;
+        let recoveries = &mut self.recoveries;
+        let outcome = with_engine!(
+            &mut self.inner,
+            e => run_engine(e, graph, pool, full, affected, partitioner, recoveries)
+        );
+        ComputeOutcome {
+            iterations: outcome.supersteps,
+            recomputed: outcome.messages as usize,
+            triggered: 0,
+            repaired: 0,
+            fs_fallback: had_deletes
+                && self.model == ComputeModelKind::Incremental
+                && self.kind != AlgorithmKind::PageRank,
+        }
+    }
+
+    /// Current vertex values in global-id order.
+    pub fn values(&self) -> VertexValues {
+        match &self.inner {
+            Inner::Bfs(e) => VertexValues::U32(e.values_vec()),
+            Inner::Cc(e) => VertexValues::U32(e.values_vec()),
+            Inner::Mc(e) => VertexValues::U32(e.values_vec()),
+            Inner::Pr(e) => VertexValues::F64(e.values_vec()),
+            Inner::Sssp(e) => VertexValues::F32(e.values_vec()),
+            Inner::Sswp(e) => VertexValues::F32(e.values_vec()),
+        }
+    }
+}
+
+/// Seeds, runs, and (if a kill fires) recovers one engine to completion.
+fn run_engine<P: MessageProgram>(
+    engine: &mut BspEngine<P>,
+    graph: &dyn GraphTopology,
+    pool: &ThreadPool,
+    full: bool,
+    seeds: &[Node],
+    partitioner: &Partitioner,
+    recoveries: &mut usize,
+) -> BspOutcome
+where
+    P::Value: ValueCodec,
+{
+    if full {
+        engine.reset_all_active();
+    } else {
+        let shards = engine.layout().shards();
+        for s in 0..shards {
+            engine.set_active(s, partitioner.bucket(s).iter().map(|&i| seeds[i as usize]));
+        }
+    }
+    engine.begin();
+    match engine.run(graph, pool) {
+        Ok(outcome) => outcome,
+        Err(_killed) => {
+            *recoveries += 1;
+            engine.recover();
+            engine
+                .run(graph, pool)
+                .expect("kill specs are one-shot: the recovered run cannot be killed again")
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! End-to-end checks for the sharded BSP layer: serial-oracle agreement,
+//! kill-and-recover determinism, and the on-disk checkpoint path.
+
+use saga_algorithms::bfs::BfsProgram;
+use saga_bsp::checkpoint::{Checkpoint, CheckpointConfig, CheckpointStore};
+use saga_bsp::engine::BspEngine;
+use saga_bsp::{KillPhase, KillSpec, ShardedState};
+use saga_algorithms::{
+    AlgorithmKind, AlgorithmParams, AlgorithmState, ComputeModelKind, VertexValues,
+};
+use saga_graph::{build_graph, DataStructureKind, DynamicGraph, Edge};
+use saga_utils::parallel::ThreadPool;
+use std::path::PathBuf;
+
+/// A deterministic pseudo-random directed edge list with weights in
+/// (0, 1]; dense enough that BFS/CC reach most vertices from the root.
+fn sample_edges(n: usize, edges: usize, seed: u64) -> Vec<Edge> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        // xorshift64* — good enough for test-graph shapes.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    };
+    (0..edges)
+        .map(|_| {
+            let src = (next() % n as u64) as u32;
+            let dst = (next() % n as u64) as u32;
+            let weight = ((next() % 1000) + 1) as f32 / 1000.0;
+            Edge::new(src, dst, weight)
+        })
+        .collect()
+}
+
+fn build_loaded(n: usize, edges: &[Edge], pool: &ThreadPool) -> Box<dyn DynamicGraph> {
+    let graph = build_graph(DataStructureKind::AdjacencyShared, n, true, 1);
+    graph.update_batch(edges, pool);
+    graph
+}
+
+fn params() -> AlgorithmParams {
+    // Tight PR tolerances: the serial in-place sweep and the BSP Jacobi
+    // iteration only agree at convergence, not per-iteration.
+    AlgorithmParams {
+        pr_fs_tolerance: 1e-10,
+        pr_epsilon: 1e-12,
+        ..AlgorithmParams::default()
+    }
+}
+
+fn assert_values_close(kind: AlgorithmKind, sharded: &VertexValues, serial: &VertexValues) {
+    match (sharded, serial) {
+        (VertexValues::U32(a), VertexValues::U32(b)) => assert_eq!(a, b, "{kind:?}"),
+        (VertexValues::F32(a), VertexValues::F32(b)) => {
+            assert_eq!(a.len(), b.len(), "{kind:?}");
+            for (v, (x, y)) in a.iter().zip(b).enumerate() {
+                assert!(
+                    x == y || (x - y).abs() <= 1e-5,
+                    "{kind:?} vertex {v}: sharded {x} vs serial {y}"
+                );
+            }
+        }
+        (VertexValues::F64(a), VertexValues::F64(b)) => {
+            assert_eq!(a.len(), b.len(), "{kind:?}");
+            for (v, (x, y)) in a.iter().zip(b).enumerate() {
+                assert!(
+                    (x - y).abs() <= 1e-8,
+                    "{kind:?} vertex {v}: sharded {x} vs serial {y}"
+                );
+            }
+        }
+        _ => panic!("{kind:?}: value type mismatch"),
+    }
+}
+
+#[test]
+fn sharded_fs_matches_serial_oracle_on_all_algorithms() {
+    let pool = ThreadPool::new(4);
+    let n = 120;
+    let edges = sample_edges(n, 700, 0xBEEF);
+    let graph = build_loaded(n, &edges, &pool);
+    for kind in AlgorithmKind::ALL {
+        let mut serial =
+            AlgorithmState::new(kind, ComputeModelKind::FromScratch, n, params());
+        serial.perform_alg(graph.as_ref(), &[], &[], &pool);
+        let mut sharded = ShardedState::new(
+            kind,
+            ComputeModelKind::FromScratch,
+            n,
+            5,
+            params(),
+            CheckpointConfig::default(),
+        );
+        sharded.perform_batch(graph.as_ref(), &[], false, &pool);
+        assert_values_close(kind, &sharded.values(), &serial.values());
+    }
+}
+
+#[test]
+fn sharded_incremental_tracks_serial_across_batches() {
+    let pool = ThreadPool::new(3);
+    let n = 100;
+    let all = sample_edges(n, 600, 0xFEED);
+    for kind in AlgorithmKind::ALL {
+        let graph = build_graph(DataStructureKind::AdjacencyShared, n, true, 1);
+        let mut tracker = saga_algorithms::AffectedTracker::new(n);
+        let mut serial =
+            AlgorithmState::new(kind, ComputeModelKind::Incremental, n, params());
+        let mut sharded = ShardedState::new(
+            kind,
+            ComputeModelKind::Incremental,
+            n,
+            4,
+            params(),
+            CheckpointConfig::default(),
+        );
+        for batch in all.chunks(150) {
+            graph.update_batch(batch, &pool);
+            let impact = tracker.process_mixed_batch(
+                graph.as_ref(),
+                batch,
+                &[],
+                serial.affects_source_neighborhood(),
+                false,
+                &pool,
+            );
+            serial.perform_alg(graph.as_ref(), &impact.affected, &impact.new_vertices, &pool);
+            sharded.perform_batch(graph.as_ref(), &impact.affected, false, &pool);
+            assert_values_close(kind, &sharded.values(), &serial.values());
+        }
+    }
+}
+
+#[test]
+fn kill_and_recover_is_bitwise_identical() {
+    let pool = ThreadPool::new(4);
+    let n = 150;
+    let edges = sample_edges(n, 900, 0xC0FFEE);
+    let graph = build_loaded(n, &edges, &pool);
+    for kind in AlgorithmKind::ALL {
+        for phase in [KillPhase::Scatter, KillPhase::Gather] {
+            let make = || {
+                ShardedState::new(
+                    kind,
+                    ComputeModelKind::FromScratch,
+                    n,
+                    5,
+                    params(),
+                    CheckpointConfig::default(),
+                )
+            };
+            let mut baseline = make();
+            baseline.perform_batch(graph.as_ref(), &[], false, &pool);
+            let mut victim = make();
+            victim.inject_kill(KillSpec {
+                superstep: 1,
+                shard: 2,
+                phase,
+            });
+            victim.perform_batch(graph.as_ref(), &[], false, &pool);
+            assert_eq!(victim.recoveries(), 1, "{kind:?}/{phase:?}: kill must fire");
+            // Bitwise: recovery restores the last barrier snapshot and
+            // replays, so even float values must match exactly.
+            assert_eq!(
+                victim.values(),
+                baseline.values(),
+                "{kind:?}/{phase:?}: recovered run diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn disk_checkpoints_roundtrip_and_pick_the_newest() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("bsp-ckpt-roundtrip");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(
+        std::fs::create_dir_all(&dir).is_ok()
+            && CheckpointStore::<f64>::load_latest_from_disk(&dir)
+                .unwrap()
+                .is_none(),
+        "empty dir loads None"
+    );
+    let mut store: CheckpointStore<f64> = CheckpointStore::new(CheckpointConfig {
+        interval: 1,
+        dir: Some(dir.clone()),
+    });
+    let older = Checkpoint {
+        superstep: 3,
+        values: vec![vec![0.25, f64::NEG_INFINITY], vec![1e-300]],
+        active: vec![vec![0, 1], vec![]],
+    };
+    let newer = Checkpoint {
+        superstep: 12,
+        values: vec![vec![-0.5, 2.0], vec![f64::INFINITY]],
+        active: vec![vec![], vec![2]],
+    };
+    // Publish out of order: newest-by-superstep must win, not last-written.
+    store.publish(newer.clone()).unwrap();
+    store.publish(older).unwrap();
+    let loaded = CheckpointStore::<f64>::load_latest_from_disk(&dir)
+        .unwrap()
+        .expect("two files on disk");
+    assert_eq!(loaded, newer);
+}
+
+#[test]
+fn recover_from_disk_survives_a_process_restart() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("bsp-ckpt-restart");
+    let _ = std::fs::remove_dir_all(&dir);
+    let pool = ThreadPool::new(3);
+    let n = 90;
+    let edges = sample_edges(n, 500, 0xDADA);
+    let graph = build_loaded(n, &edges, &pool);
+    let config = || CheckpointConfig {
+        interval: 1,
+        dir: Some(dir.clone()),
+    };
+    let mut baseline = BspEngine::new(BfsProgram::new(0), n, 4, CheckpointConfig::default());
+    baseline.reset_all_active();
+    baseline.begin();
+    baseline.run(graph.as_ref(), &pool).unwrap();
+
+    let mut victim = BspEngine::new(BfsProgram::new(0), n, 4, config());
+    victim.arm_kill(KillSpec {
+        superstep: 1,
+        shard: 1,
+        phase: KillPhase::Gather,
+    });
+    victim.reset_all_active();
+    victim.begin();
+    let err = victim.run(graph.as_ref(), &pool).unwrap_err();
+    assert_eq!(err.superstep, 1);
+
+    // "Restart the process": a brand-new engine with no in-memory state,
+    // pointed at the same checkpoint directory.
+    let mut restarted = BspEngine::new(BfsProgram::new(0), n, 4, config());
+    let resumed_at = restarted.recover_from_disk().unwrap();
+    assert!(resumed_at <= 1, "kill at superstep 1 leaves a checkpoint at or before it");
+    restarted.run(graph.as_ref(), &pool).unwrap();
+    assert_eq!(restarted.values_vec(), baseline.values_vec());
+}

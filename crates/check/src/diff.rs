@@ -28,17 +28,25 @@ pub enum DriverKind {
     Serial,
     /// Interleaved, with radix-partitioned ingest forced on.
     Partitioned,
+    /// Interleaved, compute on the sharded BSP engine (`saga-bsp`).
+    Sharded,
     /// Update ∥ compute pipelining on CSR snapshots (INC only).
     Pipelined,
 }
 
 impl DriverKind {
     /// Every driver path.
-    pub const ALL: [DriverKind; 3] = [
+    pub const ALL: [DriverKind; 4] = [
         DriverKind::Serial,
         DriverKind::Partitioned,
+        DriverKind::Sharded,
         DriverKind::Pipelined,
     ];
+
+    /// Shard count the differential `Sharded` runs use: deliberately
+    /// coprime with the checker's thread counts so worker→shard
+    /// assignment wraps.
+    pub const DIFF_SHARDS: usize = 3;
 }
 
 /// A deliberate bug injected into one structure's input stream — a pure
@@ -158,7 +166,7 @@ struct BatchModel {
 /// Algorithm tunables shared by every run and the reference: tight PR
 /// tolerances so FS and INC converge to comparable fixpoints (the same
 /// settings the churn differential suite uses).
-fn params(root: saga_graph::Node) -> AlgorithmParams {
+pub(crate) fn params(root: saga_graph::Node) -> AlgorithmParams {
     AlgorithmParams {
         root,
         pr_epsilon: 1e-11,
@@ -262,9 +270,10 @@ fn counts_diff(
 }
 
 /// Checks one program differentially across all 5 structures (the paper's
-/// four plus the delta-CSR extension) × {serial, partitioned} × {FS, INC}
-/// plus the pipelined INC driver, returning the first divergence found (or
-/// `None` when every combination agrees with the oracle model).
+/// four plus the delta-CSR extension) × {serial, partitioned, sharded BSP}
+/// × {FS, INC} plus the pipelined INC driver, returning the first
+/// divergence found (or `None` when every combination agrees with the
+/// oracle model).
 ///
 /// DeltaCsr rides the same matrix as the paper structures, which in
 /// particular replays every program *through compaction boundaries*: any
@@ -302,7 +311,11 @@ pub fn check_program(program: &OpProgram, config: &CheckConfig) -> Option<Diverg
             });
         }
 
-        for driver in [DriverKind::Serial, DriverKind::Partitioned] {
+        for driver in [
+            DriverKind::Serial,
+            DriverKind::Partitioned,
+            DriverKind::Sharded,
+        ] {
             for model_kind in ComputeModelKind::ALL {
                 if let Some(d) = check_interleaved(
                     program, stream, &model, &oracle, ds, driver, model_kind, root, config,
@@ -330,14 +343,17 @@ fn check_interleaved(
     root: saga_graph::Node,
     config: &CheckConfig,
 ) -> Option<Divergence> {
-    let mut d = StreamDriver::builder(ds, program.capacity)
+    let mut builder = StreamDriver::builder(ds, program.capacity)
         .algorithm(config.algorithm)
         .compute_model(model_kind)
         .threads(config.threads)
         .root(root)
         .params(params(root))
-        .partitioned_ingest(driver == DriverKind::Partitioned)
-        .build();
+        .partitioned_ingest(driver == DriverKind::Partitioned);
+    if driver == DriverKind::Sharded {
+        builder = builder.sharded(DriverKind::DIFF_SHARDS);
+    }
+    let mut d = builder.build();
     let first: RefCell<Option<Divergence>> = RefCell::new(None);
     let divergence = |batch: Option<usize>, detail: String| Divergence {
         structure: ds,

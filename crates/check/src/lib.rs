@@ -22,15 +22,24 @@
 //! A fourth, smaller layer ([`tracecheck`]) validates `saga-trace`'s
 //! exported Chrome trace-event JSON (shape + strict per-track span
 //! nesting) for `cargo xtask check-trace` and CI's trace-smoke step.
+//!
+//! A fifth layer ([`recovery`]) targets the sharded BSP engine
+//! (`saga-bsp`): it arms a mid-superstep worker kill, lets the engine
+//! recover from its superstep-boundary checkpoint, and requires the
+//! recovered run to be *bitwise identical* to an uninterrupted twin while
+//! both track the serial oracle — CI's `recovery-smoke` job runs the
+//! extended version.
 
 pub mod diff;
 pub mod json;
 pub mod program;
+pub mod recovery;
 pub mod shape;
 pub mod shrink;
 pub mod tracecheck;
 
 pub use diff::{check_program, CheckConfig, Divergence, DriverKind, Fault, FaultPlan};
+pub use recovery::{check_recovery, RecoveryConfig};
 pub use program::{OpProgram, ProgramProfile};
 pub use shrink::{shrink, ShrinkResult};
 

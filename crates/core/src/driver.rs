@@ -17,6 +17,7 @@ use saga_algorithms::{
     AffectedTracker, AlgorithmKind, AlgorithmParams, AlgorithmState, ComputeModelKind,
     ComputeOutcome, VertexValues,
 };
+use saga_bsp::{CheckpointConfig, ShardedState};
 use saga_graph::{build_deletable_graph_with, DataStructureKind, Node};
 use saga_perf::bandwidth::{estimate, BandwidthEstimate, TimeModel};
 use saga_perf::cache::{CacheReport, HierarchyConfig, MemoryHierarchy};
@@ -117,6 +118,50 @@ impl StreamOutcome {
     }
 }
 
+/// The compute state behind a run: the serial pull-based path or the
+/// sharded BSP engine. Observers receive a borrow of whichever is live.
+#[derive(Debug)]
+enum ComputeState {
+    Serial(AlgorithmState),
+    Sharded(Box<ShardedState>),
+}
+
+/// Borrow of the driver's live compute state, handed to
+/// [`StreamDriver::run_observed`] observers after every batch.
+#[derive(Debug, Clone, Copy)]
+pub enum ComputeStateRef<'a> {
+    /// The serial pull-based path ([`AlgorithmState`]).
+    Serial(&'a AlgorithmState),
+    /// The sharded BSP path ([`ShardedState`]).
+    Sharded(&'a ShardedState),
+}
+
+impl ComputeStateRef<'_> {
+    /// Current vertex property values.
+    pub fn values(&self) -> VertexValues {
+        match self {
+            ComputeStateRef::Serial(s) => s.values(),
+            ComputeStateRef::Sharded(s) => s.values(),
+        }
+    }
+
+    /// The serial state, when this run uses the serial path.
+    pub fn as_serial(&self) -> Option<&AlgorithmState> {
+        match self {
+            ComputeStateRef::Serial(s) => Some(s),
+            ComputeStateRef::Sharded(_) => None,
+        }
+    }
+
+    /// The sharded state, when this run uses the BSP path.
+    pub fn as_sharded(&self) -> Option<&ShardedState> {
+        match self {
+            ComputeStateRef::Serial(_) => None,
+            ComputeStateRef::Sharded(s) => Some(s),
+        }
+    }
+}
+
 /// Builder for [`StreamDriver`].
 #[derive(Debug, Clone)]
 pub struct StreamDriverBuilder {
@@ -130,6 +175,7 @@ pub struct StreamDriverBuilder {
     params: AlgorithmParams,
     arch_sim: Option<ArchSimConfig>,
     partitioned_ingest: bool,
+    sharded: Option<usize>,
 }
 
 impl StreamDriverBuilder {
@@ -181,6 +227,17 @@ impl StreamDriverBuilder {
     /// AC and DAH always partition, so the flag is a no-op there.
     pub fn partitioned_ingest(mut self, enabled: bool) -> Self {
         self.partitioned_ingest = enabled;
+        self
+    }
+
+    /// Runs the compute phase on the sharded BSP engine (`saga-bsp`) with
+    /// `shards` shards instead of the serial pull-based path (default:
+    /// serial). The BSP path checkpoints shard state at every superstep
+    /// barrier, so a simulated worker kill
+    /// ([`saga_bsp::ShardedState::inject_kill`]) recovers to bitwise-
+    /// identical results — `saga-check`'s recovery harness exercises this.
+    pub fn sharded(mut self, shards: usize) -> Self {
+        self.sharded = Some(shards.max(1));
         self
     }
 
@@ -238,6 +295,7 @@ impl StreamDriver {
             params: AlgorithmParams::default(),
             arch_sim: None,
             partitioned_ingest: false,
+            sharded: None,
         }
     }
 
@@ -253,13 +311,14 @@ impl StreamDriver {
     }
 
     /// Like [`StreamDriver::run`], but invokes `observer` after every batch
-    /// with the batch's record, the live graph, and the algorithm state.
+    /// with the batch's record, the live graph, and the compute state
+    /// (serial or sharded, depending on the builder).
     /// The differential checker in `saga-check` uses this to compare
     /// intermediate topology and property values against its model after
     /// each batch instead of only at the end of the stream.
     pub fn run_observed<F>(&mut self, stream: &EdgeStream, mut observer: F) -> StreamOutcome
     where
-        F: FnMut(&BatchRecord, &dyn saga_graph::DynamicGraph, &AlgorithmState),
+        F: FnMut(&BatchRecord, &dyn saga_graph::DynamicGraph, ComputeStateRef<'_>),
     {
         let cfg = &self.builder;
         let capacity = cfg.capacity.max(stream.num_nodes);
@@ -274,7 +333,22 @@ impl StreamDriver {
         params.root = cfg
             .root
             .unwrap_or_else(|| stream.edges.first().map(|e| e.src).unwrap_or(0));
-        let mut state = AlgorithmState::new(cfg.algorithm, cfg.compute_model, capacity, params);
+        let mut state = match cfg.sharded {
+            Some(shards) => ComputeState::Sharded(Box::new(ShardedState::new(
+                cfg.algorithm,
+                cfg.compute_model,
+                capacity,
+                shards,
+                params,
+                CheckpointConfig::default(),
+            ))),
+            None => ComputeState::Serial(AlgorithmState::new(
+                cfg.algorithm,
+                cfg.compute_model,
+                capacity,
+                params,
+            )),
+        };
         let mut tracker = AffectedTracker::new(capacity);
         let batch_size = cfg.batch_size.unwrap_or(stream.suggested_batch_size);
 
@@ -287,8 +361,10 @@ impl StreamDriver {
             MemoryHierarchy::new(config, self.pool.threads())
         });
 
-        let needs_seed_neighborhood = state.affects_source_neighborhood();
-        let seed_delete_neighborhoods = state.symmetric_scope();
+        let (needs_seed_neighborhood, seed_delete_neighborhoods) = match &state {
+            ComputeState::Serial(s) => (s.affects_source_neighborhood(), s.symmetric_scope()),
+            ComputeState::Sharded(s) => (s.affects_source_neighborhood(), s.symmetric_scope()),
+        };
         let incremental = cfg.compute_model == ComputeModelKind::Incremental;
         // The bandwidth model always prices against the paper's machine,
         // regardless of any cache_scale override of the hierarchy itself.
@@ -360,27 +436,31 @@ impl StreamDriver {
                 saga_trace::span!("compute", affected = impact.affected.len() as u64);
             let mut compute_trace = None;
             let sw = Stopwatch::start();
-            let compute = if hierarchy.is_some() {
-                let mut out = None;
-                let trace = trace_phase(&self.pool, || {
-                    out = Some(state.perform_alg_with_deletions(
-                        graph.as_ref(),
-                        &impact.affected,
-                        &impact.new_vertices,
-                        &deletes,
-                        &self.pool,
-                    ));
-                });
-                compute_trace = Some(trace);
-                out.unwrap()
-            } else {
-                state.perform_alg_with_deletions(
+            let run_compute = |state: &mut ComputeState| match state {
+                ComputeState::Serial(s) => s.perform_alg_with_deletions(
                     graph.as_ref(),
                     &impact.affected,
                     &impact.new_vertices,
                     &deletes,
                     &self.pool,
-                )
+                ),
+                ComputeState::Sharded(s) => s.perform_batch(
+                    graph.as_ref(),
+                    &impact.affected,
+                    !deletes.is_empty(),
+                    &self.pool,
+                ),
+            };
+            let compute = if hierarchy.is_some() {
+                let mut out = None;
+                let state = &mut state;
+                let trace = trace_phase(&self.pool, || {
+                    out = Some(run_compute(state));
+                });
+                compute_trace = Some(trace);
+                out.unwrap()
+            } else {
+                run_compute(&mut state)
             };
             let compute_seconds = sw.elapsed_secs();
             drop(compute_span);
@@ -424,12 +504,19 @@ impl StreamDriver {
                 compute,
                 arch,
             });
-            observer(batches.last().unwrap(), graph.as_ref(), &state);
+            let state_ref = match &state {
+                ComputeState::Serial(s) => ComputeStateRef::Serial(s),
+                ComputeState::Sharded(s) => ComputeStateRef::Sharded(s),
+            };
+            observer(batches.last().unwrap(), graph.as_ref(), state_ref);
         }
 
         StreamOutcome {
             batches,
-            final_values: state.values(),
+            final_values: match &state {
+                ComputeState::Serial(s) => s.values(),
+                ComputeState::Sharded(s) => s.values(),
+            },
             total_edges: graph.num_edges(),
         }
     }
@@ -508,6 +595,50 @@ mod tests {
         assert_eq!(inserted - removed, inc.total_edges);
         let fs = run(ComputeModelKind::FromScratch);
         assert_eq!(inc.final_values, fs.final_values);
+    }
+
+    #[test]
+    fn sharded_driver_matches_serial_final_values() {
+        let stream = tiny_stream();
+        for algorithm in [AlgorithmKind::Bfs, AlgorithmKind::Sswp] {
+            for model in ComputeModelKind::ALL {
+                let run = |shards: Option<usize>| {
+                    let mut b = StreamDriver::builder(DataStructureKind::AdjacencyShared, 300)
+                        .algorithm(algorithm)
+                        .compute_model(model)
+                        .batch_size(800)
+                        .threads(2);
+                    if let Some(s) = shards {
+                        b = b.sharded(s);
+                    }
+                    b.build().run(&stream).final_values
+                };
+                assert_eq!(
+                    run(Some(3)),
+                    run(None),
+                    "{algorithm:?}/{model:?}: sharded BSP diverged from serial"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_driver_observer_sees_sharded_state() {
+        let stream = tiny_stream();
+        let mut driver = StreamDriver::builder(DataStructureKind::Dah, 300)
+            .algorithm(AlgorithmKind::Cc)
+            .batch_size(800)
+            .threads(2)
+            .sharded(4)
+            .build();
+        let mut observed = 0;
+        driver.run_observed(&stream, |_, _, state| {
+            let sharded = state.as_sharded().expect("sharded builder → sharded state");
+            assert_eq!(sharded.shards(), 4);
+            assert!(state.as_serial().is_none());
+            observed += 1;
+        });
+        assert_eq!(observed, 3);
     }
 
     #[test]

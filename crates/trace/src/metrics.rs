@@ -279,6 +279,21 @@ pub fn counter(name: &str) -> Arc<Counter> {
     }
 }
 
+/// The counter registered under `name.index` (created on first use) —
+/// the convention for per-shard / per-worker counter families, e.g.
+/// `indexed_counter("bsp.shard_messages", 3)` →
+/// `bsp.shard_messages.3`. Keeping the index in the name means a
+/// [`snapshot`] lists every member of the family side by side, which is
+/// how the BSP engine's per-shard imbalance shows up in reports.
+///
+/// # Panics
+///
+/// Panics if the derived name is already registered as a different
+/// metric kind.
+pub fn indexed_counter(name: &str, index: usize) -> Arc<Counter> {
+    counter(&format!("{name}.{index}"))
+}
+
 /// The gauge registered under `name` (created on first use).
 ///
 /// # Panics
@@ -463,6 +478,28 @@ mod tests {
         reset();
         counter("test.reg.hits").add(3);
         counter("test.reg.hits").add(2);
+        // Indexed counters are plain counters under a `name.index` family.
+        indexed_counter("test.idx.shard", 0).add(4);
+        indexed_counter("test.idx.shard", 1).add(9);
+        indexed_counter("test.idx.shard", 0).incr();
+        {
+            let snap = snapshot();
+            let family: Vec<_> = snap
+                .counters
+                .iter()
+                .filter(|(n, _)| n.starts_with("test.idx.shard"))
+                .cloned()
+                .collect();
+            assert_eq!(
+                family,
+                vec![
+                    ("test.idx.shard.0".to_string(), 5),
+                    ("test.idx.shard.1".to_string(), 9),
+                ]
+            );
+        }
+        reset();
+        counter("test.reg.hits").add(5);
         gauge("test.reg.ratio").set(0.5);
         histogram("test.reg.lat").record(100);
         let snap = snapshot();

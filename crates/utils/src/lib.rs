@@ -27,6 +27,9 @@
 //! - [`timer`] — monotonic phase timers for the batch-latency metric (Eq. 1).
 //! - [`hash`] — small deterministic hash functions for the degree-aware
 //!   hashing data structure.
+//! - [`barrier`] — a reusable leader-electing superstep barrier for the
+//!   BSP execution layer's phase transitions (scatter → exchange → gather),
+//!   model-checked under `--cfg loom`.
 //! - [`sync`] — the synchronization facade: `std`/`parking_lot` primitives
 //!   normally, the `saga-loom` model checker's instrumented versions under
 //!   `--cfg loom`. All other modules (and crates) take their atomics,
@@ -35,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod barrier;
 pub mod bitvec;
 pub mod frontier;
 pub mod hash;

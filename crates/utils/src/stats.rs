@@ -50,9 +50,31 @@ impl Summary {
     /// Computes a summary over `samples` using Welford's online algorithm.
     ///
     /// Returns the [`Default`] (empty) summary when `samples` is empty.
+    ///
+    /// # NaN policy
+    ///
+    /// A NaN sample poisons the whole summary: `mean`, `std_dev`, `ci95`,
+    /// `min`, and `max` are all NaN (only `n` stays meaningful). Without
+    /// the explicit check, Welford's recurrence would silently propagate
+    /// NaN into `mean`/`ci95` while `f64::min`/`f64::max` *drop* NaN —
+    /// yielding a summary that looks partially valid and whose interval
+    /// comparisons are vacuously false. A poisoned summary is never
+    /// [`competitive_with`](Self::competitive_with) anything (in either
+    /// direction), so a corrupted measurement can only widen a "not
+    /// competitive" verdict, never fabricate a "competitive" one.
     pub fn from_samples(samples: &[f64]) -> Self {
         if samples.is_empty() {
             return Self::default();
+        }
+        if samples.iter().any(|x| x.is_nan()) {
+            return Self {
+                n: samples.len(),
+                mean: f64::NAN,
+                std_dev: f64::NAN,
+                ci95: f64::NAN,
+                min: f64::NAN,
+                max: f64::NAN,
+            };
         }
         let mut mean = 0.0f64;
         let mut m2 = 0.0f64;
@@ -95,36 +117,73 @@ impl Summary {
     /// Whether the 95% confidence intervals of `self` and `other` overlap —
     /// the paper's criterion for reporting two configurations as
     /// *competitive* (Table III caption).
+    ///
+    /// A summary poisoned by NaN samples (see
+    /// [`from_samples`](Self::from_samples)) is never competitive with
+    /// anything: every comparison against a NaN bound is false.
     pub fn competitive_with(&self, other: &Summary) -> bool {
         self.ci_low() <= other.ci_high() && other.ci_low() <= self.ci_high()
     }
 }
 
 /// Two-sided 95% critical value of Student's t distribution with `df`
-/// degrees of freedom. Exact table for small `df`, 1.96 asymptotically.
+/// degrees of freedom.
+///
+/// Exact table for `df <= 30`, linear interpolation between exact anchor
+/// rows up to `df = 120` (error < 2e-3 against the true quantiles, which
+/// are themselves only tabulated to 3 decimals), 1.96 asymptotically. The
+/// former flat `2.000` plateau for df 31–60 understated the critical value
+/// by up to 2% (true t(31) = 2.040), narrowing confidence intervals and
+/// skewing the Table III competitiveness criterion toward false
+/// non-overlap.
 fn t_critical_95(df: usize) -> f64 {
     const TABLE: [f64; 30] = [
         12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
         2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
         2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
     ];
+    /// Exact rows of the standard t table past the dense region; the
+    /// quantile is smooth and convex here, so linear interpolation between
+    /// adjacent anchors stays within 2e-3 of the true value.
+    const ANCHORS: [(usize, f64); 7] = [
+        (30, 2.042),
+        (40, 2.021),
+        (50, 2.009),
+        (60, 2.000),
+        (80, 1.990),
+        (100, 1.984),
+        (120, 1.980),
+    ];
     if df == 0 {
         return f64::INFINITY;
     }
     if df <= TABLE.len() {
-        TABLE[df - 1]
-    } else if df <= 60 {
-        2.000
-    } else {
-        1.96
+        return TABLE[df - 1];
     }
+    for pair in ANCHORS.windows(2) {
+        let ((lo_df, lo_t), (hi_df, hi_t)) = (pair[0], pair[1]);
+        if df <= hi_df {
+            let frac = (df - lo_df) as f64 / (hi_df - lo_df) as f64;
+            return lo_t + frac * (hi_t - lo_t);
+        }
+    }
+    1.96
 }
 
 /// Geometric mean of strictly positive samples; `NaN` if any sample is
-/// non-positive, `0.0` for an empty slice.
+/// non-positive (or NaN), `0.0` for an empty slice.
+///
+/// The explicit sign check matters for zeros: `0.0f64.ln()` is `-inf`, not
+/// NaN, so without it a zero sample would silently drive the result to
+/// `0.0` instead of flagging the invalid input the doc contract promises.
+/// Negative and NaN samples already poison the log-sum on their own, but
+/// they take the same early return so the contract holds uniformly.
 pub fn geometric_mean(samples: &[f64]) -> f64 {
     if samples.is_empty() {
         return 0.0;
+    }
+    if samples.iter().any(|&x| x.is_nan() || x <= 0.0) {
+        return f64::NAN;
     }
     let log_sum: f64 = samples.iter().map(|&x| x.ln()).sum();
     (log_sum / samples.len() as f64).exp()
@@ -184,14 +243,37 @@ mod tests {
     }
 
     #[test]
-    fn t_table_is_monotone_decreasing() {
+    fn t_table_is_strictly_monotone_decreasing_until_asymptote() {
         let mut prev = f64::INFINITY;
-        for df in 1..=100 {
+        for df in 1..=120 {
             let t = t_critical_95(df);
-            assert!(t <= prev, "t({df}) = {t} > {prev}");
+            assert!(t < prev, "t({df}) = {t} >= {prev}");
             prev = t;
         }
         assert!((t_critical_95(1000) - 1.96).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_table_matches_known_values_in_the_interpolated_region() {
+        // True two-sided 95% quantiles: t(31) = 2.040, t(40) = 2.021,
+        // t(60) = 2.000 — the old flat-2.000 plateau failed the first two.
+        assert!((t_critical_95(31) - 2.040).abs() < 2e-3, "{}", t_critical_95(31));
+        assert!((t_critical_95(40) - 2.021).abs() < 1e-9, "{}", t_critical_95(40));
+        assert!((t_critical_95(60) - 2.000).abs() < 1e-9, "{}", t_critical_95(60));
+        // Interpolated mid-points stay within 2e-3 of the true table.
+        assert!((t_critical_95(35) - 2.030).abs() < 2e-3, "{}", t_critical_95(35));
+        assert!((t_critical_95(70) - 1.994).abs() < 2e-3, "{}", t_critical_95(70));
+        assert!((t_critical_95(120) - 1.980).abs() < 1e-9, "{}", t_critical_95(120));
+    }
+
+    #[test]
+    fn ci_widening_from_t_fix_preserves_overlap_verdicts() {
+        // df = 39 sits in the formerly flat region; the corrected critical
+        // value must be strictly wider than the old 2.000 plateau.
+        let samples: Vec<f64> = (0..40).map(|i| (i % 5) as f64).collect();
+        let s = Summary::from_samples(&samples);
+        let old_ci = 2.000 * s.std_dev / (s.n as f64).sqrt();
+        assert!(s.ci95 > old_ci, "ci95 {} must widen past {old_ci}", s.ci95);
     }
 
     #[test]
@@ -199,5 +281,37 @@ mod tests {
         assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
         assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
         assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_rejects_non_positive_and_nan_samples() {
+        // Zero is the doc/behavior mismatch this pins: ln(0) = -inf used to
+        // yield 0.0 where the contract promises NaN.
+        assert!(geometric_mean(&[0.0]).is_nan());
+        assert!(geometric_mean(&[2.0, 0.0, 8.0]).is_nan());
+        assert!(geometric_mean(&[-1.0]).is_nan());
+        assert!(geometric_mean(&[4.0, -2.0]).is_nan());
+        assert!(geometric_mean(&[1.0, f64::NAN]).is_nan());
+        assert!(geometric_mean(&[-0.0]).is_nan(), "negative zero is non-positive");
+    }
+
+    #[test]
+    fn nan_samples_poison_every_statistic() {
+        let s = Summary::from_samples(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(s.n, 3);
+        assert!(s.mean.is_nan());
+        assert!(s.std_dev.is_nan());
+        assert!(s.ci95.is_nan());
+        assert!(s.min.is_nan(), "min must not silently drop NaN");
+        assert!(s.max.is_nan(), "max must not silently drop NaN");
+    }
+
+    #[test]
+    fn poisoned_summary_is_never_competitive() {
+        let poisoned = Summary::from_samples(&[1.0, f64::NAN]);
+        let clean = Summary::from_samples(&[1.0, 1.01, 0.99]);
+        assert!(!poisoned.competitive_with(&clean));
+        assert!(!clean.competitive_with(&poisoned));
+        assert!(!poisoned.competitive_with(&poisoned));
     }
 }

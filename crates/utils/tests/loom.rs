@@ -13,6 +13,7 @@
 //! covered.
 #![cfg(loom)]
 
+use saga_utils::barrier::Barrier;
 use saga_utils::bitvec::{AtomicBitVec, GenerationMarks};
 use saga_utils::parallel::{Schedule, ThreadPool};
 use saga_utils::partition::Partitioner;
@@ -163,6 +164,81 @@ fn partitioner_parallel_windows_disjoint() {
         p.partition(&pool, 4, 2, |i| i % 2);
         assert_eq!(p.bucket(0), &[0, 2]);
         assert_eq!(p.bucket(1), &[1, 3]);
+    });
+}
+
+/// The BSP superstep barrier's phase-isolation guarantee: two workers
+/// exchange values through plain Relaxed slots across a crossing. In every
+/// interleaving the crossing must (a) elect exactly one leader, and (b)
+/// order each worker's pre-barrier write before the other's post-barrier
+/// read — the property the scatter→gather handoff in `saga-bsp` relies on
+/// to read another shard's outbox without extra synchronization.
+#[test]
+fn barrier_crossing_publishes_peer_writes() {
+    saga_loom::model(|| {
+        let barrier = Arc::new(Barrier::new(2));
+        let slots = Arc::new([AtomicUsize::new(0), AtomicUsize::new(0)]);
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let t = {
+            let barrier = Arc::clone(&barrier);
+            let slots = Arc::clone(&slots);
+            let leaders = Arc::clone(&leaders);
+            saga_utils::sync::thread::spawn_named("peer".into(), move || {
+                slots[1].store(20, Ordering::Relaxed);
+                if barrier.wait() {
+                    leaders.fetch_add(1, Ordering::SeqCst);
+                }
+                assert_eq!(slots[0].load(Ordering::Relaxed), 10);
+            })
+        };
+        slots[0].store(10, Ordering::Relaxed);
+        if barrier.wait() {
+            leaders.fetch_add(1, Ordering::SeqCst);
+        }
+        assert_eq!(slots[1].load(Ordering::Relaxed), 20);
+        let _ = t.join();
+        assert_eq!(leaders.load(Ordering::SeqCst), 1, "crossings must elect one leader");
+    });
+}
+
+/// The checkpoint-publish double-crossing: workers write their shard slots,
+/// cross once, the elected leader snapshots both slots into the checkpoint
+/// cell while followers park on the second crossing, and after the second
+/// crossing every worker must observe the completed checkpoint. A schedule
+/// where a follower races past the leader's sequential section — or where
+/// the leader's snapshot misses a shard write — fails the asserts.
+#[test]
+fn barrier_double_crossing_checkpoint_publish() {
+    saga_loom::model(|| {
+        let barrier = Arc::new(Barrier::new(2));
+        let shards = Arc::new([AtomicUsize::new(0), AtomicUsize::new(0)]);
+        let checkpoint = Arc::new(AtomicUsize::new(0));
+        let run = |me: usize,
+                   barrier: Arc<Barrier>,
+                   shards: Arc<[AtomicUsize; 2]>,
+                   checkpoint: Arc<AtomicUsize>| {
+            shards[me].store(me + 1, Ordering::Relaxed);
+            if barrier.wait() {
+                let sum = shards[0].load(Ordering::Relaxed) + shards[1].load(Ordering::Relaxed);
+                checkpoint.store(sum, Ordering::Relaxed);
+            }
+            barrier.wait();
+            assert_eq!(
+                checkpoint.load(Ordering::Relaxed),
+                3,
+                "checkpoint incomplete after the publish crossing"
+            );
+        };
+        let t = {
+            let barrier = Arc::clone(&barrier);
+            let shards = Arc::clone(&shards);
+            let checkpoint = Arc::clone(&checkpoint);
+            saga_utils::sync::thread::spawn_named("w1".into(), move || {
+                run(1, barrier, shards, checkpoint)
+            })
+        };
+        run(0, Arc::clone(&barrier), Arc::clone(&shards), Arc::clone(&checkpoint));
+        let _ = t.join();
     });
 }
 

@@ -41,6 +41,28 @@ proptest! {
 
     #[test]
     #[cfg_attr(miri, ignore)] // proptest persistence + case counts are not Miri-sized
+    fn nan_samples_cannot_fabricate_a_competitive_verdict(
+        a in prop::collection::vec(-1e6f64..1e6, 2..40),
+        b in prop::collection::vec(-1e6f64..1e6, 2..40),
+        nan_at in 0usize..40,
+    ) {
+        // Poison one arbitrary slot of `a` with NaN: every statistic must
+        // poison too, and the competitiveness verdict must be false in both
+        // directions — a corrupted measurement can never be quietly
+        // reported as "competitive" (Table III's criterion).
+        let mut poisoned = a.clone();
+        let idx = nan_at % poisoned.len();
+        poisoned[idx] = f64::NAN;
+        let sp = Summary::from_samples(&poisoned);
+        let sb = Summary::from_samples(&b);
+        prop_assert!(sp.mean.is_nan() && sp.ci95.is_nan() && sp.min.is_nan() && sp.max.is_nan());
+        prop_assert!(!sp.competitive_with(&sb));
+        prop_assert!(!sb.competitive_with(&sp));
+        prop_assert!(!sp.competitive_with(&sp));
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)] // proptest persistence + case counts are not Miri-sized
     fn bitvec_matches_bool_vec_model(ops in prop::collection::vec((0usize..200, any::<bool>()), 0..400)) {
         let bv = AtomicBitVec::new(200);
         let mut model = [false; 200];
