@@ -129,24 +129,44 @@ impl<V: ValueCodec> CheckpointStore<V> {
         result
     }
 
-    /// Loads the highest-superstep checkpoint file from `dir` (a process
-    /// that died and restarted has no in-memory copy). Returns `None` when
-    /// the directory holds no checkpoint files.
+    /// Loads the newest *valid* checkpoint file from `dir` (a process
+    /// that died and restarted has no in-memory copy). Returns `None`
+    /// when the directory holds no usable checkpoint files.
+    ///
+    /// Candidates are tried newest-first. A corrupt or truncated file —
+    /// e.g. the newest checkpoint caught mid-write by the crash the
+    /// recovery is for — is **deleted** and recovery falls back to the
+    /// next-newest, instead of failing the whole restart on a file that
+    /// can never become readable. Deleting matters: a later restart must
+    /// not rediscover the same husk, and a subsequent checkpoint at the
+    /// same superstep must not rename onto a poisoned path's stale
+    /// content expectations. Genuine I/O errors (permissions, device)
+    /// still propagate — those are environmental, not artifacts of the
+    /// crash.
     pub fn load_latest_from_disk(dir: &Path) -> io::Result<Option<Checkpoint<V>>> {
-        let mut best: Option<(usize, PathBuf)> = None;
+        let mut candidates: Vec<(usize, PathBuf)> = Vec::new();
         for entry in std::fs::read_dir(dir)? {
             let path = entry?.path();
-            let Some(step) = parse_checkpoint_name(&path) else {
-                continue;
-            };
-            if best.as_ref().is_none_or(|(b, _)| step > *b) {
-                best = Some((step, path));
+            if let Some(step) = parse_checkpoint_name(&path) {
+                candidates.push((step, path));
             }
         }
-        match best {
-            Some((_, path)) => Ok(Some(read_checkpoint(&path)?)),
-            None => Ok(None),
+        candidates.sort_by_key(|&(step, _)| std::cmp::Reverse(step));
+        for (_, path) in candidates {
+            match read_checkpoint(&path) {
+                Ok(cp) => return Ok(Some(cp)),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::UnexpectedEof | io::ErrorKind::InvalidData
+                    ) =>
+                {
+                    let _ = std::fs::remove_file(&path);
+                }
+                Err(e) => return Err(e),
+            }
         }
+        Ok(None)
     }
 }
 
@@ -182,35 +202,75 @@ fn write_checkpoint<V: ValueCodec>(dir: &Path, cp: &Checkpoint<V>) -> io::Result
     std::fs::rename(&tmp_path, &final_path)
 }
 
+/// Little-endian `u64` cursor over a checkpoint file's bytes, with the
+/// bookkeeping corruption-hardening needs: how many whole words remain.
+struct WordReader<'a> {
+    bytes: &'a [u8],
+    cursor: usize,
+}
+
+impl WordReader<'_> {
+    fn next(&mut self) -> io::Result<u64> {
+        let end = self.cursor + 8;
+        let chunk = self.bytes.get(self.cursor..end).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "truncated checkpoint")
+        })?;
+        self.cursor = end;
+        Ok(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")))
+    }
+
+    /// Whole words left — the upper bound any claimed count must respect.
+    fn remaining_words(&self) -> usize {
+        self.bytes.len().saturating_sub(self.cursor) / 8
+    }
+
+    /// Validates a length prefix against the bytes actually present, so a
+    /// corrupt count (bit-flipped to, say, 2⁶⁰) errors instead of driving
+    /// a `Vec::with_capacity` allocation of that size.
+    fn claimed_len(&self, raw: u64, what: &str) -> io::Result<usize> {
+        let n = usize::try_from(raw).unwrap_or(usize::MAX);
+        if n > self.remaining_words() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("implausible {what} count {raw} with {} words left", self.remaining_words()),
+            ));
+        }
+        Ok(n)
+    }
+}
+
 fn read_checkpoint<V: ValueCodec>(path: &Path) -> io::Result<Checkpoint<V>> {
     let mut bytes = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut bytes)?;
-    let mut cursor = 0usize;
-    let mut next = || -> io::Result<u64> {
-        let end = cursor + 8;
-        let chunk = bytes.get(cursor..end).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::UnexpectedEof, "truncated checkpoint")
-        })?;
-        cursor = end;
-        Ok(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")))
-    };
-    let superstep = next()? as usize;
-    let shards = next()? as usize;
+    let mut r = WordReader { bytes: &bytes, cursor: 0 };
+    let superstep = r.next()? as usize;
+    let raw_shards = r.next()?;
+    let shards = r.claimed_len(raw_shards, "shard")?;
     let mut values = Vec::with_capacity(shards);
     let mut active = Vec::with_capacity(shards);
     for _ in 0..shards {
-        let n = next()? as usize;
+        let raw_n = r.next()?;
+        let n = r.claimed_len(raw_n, "value")?;
         let mut vals = Vec::with_capacity(n);
         for _ in 0..n {
-            vals.push(V::from_word(next()?));
+            vals.push(V::from_word(r.next()?));
         }
         values.push(vals);
-        let a = next()? as usize;
+        let raw_a = r.next()?;
+        let a = r.claimed_len(raw_a, "active-list")?;
         let mut act = Vec::with_capacity(a);
         for _ in 0..a {
-            act.push(next()? as Node);
+            act.push(r.next()? as Node);
         }
         active.push(act);
+    }
+    if r.cursor != bytes.len() {
+        // Trailing bytes mean the length prefixes and the payload
+        // disagree — the file is corrupt even though every read landed.
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{} trailing bytes after checkpoint payload", bytes.len() - r.cursor),
+        ));
     }
     Ok(Checkpoint {
         superstep,

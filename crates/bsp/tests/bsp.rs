@@ -206,6 +206,66 @@ fn disk_checkpoints_roundtrip_and_pick_the_newest() {
 }
 
 #[test]
+fn recovery_skips_and_deletes_corrupt_checkpoints() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("bsp-ckpt-corrupt");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store: CheckpointStore<f64> = CheckpointStore::new(CheckpointConfig {
+        interval: 1,
+        dir: Some(dir.clone()),
+    });
+    let valid = Checkpoint {
+        superstep: 3,
+        values: vec![vec![0.25, -7.5], vec![1e-300]],
+        active: vec![vec![0, 1], vec![]],
+    };
+    let newest = Checkpoint {
+        superstep: 12,
+        values: vec![vec![-0.5, 2.0], vec![f64::INFINITY]],
+        active: vec![vec![], vec![2]],
+    };
+    store.publish(valid.clone()).unwrap();
+    store.publish(newest).unwrap();
+
+    // Truncate the newest file "mid-write" — cut it to an unaligned byte
+    // length, like a crash between write and fsync would.
+    let newest_path = dir.join("ckpt-12.bin");
+    let bytes = std::fs::read(&newest_path).unwrap();
+    std::fs::write(&newest_path, &bytes[..bytes.len() / 2 + 3]).unwrap();
+
+    // A corrupt *length prefix* claiming 2^60 shards must also be skipped
+    // (and must error before it becomes an allocation of that size).
+    std::fs::write(
+        dir.join("ckpt-20.bin"),
+        [20u64, 1 << 60].map(u64::to_le_bytes).concat(),
+    )
+    .unwrap();
+
+    // And a structurally complete file with trailing garbage.
+    let mut padded = std::fs::read(dir.join("ckpt-3.bin")).unwrap();
+    padded.extend_from_slice(b"junk");
+    std::fs::write(dir.join("ckpt-15.bin"), &padded).unwrap();
+
+    // Recovery falls back to the newest VALID checkpoint...
+    let loaded = CheckpointStore::<f64>::load_latest_from_disk(&dir)
+        .unwrap()
+        .expect("the superstep-3 checkpoint is still valid");
+    assert_eq!(loaded, valid);
+    // ...and the husks are gone, so the next restart goes straight there.
+    assert!(!newest_path.exists(), "truncated checkpoint must be deleted");
+    assert!(!dir.join("ckpt-20.bin").exists(), "implausible-count file must be deleted");
+    assert!(!dir.join("ckpt-15.bin").exists(), "trailing-garbage file must be deleted");
+    assert!(dir.join("ckpt-3.bin").exists(), "the valid checkpoint must survive");
+
+    // With every file corrupt, recovery reports "nothing on disk" rather
+    // than an error the caller can do nothing about.
+    std::fs::write(dir.join("ckpt-3.bin"), &bytes[..5]).unwrap();
+    assert!(CheckpointStore::<f64>::load_latest_from_disk(&dir)
+        .unwrap()
+        .is_none());
+    assert!(!dir.join("ckpt-3.bin").exists());
+}
+
+#[test]
 fn recover_from_disk_survives_a_process_restart() {
     let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("bsp-ckpt-restart");
     let _ = std::fs::remove_dir_all(&dir);

@@ -32,6 +32,7 @@
 
 pub mod diff;
 pub mod json;
+pub mod loadgen;
 pub mod program;
 pub mod recovery;
 pub mod shape;
@@ -39,6 +40,7 @@ pub mod shrink;
 pub mod tracecheck;
 
 pub use diff::{check_program, CheckConfig, Divergence, DriverKind, Fault, FaultPlan};
+pub use loadgen::{create_tenant, drive_tenant, verify_tenant, DriveReport, TenantSpec, VerifyReport};
 pub use recovery::{check_recovery, RecoveryConfig};
 pub use program::{OpProgram, ProgramProfile};
 pub use shrink::{shrink, ShrinkResult};

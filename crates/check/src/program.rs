@@ -113,6 +113,36 @@ impl OpProgram {
         }
     }
 
+    /// Generates a program over a *fixed* vertex universe and
+    /// directedness, for callers that need many seeded programs against
+    /// one graph — the server load generator drives every stream of a
+    /// tenant with programs shaped by the tenant's own capacity. Batch
+    /// shapes draw from the same per-profile generators as
+    /// [`OpProgram::generate`]; only the universe is pinned. (Seeds are
+    /// not interchangeable between the two constructors: `generate`
+    /// spends rng draws choosing the universe first.)
+    pub fn generate_with(
+        seed: u64,
+        profile: ProgramProfile,
+        capacity: usize,
+        directed: bool,
+    ) -> OpProgram {
+        assert!(capacity >= 4, "programs need at least 4 vertices");
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let num_batches = range(&mut rng, 1, 5);
+        let batches = match profile {
+            ProgramProfile::WindowEviction => {
+                gen_window_eviction(&mut rng, capacity, num_batches)
+            }
+            _ => gen_mixed(&mut rng, profile, capacity, num_batches),
+        };
+        OpProgram {
+            capacity,
+            directed,
+            batches,
+        }
+    }
+
     /// Builds a program from explicit batches — the form emitted by
     /// [`OpProgram::to_test_snippet`] for shrunk reproducers.
     ///

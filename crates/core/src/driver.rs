@@ -18,7 +18,7 @@ use saga_algorithms::{
     ComputeOutcome, VertexValues,
 };
 use saga_bsp::{CheckpointConfig, ShardedState};
-use saga_graph::{build_deletable_graph_with, DataStructureKind, Node};
+use saga_graph::{build_deletable_graph_with, DataStructureKind, Edge, Node};
 use saga_perf::bandwidth::{estimate, BandwidthEstimate, TimeModel};
 use saga_perf::cache::{CacheReport, HierarchyConfig, MemoryHierarchy};
 use saga_perf::trace_phase;
@@ -320,20 +320,55 @@ impl StreamDriver {
     where
         F: FnMut(&BatchRecord, &dyn saga_graph::DynamicGraph, ComputeStateRef<'_>),
     {
+        let root = self
+            .builder
+            .root
+            .unwrap_or_else(|| stream.edges.first().map(|e| e.src).unwrap_or(0));
+        let batch_size = self
+            .builder
+            .batch_size
+            .unwrap_or(stream.suggested_batch_size);
+        let mut session = self.session(stream.num_nodes, stream.directed, root);
+        let mut batches = Vec::new();
+        for batch in stream.op_batches(batch_size) {
+            let (inserts, deletes) = batch.split();
+            batches.push(session.step(&inserts, &deletes));
+            observer(
+                batches.last().unwrap(),
+                session.graph(),
+                session.state_ref(),
+            );
+        }
+        StreamOutcome {
+            final_values: session.values(),
+            total_edges: session.graph().num_edges(),
+            batches,
+        }
+    }
+
+    /// Opens a long-lived per-batch stepping session: the graph, compute
+    /// state, and affected tracker are created up front, then the caller
+    /// feeds batches one at a time through [`DriverSession::step`].
+    ///
+    /// [`StreamDriver::run`] is a thin loop over this API; `saga-server`
+    /// drives one session per tenant from its admission queue, where the
+    /// stream has no known end. `num_nodes` joins the builder's capacity
+    /// (whichever is larger wins); `root` seeds BFS/SSSP/SSWP and must be
+    /// chosen by the caller because a session never sees the whole stream
+    /// (the driver uses the first edge's source, matching the oracle).
+    pub fn session(&self, num_nodes: usize, directed: bool, root: Node) -> DriverSession<'_> {
         let cfg = &self.builder;
-        let capacity = cfg.capacity.max(stream.num_nodes);
+        let capacity = cfg.capacity.max(num_nodes);
         let graph = build_deletable_graph_with(
             cfg.data_structure,
             capacity,
-            stream.directed,
+            directed,
             self.pool.threads(),
             cfg.partitioned_ingest,
         );
         let mut params = cfg.params;
-        params.root = cfg
-            .root
-            .unwrap_or_else(|| stream.edges.first().map(|e| e.src).unwrap_or(0));
-        let mut state = match cfg.sharded {
+        params.root = root;
+        let state = match cfg.sharded {
             Some(shards) => ComputeState::Sharded(Box::new(ShardedState::new(
                 cfg.algorithm,
                 cfg.compute_model,
@@ -349,10 +384,7 @@ impl StreamDriver {
                 params,
             )),
         };
-        let mut tracker = AffectedTracker::new(capacity);
-        let batch_size = cfg.batch_size.unwrap_or(stream.suggested_batch_size);
-
-        let mut hierarchy = cfg.arch_sim.map(|a| {
+        let hierarchy = cfg.arch_sim.map(|a| {
             let config = if a.cache_scale <= 1 {
                 HierarchyConfig::paper()
             } else {
@@ -360,165 +392,247 @@ impl StreamDriver {
             };
             MemoryHierarchy::new(config, self.pool.threads())
         });
-
         let (needs_seed_neighborhood, seed_delete_neighborhoods) = match &state {
             ComputeState::Serial(s) => (s.affects_source_neighborhood(), s.symmetric_scope()),
             ComputeState::Sharded(s) => (s.affects_source_neighborhood(), s.symmetric_scope()),
         };
-        let incremental = cfg.compute_model == ComputeModelKind::Incremental;
-        // The bandwidth model always prices against the paper's machine,
-        // regardless of any cache_scale override of the hierarchy itself.
-        let topo = HierarchyConfig::paper().topology;
-        // Registry handles resolved once, outside the batch loop (the
-        // registry lock is only for lookup; recording is lock-free). These
-        // are the Eq. 1 latencies and batch counters every figure binary
-        // re-derives today; a `metrics::snapshot()` after the run sees them
-        // regardless of whether span tracing is enabled.
-        let m_update = saga_trace::metrics::histogram("driver.update_ns");
-        let m_compute = saga_trace::metrics::histogram("driver.compute_ns");
-        let m_batch = saga_trace::metrics::histogram("driver.batch_ns");
-        let c_inserted = saga_trace::metrics::counter("driver.inserted");
-        let c_duplicates = saga_trace::metrics::counter("driver.duplicates");
-        let c_removed = saga_trace::metrics::counter("driver.removed");
-        let c_missing = saga_trace::metrics::counter("driver.missing");
-        let c_affected = saga_trace::metrics::counter("driver.affected");
-        let mut batches = Vec::new();
-        for (index, batch) in stream.op_batches(batch_size).enumerate() {
-            let _batch_span = saga_trace::span!("batch", index = index as u64);
-            let (inserts, deletes) = batch.split();
+        DriverSession {
+            arch_sim: cfg.arch_sim,
+            incremental: cfg.compute_model == ComputeModelKind::Incremental,
+            needs_seed_neighborhood,
+            seed_delete_neighborhoods,
+            tracker: AffectedTracker::new(capacity),
+            // The bandwidth model always prices against the paper's
+            // machine, regardless of any cache_scale override of the
+            // hierarchy itself.
+            topo: HierarchyConfig::paper().topology,
+            metrics: DriverMetrics::resolve(),
+            pool: &self.pool,
+            next_index: 0,
+            graph,
+            state,
+            hierarchy,
+        }
+    }
+}
 
-            // --- Update phase ---
-            let update_span = saga_trace::span!("update", edges = batch.len() as u64);
-            let mut update_trace = None;
-            let sw = Stopwatch::start();
-            let apply = || {
-                let stats = {
-                    let _s = saga_trace::span!("ingest", edges = inserts.len() as u64);
-                    graph.update_batch(&inserts, &self.pool)
-                };
-                let del_stats = if deletes.is_empty() {
-                    Default::default()
-                } else {
-                    let _s = saga_trace::span!("delete", edges = deletes.len() as u64);
-                    graph.delete_batch(&deletes, &self.pool)
-                };
-                (stats, del_stats)
+/// Registry handles resolved once per session, outside the batch loop (the
+/// registry lock is only for lookup; recording is lock-free). These are
+/// the Eq. 1 latencies and batch counters every figure binary re-derives
+/// today; a `metrics::snapshot()` after the run sees them regardless of
+/// whether span tracing is enabled.
+struct DriverMetrics {
+    update: std::sync::Arc<saga_trace::metrics::Histogram>,
+    compute: std::sync::Arc<saga_trace::metrics::Histogram>,
+    batch: std::sync::Arc<saga_trace::metrics::Histogram>,
+    inserted: std::sync::Arc<saga_trace::metrics::Counter>,
+    duplicates: std::sync::Arc<saga_trace::metrics::Counter>,
+    removed: std::sync::Arc<saga_trace::metrics::Counter>,
+    missing: std::sync::Arc<saga_trace::metrics::Counter>,
+    affected: std::sync::Arc<saga_trace::metrics::Counter>,
+}
+
+impl DriverMetrics {
+    fn resolve() -> Self {
+        Self {
+            update: saga_trace::metrics::histogram("driver.update_ns"),
+            compute: saga_trace::metrics::histogram("driver.compute_ns"),
+            batch: saga_trace::metrics::histogram("driver.batch_ns"),
+            inserted: saga_trace::metrics::counter("driver.inserted"),
+            duplicates: saga_trace::metrics::counter("driver.duplicates"),
+            removed: saga_trace::metrics::counter("driver.removed"),
+            missing: saga_trace::metrics::counter("driver.missing"),
+            affected: saga_trace::metrics::counter("driver.affected"),
+        }
+    }
+}
+
+/// A long-lived per-batch execution session over one graph + compute
+/// state, created by [`StreamDriver::session`].
+///
+/// Each [`step`](DriverSession::step) runs one update phase (ingest +
+/// delete + affected derivation) followed by one compute phase — exactly
+/// the body of the [`StreamDriver::run`] batch loop — and returns the
+/// batch's [`BatchRecord`]. Unlike `run`, the session does not need the
+/// whole stream up front, which is what lets `saga-server` host tenants
+/// whose streams arrive over the network and never end.
+pub struct DriverSession<'d> {
+    pool: &'d ThreadPool,
+    graph: Box<dyn saga_graph::DeletableGraph>,
+    state: ComputeState,
+    tracker: AffectedTracker,
+    hierarchy: Option<MemoryHierarchy>,
+    arch_sim: Option<ArchSimConfig>,
+    topo: saga_perf::numa::Topology,
+    metrics: DriverMetrics,
+    incremental: bool,
+    needs_seed_neighborhood: bool,
+    seed_delete_neighborhoods: bool,
+    next_index: usize,
+}
+
+impl std::fmt::Debug for DriverSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DriverSession")
+            .field("structure", &self.graph.kind())
+            .field("batches_stepped", &self.next_index)
+            .field("num_edges", &self.graph.num_edges())
+            .finish()
+    }
+}
+
+impl DriverSession<'_> {
+    /// Processes one batch (insertions then deletions, the window
+    /// semantics every churn transform assumes) and returns its record.
+    /// Batch indices count up from 0 in step order.
+    pub fn step(&mut self, inserts: &[Edge], deletes: &[Edge]) -> BatchRecord {
+        let index = self.next_index;
+        self.next_index += 1;
+        let batch_len = inserts.len() + deletes.len();
+        let _batch_span = saga_trace::span!("batch", index = index as u64);
+
+        // --- Update phase ---
+        let update_span = saga_trace::span!("update", edges = batch_len as u64);
+        let mut update_trace = None;
+        let sw = Stopwatch::start();
+        let graph = &self.graph;
+        let pool = self.pool;
+        let apply = || {
+            let stats = {
+                let _s = saga_trace::span!("ingest", edges = inserts.len() as u64);
+                graph.update_batch(inserts, pool)
             };
-            let (stats, del_stats) = if hierarchy.is_some() {
-                let mut out = None;
-                let trace = trace_phase(&self.pool, || out = Some(apply()));
-                update_trace = Some(trace);
-                out.unwrap()
-            } else {
-                apply()
-            };
-            // Deriving the affected array is part of the update phase's
-            // bookkeeping (Algorithm 1 receives it from the update).
-            let impact = if incremental {
-                tracker.process_mixed_batch(
-                    graph.as_ref(),
-                    &inserts,
-                    &deletes,
-                    needs_seed_neighborhood,
-                    seed_delete_neighborhoods,
-                    &self.pool,
-                )
-            } else {
+            let del_stats = if deletes.is_empty() {
                 Default::default()
-            };
-            let update_seconds = sw.elapsed_secs();
-            drop(update_span);
-            saga_trace::instant!("removed", count = del_stats.removed as u64);
-            saga_trace::instant!("missing", count = del_stats.missing as u64);
-
-            // --- Compute phase ---
-            let compute_span =
-                saga_trace::span!("compute", affected = impact.affected.len() as u64);
-            let mut compute_trace = None;
-            let sw = Stopwatch::start();
-            let run_compute = |state: &mut ComputeState| match state {
-                ComputeState::Serial(s) => s.perform_alg_with_deletions(
-                    graph.as_ref(),
-                    &impact.affected,
-                    &impact.new_vertices,
-                    &deletes,
-                    &self.pool,
-                ),
-                ComputeState::Sharded(s) => s.perform_batch(
-                    graph.as_ref(),
-                    &impact.affected,
-                    !deletes.is_empty(),
-                    &self.pool,
-                ),
-            };
-            let compute = if hierarchy.is_some() {
-                let mut out = None;
-                let state = &mut state;
-                let trace = trace_phase(&self.pool, || {
-                    out = Some(run_compute(state));
-                });
-                compute_trace = Some(trace);
-                out.unwrap()
             } else {
-                run_compute(&mut state)
+                let _s = saga_trace::span!("delete", edges = deletes.len() as u64);
+                graph.delete_batch(deletes, pool)
             };
-            let compute_seconds = sw.elapsed_secs();
-            drop(compute_span);
+            (stats, del_stats)
+        };
+        let (stats, del_stats) = if self.hierarchy.is_some() {
+            let mut out = None;
+            let trace = trace_phase(pool, || out = Some(apply()));
+            update_trace = Some(trace);
+            out.unwrap()
+        } else {
+            apply()
+        };
+        // Deriving the affected array is part of the update phase's
+        // bookkeeping (Algorithm 1 receives it from the update).
+        let impact = if self.incremental {
+            self.tracker.process_mixed_batch(
+                self.graph.as_ref(),
+                inserts,
+                deletes,
+                self.needs_seed_neighborhood,
+                self.seed_delete_neighborhoods,
+                pool,
+            )
+        } else {
+            Default::default()
+        };
+        let update_seconds = sw.elapsed_secs();
+        drop(update_span);
+        saga_trace::instant!("removed", count = del_stats.removed as u64);
+        saga_trace::instant!("missing", count = del_stats.missing as u64);
 
-            m_update.record_secs(update_seconds);
-            m_compute.record_secs(compute_seconds);
-            m_batch.record_secs(update_seconds + compute_seconds);
-            c_inserted.add(stats.inserted as u64);
-            c_duplicates.add(stats.duplicates as u64);
-            c_removed.add(del_stats.removed as u64);
-            c_missing.add(del_stats.missing as u64);
-            c_affected.add(impact.affected.len() as u64);
-
-            let arch = hierarchy.as_mut().map(|h| {
-                let a = cfg.arch_sim.as_ref().unwrap();
-                let update = h.replay(update_trace.as_ref().unwrap());
-                let compute = h.replay(compute_trace.as_ref().unwrap());
-                let update_bw = estimate(&update, &a.time_model, &topo);
-                let compute_bw = estimate(&compute, &a.time_model, &topo);
-                saga_trace::metrics::gauge("perf.update.dram_gbps").set(update_bw.dram_gbps);
-                saga_trace::metrics::gauge("perf.compute.dram_gbps").set(compute_bw.dram_gbps);
-                saga_trace::metrics::gauge("perf.compute.qpi_utilization")
-                    .set(compute_bw.qpi_utilization);
-                ArchRecord {
-                    update_bw,
-                    compute_bw,
-                    update,
-                    compute,
-                }
+        // --- Compute phase ---
+        let compute_span = saga_trace::span!("compute", affected = impact.affected.len() as u64);
+        let mut compute_trace = None;
+        let sw = Stopwatch::start();
+        let graph = &self.graph;
+        let run_compute = |state: &mut ComputeState| match state {
+            ComputeState::Serial(s) => s.perform_alg_with_deletions(
+                graph.as_ref(),
+                &impact.affected,
+                &impact.new_vertices,
+                deletes,
+                pool,
+            ),
+            ComputeState::Sharded(s) => {
+                s.perform_batch(graph.as_ref(), &impact.affected, !deletes.is_empty(), pool)
+            }
+        };
+        let compute = if self.hierarchy.is_some() {
+            let mut out = None;
+            let state = &mut self.state;
+            let trace = trace_phase(pool, || {
+                out = Some(run_compute(state));
             });
+            compute_trace = Some(trace);
+            out.unwrap()
+        } else {
+            run_compute(&mut self.state)
+        };
+        let compute_seconds = sw.elapsed_secs();
+        drop(compute_span);
 
-            batches.push(BatchRecord {
-                index,
-                batch_len: batch.len(),
-                update_seconds,
-                compute_seconds,
-                inserted: stats.inserted,
-                duplicates: stats.duplicates,
-                removed: del_stats.removed,
-                missing: del_stats.missing,
+        self.metrics.update.record_secs(update_seconds);
+        self.metrics.compute.record_secs(compute_seconds);
+        self.metrics.batch.record_secs(update_seconds + compute_seconds);
+        self.metrics.inserted.add(stats.inserted as u64);
+        self.metrics.duplicates.add(stats.duplicates as u64);
+        self.metrics.removed.add(del_stats.removed as u64);
+        self.metrics.missing.add(del_stats.missing as u64);
+        self.metrics.affected.add(impact.affected.len() as u64);
+
+        let arch = self.hierarchy.as_mut().map(|h| {
+            let a = self.arch_sim.as_ref().unwrap();
+            let update = h.replay(update_trace.as_ref().unwrap());
+            let compute = h.replay(compute_trace.as_ref().unwrap());
+            let update_bw = estimate(&update, &a.time_model, &self.topo);
+            let compute_bw = estimate(&compute, &a.time_model, &self.topo);
+            saga_trace::metrics::gauge("perf.update.dram_gbps").set(update_bw.dram_gbps);
+            saga_trace::metrics::gauge("perf.compute.dram_gbps").set(compute_bw.dram_gbps);
+            saga_trace::metrics::gauge("perf.compute.qpi_utilization")
+                .set(compute_bw.qpi_utilization);
+            ArchRecord {
+                update_bw,
+                compute_bw,
+                update,
                 compute,
-                arch,
-            });
-            let state_ref = match &state {
-                ComputeState::Serial(s) => ComputeStateRef::Serial(s),
-                ComputeState::Sharded(s) => ComputeStateRef::Sharded(s),
-            };
-            observer(batches.last().unwrap(), graph.as_ref(), state_ref);
-        }
+            }
+        });
 
-        StreamOutcome {
-            batches,
-            final_values: match &state {
-                ComputeState::Serial(s) => s.values(),
-                ComputeState::Sharded(s) => s.values(),
-            },
-            total_edges: graph.num_edges(),
+        BatchRecord {
+            index,
+            batch_len,
+            update_seconds,
+            compute_seconds,
+            inserted: stats.inserted,
+            duplicates: stats.duplicates,
+            removed: del_stats.removed,
+            missing: del_stats.missing,
+            compute,
+            arch,
         }
+    }
+
+    /// The live graph.
+    pub fn graph(&self) -> &dyn saga_graph::DynamicGraph {
+        self.graph.as_ref()
+    }
+
+    /// Borrow of the live compute state (serial or sharded).
+    pub fn state_ref(&self) -> ComputeStateRef<'_> {
+        match &self.state {
+            ComputeState::Serial(s) => ComputeStateRef::Serial(s),
+            ComputeState::Sharded(s) => ComputeStateRef::Sharded(s),
+        }
+    }
+
+    /// Current vertex property values.
+    pub fn values(&self) -> VertexValues {
+        match &self.state {
+            ComputeState::Serial(s) => s.values(),
+            ComputeState::Sharded(s) => s.values(),
+        }
+    }
+
+    /// Number of batches stepped so far.
+    pub fn batches_stepped(&self) -> usize {
+        self.next_index
     }
 }
 

@@ -1,0 +1,307 @@
+//! Request routing: the tenant registry and the HTTP API surface.
+//!
+//! The API is deliberately plain-text (bodies are `key=value` lines or
+//! edge-op lines in the loader's wire format) so every endpoint is
+//! scriptable with nothing but a TCP socket:
+//!
+//! | Method | Path | Body | Success |
+//! |---|---|---|---|
+//! | `GET` | `/healthz` | — | `200 ok` |
+//! | `GET` | `/metrics` | — | `200` metrics CSV |
+//! | `GET` | `/tenants` | — | `200` one name per line |
+//! | `POST` | `/tenants` | `key=value` config | `201` status doc |
+//! | `GET` | `/tenants/{t}/status` | — | `200` status doc |
+//! | `POST` | `/tenants/{t}/batches` | edge-op lines | `202 depth N` |
+//! | `GET` | `/tenants/{t}/values` | — | `200` values doc |
+//! | `GET` | `/tenants/{t}/edges` | — | `200` edge-list doc |
+//! | `GET` | `/tenants/{t}/journal` | — | `200` journal doc |
+//! | `DELETE` | `/tenants/{t}` | — | `204` |
+//!
+//! A full queue answers `429` with a `Retry-After` header — that is the
+//! admission-control backpressure contract the soak harness exercises.
+
+use crate::http::{Request, Response};
+use crate::tenant::{SubmitError, Tenant, TenantConfig};
+use saga_stream::loader::parse_edge_line;
+use saga_stream::{edge_weight, Edge, EdgeOp, Node};
+use saga_utils::sync::atomic::{AtomicUsize, Ordering};
+use saga_utils::sync::{Arc, Mutex};
+use std::collections::HashMap;
+
+/// The server's tenant table. Shared by every connection worker; the map
+/// lock is held only for lookups/insertions, never across graph work.
+#[derive(Debug, Default)]
+pub struct Registry {
+    tenants: Mutex<HashMap<String, Arc<Tenant>>>,
+    next_id: AtomicUsize,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Creates and spawns a tenant. `Err` when the name is taken.
+    pub fn create(&self, config: TenantConfig) -> Result<Arc<Tenant>, String> {
+        // Spawn before taking the map lock: the worker startup path reaches
+        // graph and driver locks, and holding the registry lock across it
+        // would pin a lock order the request handlers don't need. A name
+        // race just costs one short-lived worker (shut down below).
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let name = config.name.clone();
+        let tenant = Tenant::spawn(id, config);
+        let clash = {
+            let mut tenants = self.tenants.lock();
+            if tenants.contains_key(&name) {
+                true
+            } else {
+                tenants.insert(name.clone(), Arc::clone(&tenant));
+                false
+            }
+        };
+        if clash {
+            tenant.shutdown();
+            return Err(format!("tenant {name:?} already exists"));
+        }
+        Ok(tenant)
+    }
+
+    /// Looks up a tenant by name.
+    pub fn get(&self, name: &str) -> Option<Arc<Tenant>> {
+        self.tenants.lock().get(name).cloned()
+    }
+
+    /// Removes a tenant from the table (caller shuts it down outside the
+    /// map lock).
+    pub fn remove(&self, name: &str) -> Option<Arc<Tenant>> {
+        self.tenants.lock().remove(name)
+    }
+
+    /// Tenant names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tenants.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Shuts down and drops every tenant (drains queued work first).
+    pub fn shutdown_all(&self) {
+        let drained: Vec<Arc<Tenant>> = self.tenants.lock().drain().map(|(_, t)| t).collect();
+        for tenant in drained {
+            tenant.shutdown();
+        }
+    }
+}
+
+/// Routes one request to a handler and produces the response. Total:
+/// every input maps to a response (the parser upstream already rejected
+/// malformed HTTP).
+pub fn handle(registry: &Registry, req: &Request) -> Response {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Response::text(200, "ok\n"),
+        ("GET", ["metrics"]) => Response::text(200, saga_trace::metrics::snapshot().to_csv()),
+        ("GET", ["tenants"]) => {
+            let mut body = String::new();
+            for name in registry.names() {
+                body.push_str(&name);
+                body.push('\n');
+            }
+            Response::text(200, body)
+        }
+        ("POST", ["tenants"]) => create_tenant(registry, req),
+        ("DELETE", ["tenants", name]) => match registry.remove(name) {
+            Some(tenant) => {
+                tenant.shutdown();
+                Response::text(204, "")
+            }
+            None => Response::text(404, format!("no tenant {name:?}\n")),
+        },
+        ("POST", ["tenants", name, "batches"]) => submit_batch(registry, name, req),
+        ("GET", ["tenants", name, "status"]) => with_tenant(registry, name, |t| {
+            Response::text(200, t.status_text())
+        }),
+        ("GET", ["tenants", name, "values"]) => with_snapshot(registry, name, |_, s| {
+            Response::text(200, s.values_text)
+        }),
+        ("GET", ["tenants", name, "edges"]) => with_snapshot(registry, name, |_, s| {
+            Response::text(200, s.edges_text)
+        }),
+        ("GET", ["tenants", name, "journal"]) => {
+            // The snapshot barrier first: the journal then covers every
+            // batch admitted before this request arrived.
+            with_snapshot(registry, name, |t, _| Response::text(200, t.journal_text()))
+        }
+        (_, ["healthz" | "metrics" | "tenants"]) | (_, ["tenants", ..]) => {
+            Response::text(405, "method not allowed\n")
+        }
+        _ => Response::text(404, "unknown path\n"),
+    }
+}
+
+fn with_tenant<F>(registry: &Registry, name: &str, f: F) -> Response
+where
+    F: FnOnce(&Tenant) -> Response,
+{
+    match registry.get(name) {
+        Some(tenant) => f(&tenant),
+        None => Response::text(404, format!("no tenant {name:?}\n")),
+    }
+}
+
+fn with_snapshot<F>(registry: &Registry, name: &str, f: F) -> Response
+where
+    F: FnOnce(&Tenant, crate::tenant::TenantSnapshot) -> Response,
+{
+    with_tenant(registry, name, |tenant| match tenant.snapshot() {
+        Some(snap) => f(tenant, snap),
+        None => Response::text(409, "tenant is shutting down\n"),
+    })
+}
+
+fn create_tenant(registry: &Registry, req: &Request) -> Response {
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(b) => b,
+        Err(_) => return Response::text(400, "config body must be UTF-8\n"),
+    };
+    let config = match TenantConfig::parse(body) {
+        Ok(c) => c,
+        Err(e) => return Response::text(400, format!("bad config: {e}\n")),
+    };
+    match registry.create(config) {
+        Ok(tenant) => Response::text(201, tenant.status_text()),
+        Err(e) => Response::text(409, format!("{e}\n")),
+    }
+}
+
+/// Parses an uploaded batch body — edge-op lines in every spelling the
+/// loader accepts — into driver ops, bounds-checking vertex ids against
+/// the tenant's capacity and deriving absent weights deterministically.
+///
+/// # Errors
+///
+/// Returns `(status, message)`: 400 for unparseable rows, out-of-range
+/// ids, or an empty batch.
+pub fn parse_batch_body(
+    body: &str,
+    capacity: usize,
+    directed: bool,
+) -> Result<Vec<(EdgeOp, Edge)>, (u16, String)> {
+    let mut ops = Vec::new();
+    for (lineno, line) in body.lines().enumerate() {
+        let Some(raw) = parse_edge_line(line) else {
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+                continue;
+            }
+            return Err((400, format!("line {}: unparseable edge op {line:?}", lineno + 1)));
+        };
+        if raw.src >= capacity as u64 || raw.dst >= capacity as u64 {
+            return Err((
+                400,
+                format!(
+                    "line {}: vertex id out of range (capacity {capacity})",
+                    lineno + 1
+                ),
+            ));
+        }
+        let (src, dst) = (raw.src as Node, raw.dst as Node);
+        let weight = raw.weight.unwrap_or_else(|| edge_weight(src, dst, directed));
+        ops.push((raw.op, Edge::new(src, dst, weight)));
+    }
+    if ops.is_empty() {
+        return Err((400, "batch contains no edge ops".to_string()));
+    }
+    Ok(ops)
+}
+
+fn submit_batch(registry: &Registry, name: &str, req: &Request) -> Response {
+    with_tenant(registry, name, |tenant| {
+        let body = match std::str::from_utf8(&req.body) {
+            Ok(b) => b,
+            Err(_) => return Response::text(400, "batch body must be UTF-8\n"),
+        };
+        let ops = match parse_batch_body(body, tenant.config.capacity, tenant.config.directed) {
+            Ok(ops) => ops,
+            Err((status, msg)) => return Response::text(status, format!("{msg}\n")),
+        };
+        match tenant.submit(ops) {
+            Ok(depth) => Response::text(202, format!("depth {depth}\n")),
+            Err(SubmitError::Full) => {
+                let mut resp = Response::text(429, "queue full, retry\n");
+                resp.headers.push(("retry-after".to_string(), "1".to_string()));
+                resp
+            }
+            Err(SubmitError::Closed) => Response::text(409, "tenant is shutting down\n"),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(method: &str, path: &str, body: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            query: String::new(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+            keep_alive: true,
+        }
+    }
+
+    #[test]
+    fn lifecycle_create_upload_read_delete() {
+        let registry = Registry::new();
+        let resp = handle(&registry, &req("POST", "/tenants", "name=t0\nalgorithm=cc\ncapacity=8\n"));
+        assert_eq!(resp.status, 201, "{resp:?}");
+
+        let resp = handle(&registry, &req("POST", "/tenants/t0/batches", "0 1\n+ 1 2\nd 9 9\n"));
+        assert_eq!(resp.status, 400, "id 9 out of capacity 8: {resp:?}");
+        let resp = handle(&registry, &req("POST", "/tenants/t0/batches", "0 1\n+ 1 2\n"));
+        assert_eq!(resp.status, 202, "{resp:?}");
+
+        let resp = handle(&registry, &req("GET", "/tenants/t0/values", ""));
+        assert_eq!(resp.status, 200);
+        assert!(String::from_utf8_lossy(&resp.body).starts_with("u32"), "{resp:?}");
+
+        let resp = handle(&registry, &req("GET", "/tenants/t0/edges", ""));
+        assert_eq!(String::from_utf8_lossy(&resp.body).lines().count(), 2);
+
+        let resp = handle(&registry, &req("GET", "/tenants/t0/journal", ""));
+        let journal = String::from_utf8_lossy(&resp.body).to_string();
+        assert!(journal.contains("#batch 0"), "{journal}");
+
+        let resp = handle(&registry, &req("GET", "/tenants", ""));
+        assert_eq!(String::from_utf8_lossy(&resp.body), "t0\n");
+
+        assert_eq!(handle(&registry, &req("DELETE", "/tenants/t0", "")).status, 204);
+        assert_eq!(handle(&registry, &req("GET", "/tenants/t0/status", "")).status, 404);
+    }
+
+    #[test]
+    fn error_paths() {
+        let registry = Registry::new();
+        assert_eq!(handle(&registry, &req("GET", "/nope", "")).status, 404);
+        assert_eq!(handle(&registry, &req("PUT", "/tenants", "")).status, 405);
+        assert_eq!(handle(&registry, &req("POST", "/tenants", "structure=as\n")).status, 400);
+        assert_eq!(handle(&registry, &req("POST", "/tenants/ghost/batches", "0 1\n")).status, 404);
+        assert_eq!(handle(&registry, &req("DELETE", "/tenants/ghost", "")).status, 404);
+
+        handle(&registry, &req("POST", "/tenants", "name=dup\n"));
+        assert_eq!(handle(&registry, &req("POST", "/tenants", "name=dup\n")).status, 409);
+        assert_eq!(handle(&registry, &req("POST", "/tenants/dup/batches", "\n#c\n")).status, 400);
+        registry.shutdown_all();
+    }
+
+    #[test]
+    fn healthz_and_metrics_respond() {
+        let registry = Registry::new();
+        assert_eq!(handle(&registry, &req("GET", "/healthz", "")).status, 200);
+        let resp = handle(&registry, &req("GET", "/metrics", ""));
+        assert_eq!(resp.status, 200);
+    }
+}

@@ -1,0 +1,33 @@
+//! Runnable entry point: `saga-server [addr] [workers]`.
+//!
+//! Binds (default `127.0.0.1:7171`), prints the resolved address, and
+//! serves until the process is killed. The CI smoke job and EXPERIMENTS.md
+//! recipes drive this binary with `saga-check`'s load generator.
+
+use saga_server::{Server, ServerConfig};
+use std::time::Duration;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:7171".to_string());
+    let workers = args
+        .next()
+        .and_then(|w| w.parse().ok())
+        .unwrap_or_else(|| saga_utils::sync::thread::available_parallelism().min(8));
+    let config = ServerConfig {
+        addr,
+        workers,
+        ..ServerConfig::default()
+    };
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("saga-server: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("saga-server listening on {} ({workers} workers)", server.addr());
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

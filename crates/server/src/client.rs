@@ -1,0 +1,240 @@
+//! A minimal blocking HTTP/1.1 client over `std::net`, sized exactly to
+//! this server's plain-text API. One connection per [`Client`], keep-alive
+//! across calls; `saga-check`'s load generator drives N of these
+//! concurrently.
+
+use crate::http::{parse_request, Limits};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A response as the client sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A persistent connection to one server.
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    timeout: Duration,
+}
+
+impl Client {
+    /// Creates a client (connects lazily on first request).
+    pub fn new(addr: SocketAddr) -> Client {
+        Client {
+            addr,
+            stream: None,
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors and malformed server responses surface as `io::Error`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, b"")
+    }
+
+    /// `POST path` with a text body.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors and malformed server responses surface as `io::Error`.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, body.as_bytes())
+    }
+
+    /// `DELETE path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors and malformed server responses surface as `io::Error`.
+    pub fn delete(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("DELETE", path, b"")
+    }
+
+    /// Sends one request and reads the full response. Reconnects once if
+    /// the kept-alive connection went stale between calls.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors and malformed server responses surface as `io::Error`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<ClientResponse> {
+        let had_live_conn = self.stream.is_some();
+        match self.try_request(method, path, body) {
+            Ok(resp) => Ok(resp),
+            Err(e) if had_live_conn => {
+                // Stale keep-alive (server idle-closed between calls):
+                // retry exactly once on a fresh connection.
+                let _ = e;
+                self.stream = None;
+                self.try_request(method, path, body)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<ClientResponse> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(stream);
+        }
+        let stream = self.stream.as_mut().expect("just connected");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: saga\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        let sent = stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(body))
+            .and_then(|()| stream.flush());
+        if let Err(e) = sent {
+            self.stream = None;
+            return Err(e);
+        }
+        match read_response(stream) {
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Reads one full HTTP response (status line + headers + content-length
+/// body) from the stream. Reuses the server-side request parser for the
+/// header block by rewriting the status line into a request shape — the
+/// grammar past the first line is identical.
+fn read_response(stream: &mut TcpStream) -> std::io::Result<ClientResponse> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        // A response head ends the same way a request head does.
+        if let Some(head_end) = find_head_end(&buf) {
+            let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| bad("non-UTF8 head"))?;
+            let mut lines = head.split("\r\n");
+            let status_line = lines.next().ok_or_else(|| bad("empty head"))?;
+            let mut parts = status_line.trim_end().splitn(3, ' ');
+            let version = parts.next().unwrap_or("");
+            if !version.starts_with("HTTP/") {
+                return Err(bad("missing HTTP version"));
+            }
+            let status: u16 = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| bad("bad status code"))?;
+            // Re-parse the header block with the request parser by
+            // substituting a synthetic request line.
+            let mut synthetic = b"GET / HTTP/1.1\r\n".to_vec();
+            synthetic.extend_from_slice(&buf[status_line.len() + 2..head_end]);
+            synthetic.extend_from_slice(b"\r\n\r\n");
+            let parsed = parse_request(&synthetic, &Limits::default())
+                .map_err(|e| bad(&format!("bad response headers: {e}")))?;
+            let (headers, content_length) = match parsed {
+                crate::http::Parsed::Head {
+                    request,
+                    content_length,
+                    ..
+                } => (request.headers, content_length),
+                crate::http::Parsed::Incomplete => return Err(bad("truncated response head")),
+            };
+            let mut body = buf[head_end..].to_vec();
+            while body.len() < content_length {
+                let n = stream.read(&mut chunk)?;
+                if n == 0 {
+                    return Err(bad("connection closed mid-body"));
+                }
+                body.extend_from_slice(&chunk[..n]);
+            }
+            body.truncate(content_length);
+            return Ok(ClientResponse {
+                status,
+                headers,
+                body,
+            });
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(bad("connection closed before response head"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Position one past the head terminator (`\r\n\r\n` or `\n\n`), if
+/// present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Server, ServerConfig};
+
+    #[test]
+    fn client_round_trips_the_tenant_lifecycle() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let mut client = Client::new(server.addr());
+
+        let resp = client.post("/tenants", "name=cli\nalgorithm=cc\ncapacity=8\n").unwrap();
+        assert_eq!(resp.status, 201, "{resp:?}");
+
+        let resp = client.post("/tenants/cli/batches", "0 1\n1 2\n").unwrap();
+        assert_eq!(resp.status, 202, "{resp:?}");
+        assert!(resp.text().starts_with("depth"), "{resp:?}");
+
+        let resp = client.get("/tenants/cli/values").unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.text().starts_with("u32 8"), "{resp:?}");
+
+        let resp = client.delete("/tenants/cli").unwrap();
+        assert_eq!(resp.status, 204);
+        assert!(resp.body.is_empty());
+
+        let resp = client.get("/tenants/cli/status").unwrap();
+        assert_eq!(resp.status, 404);
+        server.shutdown();
+    }
+}

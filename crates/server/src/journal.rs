@@ -1,0 +1,205 @@
+//! The per-tenant batch journal: every byte the server accepts, in
+//! acceptance order, replayable offline.
+//!
+//! A journal is plain text built from the loader's canonical edge-line
+//! form ([`render_edge_line`]) — one row per op, explicit weights — with
+//! `#batch <seq>` comment markers terminating each accepted batch. Because
+//! batch markers are `#` comments, [`parse_edge_line`] skips them, so a
+//! journal also loads as an ordinary edge-op stream; the dedicated
+//! [`parse_journal`] additionally recovers the batch boundaries, which is
+//! what `saga-check`'s loadgen replays through the [`GraphOracle`] to
+//! prove the server processed exactly what it admitted (DESIGN.md §13).
+//!
+//! [`GraphOracle`]: saga_graph::oracle::GraphOracle
+
+use saga_stream::loader::{parse_edge_line, render_edge_line};
+use saga_stream::{edge_weight, Edge, EdgeOp};
+use std::fmt::Write as _;
+
+/// One journaled batch: the ops exactly as accepted, in order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalBatch {
+    /// Acceptance sequence number (what the `#batch` marker carries).
+    pub seq: usize,
+    /// The batch's ops in acceptance order.
+    pub ops: Vec<(EdgeOp, Edge)>,
+}
+
+impl JournalBatch {
+    /// Splits into `(inserts, deletes)` in op order — the form both the
+    /// driver session and [`GraphOracle::apply_batch`] consume (inserts
+    /// apply before deletes within a batch, the window semantics).
+    ///
+    /// [`GraphOracle::apply_batch`]: saga_graph::oracle::GraphOracle::apply_batch
+    pub fn split(&self) -> (Vec<Edge>, Vec<Edge>) {
+        let mut inserts = Vec::new();
+        let mut deletes = Vec::new();
+        for &(op, e) in &self.ops {
+            match op {
+                EdgeOp::Insert => inserts.push(e),
+                EdgeOp::Delete => deletes.push(e),
+            }
+        }
+        (inserts, deletes)
+    }
+}
+
+/// The replay root for a journal: the source vertex of the very first
+/// journaled op. This is the same convention the tenant worker uses when
+/// no explicit root was configured (and mirrors the differential
+/// checker's `stream.edges.first().src` rule), so an offline replay seeds
+/// BFS/SSSP/SSWP from the vertex the server did.
+pub fn journal_root(batches: &[JournalBatch]) -> saga_stream::Node {
+    batches
+        .first()
+        .and_then(|b| b.ops.first())
+        .map(|&(_, e)| e.src)
+        .unwrap_or(0)
+}
+
+/// Appends one batch to a journal in canonical form: one
+/// [`render_edge_line`] row per op, then the `#batch` terminator.
+pub fn append_batch(out: &mut String, seq: usize, ops: &[(EdgeOp, Edge)]) {
+    for &(op, ref edge) in ops {
+        out.push_str(&render_edge_line(edge, op));
+        out.push('\n');
+    }
+    let _ = writeln!(out, "#batch {seq}");
+}
+
+/// Serializes batches to canonical journal text.
+/// [`parse_journal`] ∘ `serialize_journal` is the identity on non-empty
+/// batches (pinned by the round-trip proptest in
+/// `tests/journal_roundtrip.rs`).
+pub fn serialize_journal(batches: &[JournalBatch]) -> String {
+    let mut out = String::new();
+    for b in batches {
+        append_batch(&mut out, b.seq, &b.ops);
+    }
+    out
+}
+
+/// Parses journal text back into batches. Accepts every op spelling
+/// [`parse_edge_line`] does (`+`/`-`/`a`/`d`/fused signs, optional
+/// weights — absent weights are re-derived from the endpoints with
+/// `directed` sensitivity, exactly what the server does at admission).
+/// Trailing rows after the last marker become a final implicit batch.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line: unparseable rows,
+/// malformed `#batch` markers, or an empty batch.
+pub fn parse_journal(text: &str, directed: bool) -> Result<Vec<JournalBatch>, String> {
+    let mut batches = Vec::new();
+    let mut ops: Vec<(EdgeOp, Edge)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if let Some(rest) = trimmed.strip_prefix("#batch") {
+            let seq: usize = rest
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {}: malformed #batch marker", lineno + 1))?;
+            if ops.is_empty() {
+                return Err(format!("line {}: empty batch {seq}", lineno + 1));
+            }
+            batches.push(JournalBatch {
+                seq,
+                ops: std::mem::take(&mut ops),
+            });
+            continue;
+        }
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let raw = parse_edge_line(line)
+            .ok_or_else(|| format!("line {}: unparseable journal row {line:?}", lineno + 1))?;
+        let (src, dst) = (raw.src as saga_stream::Node, raw.dst as saga_stream::Node);
+        let weight = raw.weight.unwrap_or_else(|| edge_weight(src, dst, directed));
+        ops.push((raw.op, Edge::new(src, dst, weight)));
+    }
+    if !ops.is_empty() {
+        let seq = batches.last().map(|b: &JournalBatch| b.seq + 1).unwrap_or(0);
+        batches.push(JournalBatch { seq, ops });
+    }
+    Ok(batches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<JournalBatch> {
+        vec![
+            JournalBatch {
+                seq: 0,
+                ops: vec![
+                    (EdgeOp::Insert, Edge::new(0, 1, 2.5)),
+                    (EdgeOp::Insert, Edge::new(1, 2, 1.0)),
+                ],
+            },
+            JournalBatch {
+                seq: 1,
+                ops: vec![
+                    (EdgeOp::Delete, Edge::new(0, 1, 2.5)),
+                    (EdgeOp::Insert, Edge::new(2, 3, 8.875)),
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn serialize_then_parse_is_identity() {
+        let batches = sample();
+        let text = serialize_journal(&batches);
+        assert_eq!(parse_journal(&text, true).unwrap(), batches);
+    }
+
+    #[test]
+    fn journal_is_also_a_plain_edge_op_stream() {
+        // Batch markers are comments, so the loader sees just the rows.
+        let text = serialize_journal(&sample());
+        let parsed: Vec<_> = text.lines().filter_map(parse_edge_line).collect();
+        assert_eq!(parsed.len(), 4);
+        assert_eq!(parsed[2].op, EdgeOp::Delete);
+    }
+
+    #[test]
+    fn foreign_spellings_and_missing_weights_parse() {
+        let text = "+ 1 2\nd 3 4\n#batch 7\n-5 6\n#batch 8\n";
+        let batches = parse_journal(text, false).unwrap();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].seq, 7);
+        assert_eq!(batches[0].ops[0].0, EdgeOp::Insert);
+        assert_eq!(batches[0].ops[1].0, EdgeOp::Delete);
+        let e = batches[0].ops[0].1;
+        assert_eq!(e.weight, edge_weight(1, 2, false), "derived like admission");
+        assert_eq!(batches[1].ops[0].1.src, 5);
+    }
+
+    #[test]
+    fn trailing_rows_become_an_implicit_final_batch() {
+        let text = "1 2\n#batch 0\n3 4\n";
+        let batches = parse_journal(text, true).unwrap();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[1].seq, 1, "implicit seq continues the last marker");
+    }
+
+    #[test]
+    fn malformed_journals_are_rejected_with_line_numbers() {
+        assert!(parse_journal("1 2\n#batch x\n", true)
+            .unwrap_err()
+            .contains("line 2"));
+        assert!(parse_journal("#batch 0\n", true).unwrap_err().contains("empty batch"));
+        assert!(parse_journal("1 2\nnot an edge\n", true)
+            .unwrap_err()
+            .contains("line 2"));
+    }
+
+    #[test]
+    fn split_preserves_op_order_within_kind() {
+        let b = &sample()[1];
+        let (ins, del) = b.split();
+        assert_eq!(ins, vec![Edge::new(2, 3, 8.875)]);
+        assert_eq!(del, vec![Edge::new(0, 1, 2.5)]);
+    }
+}

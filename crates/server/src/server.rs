@@ -1,0 +1,289 @@
+//! The service itself: a `std::net` TCP accept loop feeding an
+//! admission-bounded connection queue drained by a reused
+//! [`ThreadPool`](saga_utils::parallel::ThreadPool).
+//!
+//! Thread layout (DESIGN.md §13):
+//!
+//! - **accept** (`saga-server-accept`): blocking `accept()`; pushes each
+//!   connection into a bounded queue, shedding with `503` when full.
+//! - **dispatch** (`saga-server-dispatch`): parks inside
+//!   [`ThreadPool::run_on_all`] for the server's lifetime — every pool
+//!   worker loops popping connections and serving keep-alive requests.
+//! - **tenants** (`saga-tenant-*`): one worker per tenant (see
+//!   [`crate::tenant`]); connection workers only enqueue.
+//!
+//! Shutdown closes both queues, wakes the accept loop with a self-connect,
+//! joins everything, then drains tenants.
+//!
+//! [`ThreadPool::run_on_all`]: saga_utils::parallel::ThreadPool::run_on_all
+
+use crate::api::{handle, Registry};
+use crate::http::{Conn, ConnError, Limits, Response};
+use saga_trace::metrics::{counter, histogram};
+use saga_utils::parallel::ThreadPool;
+use saga_utils::queue::BoundedQueue;
+use saga_utils::sync::atomic::{AtomicBool, Ordering};
+use saga_utils::sync::{thread, Arc, Mutex};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (tests do).
+    pub addr: String,
+    /// Connection-serving workers (the reused pool's size).
+    pub workers: usize,
+    /// Bound on accepted-but-unserved connections; beyond it the accept
+    /// loop sheds load with `503`.
+    pub accept_backlog: usize,
+    /// Per-connection socket read timeout (idle keep-alive connections are
+    /// dropped after this, so workers can never be wedged by a silent
+    /// peer).
+    pub read_timeout: Duration,
+    /// HTTP parser limits.
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            accept_backlog: 32,
+            read_timeout: Duration::from_secs(5),
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// A running server: bound socket, accept/dispatch threads, tenant
+/// registry. Dropping it shuts everything down.
+pub struct Server {
+    registry: Arc<Registry>,
+    addr: SocketAddr,
+    conns: Arc<BoundedQueue<TcpStream>>,
+    stopping: Arc<AtomicBool>,
+    accept_handle: Mutex<Option<thread::JoinHandle>>,
+    dispatch_handle: Mutex<Option<thread::JoinHandle>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let registry = Arc::new(Registry::new());
+        let conns = Arc::new(BoundedQueue::new(config.accept_backlog));
+        let stopping = Arc::new(AtomicBool::new(false));
+
+        let accept_handle = {
+            let conns = Arc::clone(&conns);
+            let stopping = Arc::clone(&stopping);
+            let read_timeout = config.read_timeout;
+            thread::spawn_named("saga-server-accept".to_string(), move || {
+                accept_loop(&listener, &conns, &stopping, read_timeout);
+            })
+        };
+
+        let dispatch_handle = {
+            let conns = Arc::clone(&conns);
+            let registry = Arc::clone(&registry);
+            let limits = config.limits;
+            let workers = config.workers.max(1);
+            thread::spawn_named("saga-server-dispatch".to_string(), move || {
+                // The pool is the reused worker abstraction: run_on_all
+                // parks this thread while every worker (itself included)
+                // drains the connection queue until close.
+                let pool = ThreadPool::new(workers);
+                pool.run_on_all(|_worker| {
+                    while let Some(stream) = conns.pop() {
+                        serve_connection(&registry, stream, &limits);
+                    }
+                });
+            })
+        };
+
+        Ok(Server {
+            registry,
+            addr,
+            conns,
+            stopping,
+            accept_handle: Mutex::new(Some(accept_handle)),
+            dispatch_handle: Mutex::new(Some(dispatch_handle)),
+        })
+    }
+
+    /// The bound address (port resolved when `addr` used port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The tenant registry, for in-process inspection in tests.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Stops accepting, drains in-flight connections and queued tenant
+    /// work, joins every thread. Idempotent.
+    pub fn shutdown(&self) {
+        if self.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop: it checks `stopping` after every
+        // accept, so a throwaway self-connection gets it to exit.
+        let _ = TcpStream::connect(self.addr);
+        let accept = self.accept_handle.lock().take();
+        if let Some(h) = accept {
+            let _ = h.join();
+        }
+        self.conns.close();
+        let dispatch = self.dispatch_handle.lock().take();
+        if let Some(h) = dispatch {
+            let _ = h.join();
+        }
+        self.registry.shutdown_all();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    conns: &BoundedQueue<TcpStream>,
+    stopping: &AtomicBool,
+    read_timeout: Duration,
+) {
+    let accepted = counter("server.connections_accepted");
+    let shed = counter("server.connections_shed");
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(_) if stopping.load(Ordering::SeqCst) => return,
+            Err(_) => continue,
+        };
+        if stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = stream.set_read_timeout(Some(read_timeout));
+        let _ = stream.set_nodelay(true);
+        accepted.incr();
+        if let Err(mut stream) = conns.try_push(stream) {
+            // Backlog full: shed with 503 rather than let the kernel
+            // queue grow unbounded behind a stalled worker pool.
+            shed.incr();
+            let _ = Response::text(503, "server busy\n").write_to(&mut stream, false);
+            let _ = stream.flush();
+        }
+    }
+}
+
+/// Serves one connection: keep-alive request loop, one response per
+/// request. Malformed requests get their 4xx/5xx status and the
+/// connection closes (no resynchronization attempts); timeouts and EOF
+/// just close.
+fn serve_connection(registry: &Registry, stream: TcpStream, limits: &Limits) {
+    let requests = counter("server.requests");
+    let errors = counter("server.http_errors");
+    let latency = histogram("server.request_ns");
+    let mut conn = Conn::new(stream, *limits);
+    loop {
+        match conn.next_request() {
+            Ok(req) => {
+                let _span = saga_trace::span!("http_request");
+                let started = Instant::now();
+                let resp = handle(registry, &req);
+                latency.record(started.elapsed().as_nanos() as u64);
+                requests.incr();
+                if resp.status >= 400 {
+                    errors.incr();
+                }
+                if resp.write_to(conn.stream_mut(), req.keep_alive).is_err() || !req.keep_alive {
+                    return;
+                }
+            }
+            Err(ConnError::Bad(e)) => {
+                // The totality contract: byte soup never hangs the
+                // connection — it gets a status line and a close.
+                errors.incr();
+                let _ = Response::text(e.status, format!("{e}\n")).write_to(conn.stream_mut(), false);
+                return;
+            }
+            Err(ConnError::Closed) | Err(ConnError::Io(_)) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read as _;
+
+    fn roundtrip(addr: SocketAddr, raw: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        let _ = stream.read_to_string(&mut out);
+        out
+    }
+
+    #[test]
+    fn serves_healthz_and_rejects_garbage() {
+        let server = Server::start(ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let ok = roundtrip(
+            server.addr(),
+            "GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n",
+        );
+        assert!(ok.starts_with("HTTP/1.1 200"), "{ok}");
+        assert!(ok.ends_with("ok\n"), "{ok}");
+
+        let bad = roundtrip(server.addr(), "\x01\x02 not http\r\n\r\n");
+        assert!(bad.starts_with("HTTP/1.1 4"), "{bad}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_serves_pipelined_requests() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(
+                b"GET /healthz HTTP/1.1\r\n\r\nGET /tenants HTTP/1.1\r\nconnection: close\r\n\r\n",
+            )
+            .unwrap();
+        let mut out = String::new();
+        let _ = stream.read_to_string(&mut out);
+        assert_eq!(out.matches("HTTP/1.1 200").count(), 2, "{out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_releases_the_port() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let addr = server.addr();
+        server.shutdown();
+        server.shutdown();
+        drop(server);
+        // The port is free again.
+        let _rebind = TcpListener::bind(addr).unwrap();
+    }
+}

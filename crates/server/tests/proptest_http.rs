@@ -1,0 +1,149 @@
+//! Totality property tests for the HTTP/1.1 request parser (the same
+//! contract the analyzer's lexer pins in `proptest_lexer.rs`): arbitrary
+//! byte soup must never panic, and over a real socket a malformed request
+//! must get a 4xx/5xx status line and a closed connection — never a hung
+//! one.
+
+use proptest::prelude::*;
+use saga_server::http::{parse_request, Limits, Parsed};
+use saga_server::server::{Server, ServerConfig};
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Arbitrary bytes, occasionally long enough to cross the head limit.
+fn byte_soup() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..512)
+}
+
+/// Fragments biased toward HTTP grammar trouble: half-valid start lines,
+/// header separators, stray control bytes, conflicting lengths.
+fn http_ish() -> impl Strategy<Value = Vec<u8>> {
+    let fragment = prop_oneof![
+        Just(b"GET / HTTP/1.1\r\n".to_vec()),
+        Just(b"GET  /two-spaces HTTP/1.1\r\n".to_vec()),
+        Just(b"POST /tenants HTTP/2.0\r\n".to_vec()),
+        Just(b"get / http/1.1\r\n".to_vec()),
+        Just(b"GET noslash HTTP/1.1\r\n".to_vec()),
+        Just(b"content-length: 5\r\n".to_vec()),
+        Just(b"content-length: 7\r\n".to_vec()),
+        Just(b"content-length: banana\r\n".to_vec()),
+        Just(b"transfer-encoding: chunked\r\n".to_vec()),
+        Just(b"connection: keep-alive\r\n".to_vec()),
+        Just(b": no-name\r\n".to_vec()),
+        Just(b"no-colon\r\n".to_vec()),
+        Just(b"\r\n".to_vec()),
+        Just(b"\n".to_vec()),
+        Just(b"\x00\x01\x02".to_vec()),
+        Just(b"\xff\xfe".to_vec()),
+        proptest::collection::vec(any::<u8>(), 0..16),
+    ];
+    proptest::collection::vec(fragment, 0..12).prop_map(|v| v.concat())
+}
+
+proptest! {
+    /// Raw totality: any input yields Incomplete, a head, or an error
+    /// whose status is a well-formed 4xx/5xx — never a panic.
+    #[test]
+    fn parser_is_total_on_byte_soup(buf in byte_soup()) {
+        check_total(&buf);
+    }
+
+    /// Same, on inputs shaped like broken HTTP.
+    #[test]
+    fn parser_is_total_on_http_ish_soup(buf in http_ish()) {
+        check_total(&buf);
+    }
+
+    /// Adding bytes to an incomplete head never flips it to a *different*
+    /// error class arbitrarily: a prefix that already parsed to a head
+    /// keeps parsing to the same head (incremental reads are how `Conn`
+    /// feeds this parser).
+    #[test]
+    fn complete_heads_are_stable_under_suffixes(buf in http_ish(), extra in byte_soup()) {
+        let limits = Limits::default();
+        if let Ok(Parsed::Head { request, consumed, content_length }) =
+            parse_request(&buf, &limits)
+        {
+            let mut longer = buf.clone();
+            longer.extend_from_slice(&extra);
+            match parse_request(&longer, &limits) {
+                Ok(Parsed::Head { request: r2, consumed: c2, content_length: l2 }) => {
+                    prop_assert_eq!(request, r2);
+                    prop_assert_eq!(consumed, c2);
+                    prop_assert_eq!(content_length, l2);
+                }
+                other => prop_assert!(false, "head became {other:?} after suffix"),
+            }
+        }
+    }
+}
+
+fn check_total(buf: &[u8]) {
+    let limits = Limits::default();
+    match parse_request(buf, &limits) {
+        Ok(Parsed::Incomplete) | Ok(Parsed::Head { .. }) => {}
+        Err(e) => {
+            assert!(
+                (400..=599).contains(&e.status),
+                "error status {} out of range",
+                e.status
+            );
+        }
+    }
+}
+
+/// The socket-level half of the satellite: every malformed request sent
+/// to a live server gets a status line back and the connection closes.
+/// Deterministic adversarial corpus rather than proptest here — each case
+/// costs a real TCP round trip.
+#[test]
+fn malformed_requests_get_4xx_not_a_hang() {
+    let server = Server::start(ServerConfig {
+        read_timeout: Duration::from_millis(500),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let cases: &[&[u8]] = &[
+        b"\x01\x02\x03\r\n\r\n",
+        b"GET\r\n\r\n",
+        b"GET /\r\n\r\n",
+        b"GET / HTTP/3.0\r\n\r\n",
+        b"G\x00T / HTTP/1.1\r\n\r\n",
+        b"GET noslash HTTP/1.1\r\n\r\n",
+        b"GET / HTTP/1.1\r\nno-colon\r\n\r\n",
+        b"GET / HTTP/1.1\r\n: empty\r\n\r\n",
+        b"GET / HTTP/1.1\r\ncontent-length: zebra\r\n\r\n",
+        b"GET / HTTP/1.1\r\ncontent-length: 5\r\ncontent-length: 6\r\n\r\n",
+        b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+        b"POST /t HTTP/1.1\r\ncontent-length: 99999999999\r\n\r\n",
+        b"\xff\xfe\xfd\n\n",
+    ];
+    for (i, case) in cases.iter().enumerate() {
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(case).expect("send");
+        let mut out = Vec::new();
+        // read_to_end returning proves the server closed the connection —
+        // the "no hung connection" half of the property. The 10s client
+        // timeout (vs the server's 500ms) turns a hang into a test error.
+        stream.read_to_end(&mut out).expect("server closed cleanly");
+        let text = String::from_utf8_lossy(&out);
+        assert!(
+            text.starts_with("HTTP/1.1 4") || text.starts_with("HTTP/1.1 5"),
+            "case {i}: expected 4xx/5xx, got {text:?}"
+        );
+    }
+    // An unterminated head (no blank line at all) must also resolve via
+    // the read timeout rather than waiting forever.
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.write_all(b"GET / HTTP/1.1\r\nhalf-a-head").expect("send");
+    let mut out = Vec::new();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.read_to_end(&mut out).expect("server closed after timeout");
+    server.shutdown();
+}

@@ -309,6 +309,20 @@ pub fn gauge(name: &str) -> Arc<Gauge> {
     }
 }
 
+/// The gauge registered under `name.index` (created on first use) — the
+/// gauge twin of [`indexed_counter`], used for per-instance families such
+/// as `saga-server`'s per-tenant queue-depth gauges
+/// (`server.queue_depth.3`). Keeping the index in the name means a
+/// [`snapshot`] lists every member of the family side by side.
+///
+/// # Panics
+///
+/// Panics if the derived name is already registered as a different
+/// metric kind.
+pub fn indexed_gauge(name: &str, index: usize) -> Arc<Gauge> {
+    gauge(&format!("{name}.{index}"))
+}
+
 /// The histogram registered under `name` (created on first use).
 ///
 /// # Panics

@@ -46,6 +46,7 @@ pub mod parallel;
 pub mod partition;
 pub mod prefetch;
 pub mod probe;
+pub mod queue;
 pub mod stats;
 pub mod sync;
 pub mod timer;

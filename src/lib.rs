@@ -18,6 +18,10 @@
 //!   experiment harness, P1/P2/P3 stage aggregation, and report formatting.
 //! - [`perf`] — the trace-driven memory-hierarchy simulator substituting for
 //!   the paper's Intel PCM hardware counters.
+//! - [`server`] — a dependency-free multi-tenant HTTP service hosting many
+//!   named streaming-analytics sessions (structure × algorithm × compute
+//!   model) concurrently, with admission-controlled ingest and journaled
+//!   batches for offline differential replay (DESIGN.md §13).
 //! - [`utils`] — the parallel runtime, memory-access probes, statistics, and
 //!   small shared primitives.
 //! - [`trace`] — the observability layer: structured spans and instants
@@ -48,6 +52,7 @@ pub use saga_algorithms as algorithms;
 pub use saga_core as core;
 pub use saga_graph as graph;
 pub use saga_perf as perf;
+pub use saga_server as server;
 pub use saga_stream as stream;
 pub use saga_trace as trace;
 pub use saga_utils as utils;
