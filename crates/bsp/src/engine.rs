@@ -238,7 +238,13 @@ where
             killed: AtomicBool::new(false),
             killed_step: AtomicUsize::new(0),
         };
+        // Capture the caller's ambient trace context before fanning out:
+        // pool workers are long-lived threads with no context of their
+        // own, so each re-installs the request's context for the scope of
+        // this run and the per-shard spans join the request's trace tree.
+        let trace_ctx = saga_trace::ctx::current();
         pool.run_on_all(|w| {
+            let _trace_scope = saga_trace::ctx::scope(trace_ctx);
             let mut bufs: Vec<Vec<(Node, P::Value)>> = (0..nshards).map(|_| Vec::new()).collect();
             let mut neighbors: Vec<(Node, Weight)> = Vec::new();
             loop {

@@ -155,6 +155,113 @@ pub fn validate(doc: &str) -> Result<TraceStats, String> {
     Ok(stats)
 }
 
+/// Decodes a Chrome trace-event JSON document back into the
+/// [`saga_trace::TraceEvent`] stream the exporter rendered, so the
+/// offline analyzer (`saga_trace::analyze`, `cargo xtask analyze-trace`)
+/// can run over exported artifacts as well as live captures.
+///
+/// The decode inverts `saga_trace::chrome::render` field by field:
+/// `tid` → track name via the `thread_name` metadata records, `ts`/`dur`
+/// microseconds back to nanoseconds, `B`/`E`/`i`/`X` phases back to
+/// [`EventKind`](saga_trace::EventKind)s, the first non-`trace` numeric
+/// `args` member back to the site argument, and the `trace` hex string
+/// back to the trace id.
+///
+/// # Errors
+///
+/// Returns a message for anything [`validate`] would reject that this
+/// walk touches (malformed JSON, missing fields, unknown phases,
+/// unnamed tracks) — run [`validate`] first for the full invariant set.
+pub fn decode_events(doc: &str) -> Result<Vec<saga_trace::TraceEvent>, String> {
+    use saga_trace::EventKind;
+    let root = json::parse(doc).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = root
+        .get("traceEvents")
+        .ok_or("missing `traceEvents` member")?
+        .as_array()
+        .ok_or("`traceEvents` is not an array")?;
+
+    let mut tracks: BTreeMap<usize, String> = BTreeMap::new();
+    let mut out = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing string `name`"))?;
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or(format!("event {i}: missing string `ph`"))?;
+        let tid = e
+            .get("tid")
+            .and_then(Json::as_usize)
+            .ok_or(format!("event {i}: missing numeric `tid`"))?;
+        if ph == "M" {
+            if name == "thread_name" {
+                let track = e
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .ok_or(format!("event {i}: thread_name without args.name"))?;
+                tracks.insert(tid, track.to_string());
+            }
+            continue;
+        }
+        let track = tracks
+            .get(&tid)
+            .cloned()
+            .ok_or(format!("event {i}: tid {tid} has no thread_name record"))?;
+        let us_to_ns = |v: f64| (v * 1000.0).round() as u64;
+        let t_ns = e
+            .get("ts")
+            .and_then(Json::as_f64)
+            .map(us_to_ns)
+            .ok_or(format!("event {i}: missing numeric `ts`"))?;
+        let (kind, dur_ns) = match ph {
+            "B" => (EventKind::Begin, 0),
+            "E" => (EventKind::End, 0),
+            "i" => (EventKind::Instant, 0),
+            "X" => (
+                EventKind::Complete,
+                e.get("dur")
+                    .and_then(Json::as_f64)
+                    .map(us_to_ns)
+                    .ok_or(format!("event {i}: `X` record without numeric `dur`"))?,
+            ),
+            other => return Err(format!("event {i}: unknown phase `{other}`")),
+        };
+        let mut arg = None;
+        let mut trace_id = None;
+        if let Some(Json::Obj(args)) = e.get("args") {
+            for (key, value) in args {
+                if key == "trace" {
+                    let hex = value
+                        .as_str()
+                        .ok_or(format!("event {i}: `trace` arg is not a string"))?;
+                    trace_id = Some(
+                        u64::from_str_radix(hex, 16)
+                            .map_err(|_| format!("event {i}: bad trace id {hex:?}"))?,
+                    );
+                } else if arg.is_none() {
+                    if let Some(v) = value.as_f64() {
+                        arg = Some((key.clone(), v as u64));
+                    }
+                }
+            }
+        }
+        out.push(saga_trace::TraceEvent {
+            track,
+            t_ns,
+            dur_ns,
+            kind,
+            name: name.to_string(),
+            arg,
+            trace_id,
+        });
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +301,64 @@ mod tests {
         assert!(validate(&stray).unwrap_err().contains("no open span"));
         let unclosed = doc(r#"{"name":"a","ph":"B","pid":1,"tid":1,"ts":1}"#);
         assert!(validate(&unclosed).unwrap_err().contains("never closed"));
+    }
+
+    #[test]
+    fn decode_inverts_the_chrome_exporter() {
+        use saga_trace::{EventKind, TraceEvent};
+        let events = vec![
+            TraceEvent {
+                track: "worker-0".to_string(),
+                t_ns: 1_500,
+                dur_ns: 0,
+                kind: EventKind::Begin,
+                name: "batch".to_string(),
+                arg: Some(("edges".to_string(), 42)),
+                trace_id: Some(0xdead_beef_0000_0001),
+            },
+            TraceEvent {
+                track: "worker-0".to_string(),
+                t_ns: 2_000,
+                dur_ns: 0,
+                kind: EventKind::Instant,
+                name: "removed".to_string(),
+                arg: None,
+                trace_id: None,
+            },
+            // The exporter only renders the trace id on the opening
+            // record (B/i/X); an End's id would be redundant, so the
+            // round-trip is exact only with it already absent here.
+            TraceEvent {
+                track: "worker-0".to_string(),
+                t_ns: 9_000,
+                dur_ns: 0,
+                kind: EventKind::End,
+                name: "batch".to_string(),
+                arg: None,
+                trace_id: None,
+            },
+            TraceEvent {
+                track: "io".to_string(),
+                t_ns: 3_000,
+                dur_ns: 4_000,
+                kind: EventKind::Complete,
+                name: "flush".to_string(),
+                arg: None,
+                trace_id: None,
+            },
+        ];
+        let doc = saga_trace::chrome::render(&events);
+        validate(&doc).unwrap();
+        let back = decode_events(&doc).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn decode_rejects_bad_trace_ids_and_unnamed_tids() {
+        let bad_id = doc(r#"{"name":"a","ph":"i","pid":1,"tid":1,"ts":1,"s":"t","args":{"trace":"xyz"}}"#);
+        assert!(decode_events(&bad_id).unwrap_err().contains("bad trace id"));
+        let unnamed = doc(r#"{"name":"a","ph":"i","pid":1,"tid":7,"ts":1,"s":"t"}"#);
+        assert!(decode_events(&unnamed).unwrap_err().contains("thread_name"));
     }
 
     #[test]

@@ -202,8 +202,9 @@ fn soak_multi_tenant_steady_state_with_zero_diff_replay() {
         "same seed must reproduce the same journal byte-for-byte"
     );
 
-    // Metrics snapshot artifact for CI.
-    let resp = client.get("/metrics").expect("metrics");
+    // Metrics snapshot artifact for CI (the default `/metrics` body is
+    // now Prometheus exposition; the CSV artifact rides the query flag).
+    let resp = client.get("/metrics?format=csv").expect("metrics");
     assert_eq!(resp.status, 200);
     let csv = resp.text();
     assert!(csv.contains("server.request_ns"), "missing request latency metric:\n{csv}");

@@ -430,6 +430,9 @@ struct DriverMetrics {
     removed: std::sync::Arc<saga_trace::metrics::Counter>,
     missing: std::sync::Arc<saga_trace::metrics::Counter>,
     affected: std::sync::Arc<saga_trace::metrics::Counter>,
+    /// Process allocation high-water mark (bytes); stays 0 unless the
+    /// counting allocator is installed (`alloc-track` in saga-server).
+    mem_high: std::sync::Arc<saga_trace::metrics::Gauge>,
 }
 
 impl DriverMetrics {
@@ -443,6 +446,7 @@ impl DriverMetrics {
             removed: saga_trace::metrics::counter("driver.removed"),
             missing: saga_trace::metrics::counter("driver.missing"),
             affected: saga_trace::metrics::counter("driver.affected"),
+            mem_high: saga_trace::metrics::gauge("mem.high_water"),
         }
     }
 }
@@ -576,6 +580,9 @@ impl DriverSession<'_> {
         self.metrics.removed.add(del_stats.removed as u64);
         self.metrics.missing.add(del_stats.missing as u64);
         self.metrics.affected.add(impact.affected.len() as u64);
+        if saga_trace::alloc::tracking_active() {
+            self.metrics.mem_high.set(saga_trace::alloc::high_water_bytes() as f64);
+        }
 
         let arch = self.hierarchy.as_mut().map(|h| {
             let a = self.arch_sim.as_ref().unwrap();

@@ -6,8 +6,9 @@
 //!
 //! | Method | Path | Body | Success |
 //! |---|---|---|---|
-//! | `GET` | `/healthz` | — | `200 ok` |
-//! | `GET` | `/metrics` | — | `200` metrics CSV |
+//! | `GET` | `/healthz` | — | `200 ok` + build/uptime info |
+//! | `GET` | `/metrics` | — | `200` Prometheus text (`?format=csv` for CSV) |
+//! | `GET` | `/debug/flight` | — | `200` flight-recorder Chrome trace (`?dump=1` also writes an artifact) |
 //! | `GET` | `/tenants` | — | `200` one name per line |
 //! | `POST` | `/tenants` | `key=value` config | `201` status doc |
 //! | `GET` | `/tenants/{t}/status` | — | `200` status doc |
@@ -100,8 +101,32 @@ impl Registry {
 pub fn handle(registry: &Registry, req: &Request) -> Response {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => Response::text(200, "ok\n"),
-        ("GET", ["metrics"]) => Response::text(200, saga_trace::metrics::snapshot().to_csv()),
+        ("GET", ["healthz"]) => Response::text(
+            200,
+            format!(
+                "ok\nserver saga-server {}\nuptime_seconds {:.3}\n",
+                env!("CARGO_PKG_VERSION"),
+                saga_trace::expose::uptime_seconds(),
+            ),
+        ),
+        ("GET", ["metrics"]) => {
+            // Prometheus text exposition by default; the original CSV
+            // snapshot stays reachable for the soak harness's artifacts.
+            if has_query_flag(req, "format=csv") {
+                Response::text(200, saga_trace::metrics::snapshot().to_csv())
+            } else {
+                Response::text(200, saga_trace::expose::prometheus_text())
+            }
+        }
+        ("GET", ["debug", "flight"]) => {
+            // The rings drain non-destructively, so serving the capture
+            // does not consume it. `?dump=1` additionally writes the
+            // on-disk artifact pair (trace + metrics sidecar).
+            if has_query_flag(req, "dump=1") {
+                crate::flight::dump("manual");
+            }
+            Response::text(200, saga_trace::chrome_trace())
+        }
         ("GET", ["tenants"]) => {
             let mut body = String::new();
             for name in registry.names() {
@@ -114,6 +139,11 @@ pub fn handle(registry: &Registry, req: &Request) -> Response {
         ("DELETE", ["tenants", name]) => match registry.remove(name) {
             Some(tenant) => {
                 tenant.shutdown();
+                // Evict the tenant's indexed series so a churn of
+                // create/delete cycles cannot exhaust the per-family
+                // cardinality cap (tenant ids are never reused).
+                saga_trace::metrics::remove_indexed("server.queue_depth", tenant.id);
+                saga_trace::metrics::remove_indexed("mem.tenant_bytes", tenant.id);
                 Response::text(204, "")
             }
             None => Response::text(404, format!("no tenant {name:?}\n")),
@@ -133,11 +163,18 @@ pub fn handle(registry: &Registry, req: &Request) -> Response {
             // batch admitted before this request arrived.
             with_snapshot(registry, name, |t, _| Response::text(200, t.journal_text()))
         }
-        (_, ["healthz" | "metrics" | "tenants"]) | (_, ["tenants", ..]) => {
+        (_, ["healthz" | "metrics" | "tenants"]) | (_, ["tenants", ..]) | (_, ["debug", ..]) => {
             Response::text(405, "method not allowed\n")
         }
         _ => Response::text(404, "unknown path\n"),
     }
+}
+
+/// True when the raw query string contains `flag` as one of its
+/// `&`-separated components (exact match — the API's query surface is
+/// just boolean flags, no percent-decoding needed).
+fn has_query_flag(req: &Request, flag: &str) -> bool {
+    req.query.split('&').any(|kv| kv == flag)
 }
 
 fn with_tenant<F>(registry: &Registry, name: &str, f: F) -> Response
@@ -226,9 +263,15 @@ fn submit_batch(registry: &Registry, name: &str, req: &Request) -> Response {
             Ok(ops) => ops,
             Err((status, msg)) => return Response::text(status, format!("{msg}\n")),
         };
-        match tenant.submit(ops) {
-            Ok(depth) => Response::text(202, format!("depth {depth}\n")),
+        match tenant.submit(ops, saga_trace::ctx::current()) {
+            Ok(depth) => {
+                crate::flight::note_admitted();
+                Response::text(202, format!("depth {depth}\n"))
+            }
             Err(SubmitError::Full) => {
+                // Shedding: count it toward the flight recorder's
+                // sustained-rejection trigger.
+                crate::flight::note_shed();
                 let mut resp = Response::text(429, "queue full, retry\n");
                 resp.headers.push(("retry-after".to_string(), "1".to_string()));
                 resp
@@ -297,11 +340,63 @@ mod tests {
         registry.shutdown_all();
     }
 
+    fn req_q(method: &str, path: &str, query: &str) -> Request {
+        Request {
+            query: query.to_string(),
+            ..req(method, path, "")
+        }
+    }
+
     #[test]
     fn healthz_and_metrics_respond() {
         let registry = Registry::new();
-        assert_eq!(handle(&registry, &req("GET", "/healthz", "")).status, 200);
+        let resp = handle(&registry, &req("GET", "/healthz", ""));
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8_lossy(&resp.body).to_string();
+        assert!(body.starts_with("ok\n"), "{body}");
+        assert!(body.contains("server saga-server "), "{body}");
+        assert!(body.contains("uptime_seconds "), "{body}");
+
+        // Default exposition is Prometheus text the in-tree validator accepts.
         let resp = handle(&registry, &req("GET", "/metrics", ""));
         assert_eq!(resp.status, 200);
+        let text = String::from_utf8_lossy(&resp.body).to_string();
+        saga_trace::expose::parse_prometheus(&text).expect("valid exposition");
+        assert!(text.contains("saga_build_info"), "{text}");
+
+        // The CSV snapshot is still served behind `?format=csv`.
+        let resp = handle(&registry, &req_q("GET", "/metrics", "format=csv"));
+        let csv = String::from_utf8_lossy(&resp.body).to_string();
+        assert!(csv.starts_with("kind,name,count,value"), "{csv}");
+    }
+
+    #[test]
+    fn debug_flight_serves_the_live_capture() {
+        let registry = Registry::new();
+        let resp = handle(&registry, &req("GET", "/debug/flight", ""));
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8_lossy(&resp.body).to_string();
+        assert!(body.starts_with("{\"traceEvents\":["), "{body}");
+        // The capture is drained non-destructively: a second read works.
+        let again = handle(&registry, &req("GET", "/debug/flight", ""));
+        assert_eq!(again.status, 200);
+        assert_eq!(handle(&registry, &req("POST", "/debug/flight", "")).status, 405);
+    }
+
+    #[test]
+    fn tenant_delete_evicts_indexed_series() {
+        let registry = Registry::new();
+        let resp = handle(&registry, &req("POST", "/tenants", "name=evict\ncapacity=4\n"));
+        assert_eq!(resp.status, 201, "{resp:?}");
+        let id = registry.get("evict").unwrap().id;
+        let depth_name = format!("server.queue_depth.{id}");
+        let snap = saga_trace::metrics::snapshot();
+        assert!(snap.gauges.iter().any(|(n, _)| n == &depth_name), "{depth_name} registered");
+        assert_eq!(handle(&registry, &req("DELETE", "/tenants/evict", "")).status, 204);
+        let snap = saga_trace::metrics::snapshot();
+        assert!(
+            !snap.gauges.iter().any(|(n, _)| n == &depth_name),
+            "{depth_name} evicted on delete"
+        );
     }
 }

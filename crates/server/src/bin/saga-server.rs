@@ -7,6 +7,14 @@
 use saga_server::{Server, ServerConfig};
 use std::time::Duration;
 
+// With `--features alloc-track` every allocation is counted (a few
+// relaxed atomic ops per malloc/free), feeding the `mem.high_water`
+// and per-tenant `mem.tenant_bytes` gauges on `/metrics`. Off by
+// default: the stock binary pays nothing.
+#[cfg(feature = "alloc-track")]
+#[global_allocator]
+static ALLOC: saga_trace::alloc::CountingAlloc = saga_trace::alloc::CountingAlloc;
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let addr = args.next().unwrap_or_else(|| "127.0.0.1:7171".to_string());

@@ -16,10 +16,19 @@
 //! story: the server provably processed exactly what it admitted. See
 //! DESIGN.md §13.
 //!
+//! The service is observable end to end (DESIGN.md §14): every accepted
+//! request mints a [`TraceCtx`](saga_trace::TraceCtx) that follows the
+//! batch through the tenant queue into driver and BSP spans (stitched
+//! back into one tree by `saga_trace::analyze`), the per-thread trace
+//! rings run as an always-on [flight recorder](flight) dumped on panic /
+//! sustained shedding / slow batches, and `GET /metrics` serves the
+//! registry as Prometheus text exposition (CSV via `?format=csv`).
+//!
 //! Module map:
 //!
 //! - [`http`] — total HTTP/1.1 parsing (arbitrary byte soup never panics
 //!   and never hangs a connection; proptest-pinned).
+//! - [`flight`] — flight-recorder dump triggers and artifacts.
 //! - [`journal`] — the batch journal format and its parse/serialize
 //!   round-trip.
 //! - [`tenant`] — per-tenant config, queue, worker thread, snapshots.
@@ -34,6 +43,7 @@
 
 pub mod api;
 pub mod client;
+pub mod flight;
 pub mod http;
 pub mod journal;
 pub mod server;

@@ -84,6 +84,14 @@ impl Server {
     pub fn start(config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        // Observability is part of the service contract, not an opt-in:
+        // tracing runs in wrapping flight-recorder mode (each thread's
+        // ring always holds the newest events), the trigger thresholds
+        // are armed, and the uptime epoch for `/metrics` is pinned.
+        saga_trace::set_enabled(true);
+        saga_trace::set_flight_recorder(true);
+        saga_trace::expose::mark_started();
+        crate::flight::init();
         let registry = Arc::new(Registry::new());
         let conns = Arc::new(BoundedQueue::new(config.accept_backlog));
         let stopping = Arc::new(AtomicBool::new(false));
@@ -187,6 +195,7 @@ fn accept_loop(
             // Backlog full: shed with 503 rather than let the kernel
             // queue grow unbounded behind a stalled worker pool.
             shed.incr();
+            crate::flight::note_shed();
             let _ = Response::text(503, "server busy\n").write_to(&mut stream, false);
             let _ = stream.flush();
         }
@@ -205,14 +214,22 @@ fn serve_connection(registry: &Registry, stream: TcpStream, limits: &Limits) {
     loop {
         match conn.next_request() {
             Ok(req) => {
-                let _span = saga_trace::span!("http_request");
+                // Each accepted request gets a fresh trace context; the
+                // span below is the root of the request's trace tree and
+                // everything downstream (tenant worker, driver, BSP)
+                // inherits the id through the ambient-context machinery.
+                let ctx = saga_trace::TraceCtx::mint();
+                let _span = saga_trace::span_with_ctx!("http_request", ctx);
                 let started = Instant::now();
-                let resp = handle(registry, &req);
+                let mut resp = handle(registry, &req);
                 latency.record(started.elapsed().as_nanos() as u64);
                 requests.incr();
                 if resp.status >= 400 {
                     errors.incr();
                 }
+                // Echo the id so clients (and the obs acceptance test)
+                // can correlate a response with its exported trace tree.
+                resp.headers.push(("x-saga-trace-id".to_string(), ctx.trace_hex()));
                 if resp.write_to(conn.stream_mut(), req.keep_alive).is_err() || !req.keep_alive {
                     return;
                 }
@@ -254,7 +271,9 @@ mod tests {
             "GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n",
         );
         assert!(ok.starts_with("HTTP/1.1 200"), "{ok}");
-        assert!(ok.ends_with("ok\n"), "{ok}");
+        assert!(ok.contains("\r\n\r\nok\n"), "{ok}");
+        assert!(ok.contains("server saga-server "), "{ok}");
+        assert!(ok.contains("x-saga-trace-id: "), "{ok}");
 
         let bad = roundtrip(server.addr(), "\x01\x02 not http\r\n\r\n");
         assert!(bad.starts_with("HTTP/1.1 4"), "{bad}");

@@ -16,7 +16,7 @@ use saga_algorithms::{AlgorithmKind, AlgorithmParams, ComputeModelKind};
 use saga_core::driver::{DriverSession, StreamDriver};
 use saga_graph::{DataStructureKind, DynamicGraph};
 use saga_stream::{Edge, EdgeOp, Node, Weight};
-use saga_trace::metrics::{counter, histogram, indexed_gauge, Counter, Gauge, Histogram};
+use saga_trace::metrics::{counter, gauge, histogram, indexed_gauge, Counter, Gauge, Histogram};
 use saga_utils::queue::BoundedQueue;
 use saga_utils::sync::atomic::{AtomicUsize, Ordering};
 use saga_utils::sync::{thread, Arc, Condvar, Mutex};
@@ -46,6 +46,10 @@ pub struct TenantConfig {
     /// Explicit root for BFS/SSSP/SSWP; defaults to the source of the
     /// first accepted op (the journal-replay convention).
     pub root: Option<Node>,
+    /// When set, the tenant's driver runs the sharded BSP execution
+    /// layer with this many shards (each batch's compute fans out over
+    /// per-shard BSP workers); `None` keeps the serial driver.
+    pub shards: Option<usize>,
 }
 
 impl TenantConfig {
@@ -68,6 +72,7 @@ impl TenantConfig {
             queue_bound: 8,
             threads: 2,
             root: None,
+            shards: None,
         };
         for (lineno, line) in body.lines().enumerate() {
             let line = line.trim();
@@ -94,6 +99,7 @@ impl TenantConfig {
                     }
                 }
                 "root" => cfg.root = Some(parse_num(key, value)?),
+                "shards" => cfg.shards = Some(parse_num::<usize>(key, value)?.clamp(1, 64)),
                 other => return Err(format!("unknown config key {other:?}")),
             }
         }
@@ -169,6 +175,10 @@ pub enum WorkItem {
     Batch {
         /// The ops to apply (inserts before deletes, driver semantics).
         ops: Vec<(EdgeOp, Edge)>,
+        /// The trace context of the HTTP request that admitted the batch;
+        /// the worker re-installs it so the batch's driver/BSP spans join
+        /// the request's trace tree across the queue hop.
+        ctx: Option<saga_trace::TraceCtx>,
     },
     /// A read barrier: the worker fulfils the cell with a consistent dump
     /// once everything queued ahead of it has been applied.
@@ -178,7 +188,11 @@ pub enum WorkItem {
 impl std::fmt::Debug for WorkItem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            WorkItem::Batch { ops } => f.debug_struct("Batch").field("ops", &ops.len()).finish(),
+            WorkItem::Batch { ops, ctx } => f
+                .debug_struct("Batch")
+                .field("ops", &ops.len())
+                .field("traced", &ctx.is_some())
+                .finish(),
             WorkItem::Snapshot(_) => f.write_str("Snapshot"),
         }
     }
@@ -280,6 +294,7 @@ impl Tenant {
             handle: Mutex::new(None),
         });
         let worker = WorkerState {
+            id,
             config,
             queue,
             journal,
@@ -288,6 +303,7 @@ impl Tenant {
             batch_ns: histogram("server.tenant_batch_ns"),
             batches_total: counter("server.batches_processed"),
             ops_total: counter("server.ops_processed"),
+            mem_high: gauge("mem.high_water"),
         };
         let name = format!("saga-tenant-{id}-{}", tenant.config.name);
         // Create the thread first so the handle mutex is never held across
@@ -300,9 +316,15 @@ impl Tenant {
     /// Tries to admit a batch. On success returns the queue depth after
     /// the push (the `Retry-After` hint comes from this); on [`SubmitError::
     /// Full`] the caller answers 429 — that is the backpressure signal the
-    /// soak test observes.
-    pub fn submit(&self, ops: Vec<(EdgeOp, Edge)>) -> Result<usize, SubmitError> {
-        match self.queue.try_push(WorkItem::Batch { ops }) {
+    /// soak test observes. `ctx` is the admitting request's trace context
+    /// (usually `saga_trace::ctx::current()`); it rides the queue so the
+    /// worker's spans stay in the request's trace tree.
+    pub fn submit(
+        &self,
+        ops: Vec<(EdgeOp, Edge)>,
+        ctx: Option<saga_trace::TraceCtx>,
+    ) -> Result<usize, SubmitError> {
+        match self.queue.try_push(WorkItem::Batch { ops, ctx }) {
             Ok(depth) => {
                 self.accepted.fetch_add(1, Ordering::Relaxed);
                 self.depth_gauge.set(depth as f64);
@@ -396,6 +418,7 @@ impl Drop for Tenant {
 
 /// Everything the worker thread owns.
 struct WorkerState {
+    id: usize,
     config: TenantConfig,
     queue: Arc<BoundedQueue<WorkItem>>,
     journal: Arc<Mutex<String>>,
@@ -404,6 +427,7 @@ struct WorkerState {
     batch_ns: Arc<Histogram>,
     batches_total: Arc<Counter>,
     ops_total: Arc<Counter>,
+    mem_high: Arc<Gauge>,
 }
 
 impl WorkerState {
@@ -412,16 +436,24 @@ impl WorkerState {
     /// root can default to the first accepted op's source vertex (the
     /// journal-replay convention — see [`crate::journal::journal_root`]).
     fn run(self) {
-        let driver = StreamDriver::builder(self.config.structure, self.config.capacity)
+        let mut builder = StreamDriver::builder(self.config.structure, self.config.capacity)
             .algorithm(self.config.algorithm)
             .compute_model(self.config.model)
-            .threads(self.config.threads)
-            .build();
+            .threads(self.config.threads);
+        if let Some(shards) = self.config.shards {
+            builder = builder.sharded(shards);
+        }
+        let driver = builder.build();
         let mut session: Option<DriverSession<'_>> = None;
+        let tenant_bytes = saga_trace::metrics::indexed_gauge("mem.tenant_bytes", self.id);
         while let Some(item) = self.queue.pop() {
             self.depth_gauge.set(self.queue.depth() as f64);
             match item {
-                WorkItem::Batch { ops } => {
+                WorkItem::Batch { ops, ctx } => {
+                    // Re-install the admitting request's trace context so
+                    // the batch span (and every driver/BSP span under it)
+                    // carries the request's trace id across the queue hop.
+                    let _ctx = saga_trace::ctx::scope(ctx);
                     let _span = saga_trace::span!("tenant_batch", ops = ops.len() as u64);
                     let sess = session.get_or_insert_with(|| {
                         let root = self
@@ -440,9 +472,20 @@ impl WorkerState {
                         append_batch(&mut journal, seq, &ops);
                     }
                     self.processed.fetch_add(1, Ordering::Release);
-                    self.batch_ns.record(started.elapsed().as_nanos() as u64);
+                    let elapsed_ns = started.elapsed().as_nanos() as u64;
+                    self.batch_ns.record(elapsed_ns);
                     self.batches_total.incr();
                     self.ops_total.add(ops.len() as u64);
+                    crate::flight::note_batch_latency(elapsed_ns);
+                    // Memory accounting (non-zero only with the
+                    // `alloc-track` counting allocator installed): the
+                    // worker thread's cumulative allocations approximate
+                    // this tenant's footprint, and the process high-water
+                    // mark feeds ROADMAP's `mem.high_water` gauge.
+                    if saga_trace::alloc::tracking_active() {
+                        tenant_bytes.set(saga_trace::alloc::thread_allocated_bytes() as f64);
+                        self.mem_high.set(saga_trace::alloc::high_water_bytes() as f64);
+                    }
                 }
                 WorkItem::Snapshot(cell) => {
                     let snap = match &session {
@@ -615,6 +658,11 @@ mod tests {
         assert_eq!(cfg.model, ComputeModelKind::FromScratch);
         assert!(!cfg.directed);
         assert_eq!(cfg.root, Some(7));
+        assert_eq!(cfg.shards, None);
+        let cfg = TenantConfig::parse("name=sh\nshards=4\n").unwrap();
+        assert_eq!(cfg.shards, Some(4));
+        let cfg = TenantConfig::parse("name=sh\nshards=999\n").unwrap();
+        assert_eq!(cfg.shards, Some(64), "shards clamp to the pool's bound");
     }
 
     #[test]
@@ -638,13 +686,16 @@ mod tests {
         let tenant = Tenant::spawn(900, cfg);
         let w = |s, d| saga_stream::edge_weight(s, d, true);
         tenant
-            .submit(vec![
-                (EdgeOp::Insert, Edge::new(0, 1, w(0, 1))),
-                (EdgeOp::Insert, Edge::new(1, 2, w(1, 2))),
-            ])
+            .submit(
+                vec![
+                    (EdgeOp::Insert, Edge::new(0, 1, w(0, 1))),
+                    (EdgeOp::Insert, Edge::new(1, 2, w(1, 2))),
+                ],
+                None,
+            )
             .unwrap();
         tenant
-            .submit(vec![(EdgeOp::Delete, Edge::new(0, 1, w(0, 1)))])
+            .submit(vec![(EdgeOp::Delete, Edge::new(0, 1, w(0, 1)))], None)
             .unwrap();
         let snap = tenant.snapshot().unwrap();
         assert_eq!(snap.batches_processed, 2);
@@ -655,7 +706,7 @@ mod tests {
         assert_eq!(batches[0].seq, 0);
         assert_eq!(batches[1].ops[0].0, EdgeOp::Delete);
         tenant.shutdown();
-        assert_eq!(tenant.submit(vec![]), Err(SubmitError::Closed));
+        assert_eq!(tenant.submit(vec![], None), Err(SubmitError::Closed));
     }
 
     #[test]
@@ -680,7 +731,9 @@ mod tests {
         let w = saga_stream::edge_weight(0, 1, true);
         let mut rejected = 0;
         for _ in 0..64 {
-            if tenant.submit(vec![(EdgeOp::Insert, Edge::new(0, 1, w))]) == Err(SubmitError::Full) {
+            if tenant.submit(vec![(EdgeOp::Insert, Edge::new(0, 1, w))], None)
+                == Err(SubmitError::Full)
+            {
                 rejected += 1;
             }
         }

@@ -1,0 +1,224 @@
+//! Counting `#[global_allocator]` wrapper: memory high-water accounting
+//! with zero dependencies (ROADMAP item 5).
+//!
+//! The paper's cost story (and Dann et al.'s follow-up) is dominated by
+//! memory behavior, so the telemetry layer reports bytes, not just
+//! nanoseconds. [`CountingAlloc`] forwards to the [`System`] allocator
+//! and maintains relaxed global counters — cumulative bytes allocated,
+//! currently live bytes, and the high-water mark of live bytes — plus a
+//! per-thread cumulative-allocation tally that lets a tenant worker
+//! attribute growth to itself (each tenant owns exactly one thread).
+//!
+//! The type is always compiled (and unit-tested by calling the
+//! `GlobalAlloc` methods directly), but it only observes the process
+//! when *installed*, which the `saga-server` binary does behind the
+//! `alloc-track` cargo feature:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: saga_trace::alloc::CountingAlloc = saga_trace::alloc::CountingAlloc;
+//! ```
+//!
+//! Costs when installed: two relaxed `fetch_add`s, one `fetch_max`, and
+//! one thread-local increment per allocation — no locks, reentrancy-safe
+//! (the counters never allocate). The thread tally uses a const-init
+//! `Cell` with no destructor, accessed through `try_with`, so it is safe
+//! in allocations that occur during TLS teardown.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static TOTAL: AtomicU64 = AtomicU64::new(0);
+static CURRENT: AtomicU64 = AtomicU64::new(0);
+static HIGH: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // Const-init, no destructor: required in allocator context, where a
+    // TLS value with a drop impl would recurse into the allocator.
+    static THREAD_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+#[inline]
+fn note_alloc(size: usize) {
+    let size = size as u64;
+    TOTAL.fetch_add(size, Ordering::Relaxed);
+    let live = CURRENT.fetch_add(size, Ordering::Relaxed) + size;
+    HIGH.fetch_max(live, Ordering::Relaxed);
+    let _ = THREAD_BYTES.try_with(|b| b.set(b.get() + size));
+}
+
+#[inline]
+fn note_dealloc(size: usize) {
+    CURRENT.fetch_sub(size as u64, Ordering::Relaxed);
+}
+
+/// Cumulative bytes allocated since process start (never decreases).
+pub fn total_allocated_bytes() -> u64 {
+    TOTAL.load(Ordering::Relaxed)
+}
+
+/// Bytes currently live (allocated minus freed).
+pub fn current_bytes() -> u64 {
+    CURRENT.load(Ordering::Relaxed)
+}
+
+/// High-water mark of live bytes (since process start or the last
+/// [`reset_high_water`]).
+pub fn high_water_bytes() -> u64 {
+    HIGH.load(Ordering::Relaxed)
+}
+
+/// Restarts the high-water tracking epoch from the current live size,
+/// so per-phase peaks can be measured. Racy against concurrent
+/// allocators by design (the mark re-raises immediately).
+pub fn reset_high_water() {
+    HIGH.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Cumulative bytes the *calling thread* has allocated. A tenant worker
+/// samples this at batch boundaries to attribute allocation to its own
+/// tenant (allocations the tenant causes on shared pool threads are not
+/// attributed — a documented approximation, DESIGN.md §14).
+pub fn thread_allocated_bytes() -> u64 {
+    THREAD_BYTES.try_with(Cell::get).unwrap_or(0)
+}
+
+/// Whether a counting allocator is actually installed (heuristic: any
+/// allocation has been observed — always true by the time user code
+/// runs, since Rust's runtime setup allocates).
+pub fn tracking_active() -> bool {
+    TOTAL.load(Ordering::Relaxed) != 0
+}
+
+/// The counting allocator. Unit struct: all state is in statics so the
+/// metrics are readable without a handle to the installed instance.
+pub struct CountingAlloc;
+
+// SAFETY: every method forwards to `System`, which upholds the
+// `GlobalAlloc` contract (layout fidelity, no spurious failure
+// reporting); the counters never allocate, never unwind, and touch only
+// relaxed atomics plus a destructor-free TLS cell, so the forwarding
+// adds no new failure or reentrancy modes.
+unsafe impl GlobalAlloc for CountingAlloc {
+    /// # Safety
+    /// Same contract as [`GlobalAlloc::alloc`]: `layout` must have
+    /// non-zero size.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: caller upholds `alloc`'s contract (non-zero-size
+        // layout); we pass it through unchanged.
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            note_alloc(layout.size());
+        }
+        p
+    }
+
+    /// # Safety
+    /// Same contract as [`GlobalAlloc::alloc_zeroed`]: `layout` must
+    /// have non-zero size.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: as in `alloc`; the layout is forwarded unchanged.
+        let p = unsafe { System.alloc_zeroed(layout) };
+        if !p.is_null() {
+            note_alloc(layout.size());
+        }
+        p
+    }
+
+    /// # Safety
+    /// Same contract as [`GlobalAlloc::dealloc`]: `ptr` must have been
+    /// allocated by this allocator with exactly `layout`.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: caller guarantees `ptr` was allocated by this
+        // allocator with `layout`; since we forward allocations to
+        // `System` unchanged, the pair is valid for `System` too.
+        unsafe { System.dealloc(ptr, layout) };
+        note_dealloc(layout.size());
+    }
+
+    /// # Safety
+    /// Same contract as [`GlobalAlloc::realloc`]: `(ptr, layout)` must
+    /// be a live allocation of this allocator and `new_size` non-zero.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // SAFETY: caller guarantees the (ptr, layout) pair and a
+        // non-zero `new_size` per `realloc`'s contract; forwarded
+        // unchanged to the system allocator.
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            // Only on success: a failed realloc leaves the old block.
+            note_dealloc(layout.size());
+            note_alloc(new_size);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The counters are process-global; the allocator is not installed
+    /// in the test binary, so only these tests move them — but they
+    /// still must not interleave with each other.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn alloc_test() -> std::sync::MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn counts_alloc_dealloc_and_high_water() {
+        let _guard = alloc_test();
+        let a = CountingAlloc;
+        let layout = Layout::from_size_align(4096, 8).unwrap();
+        let total0 = total_allocated_bytes();
+        let thread0 = thread_allocated_bytes();
+        // SAFETY: a fresh non-zero-size layout; the pointer is freed
+        // below with the same layout before the test returns.
+        let p = unsafe { a.alloc(layout) };
+        assert!(!p.is_null());
+        assert!(total_allocated_bytes() >= total0 + 4096);
+        assert!(thread_allocated_bytes() >= thread0 + 4096);
+        assert!(high_water_bytes() >= 4096);
+        let live = current_bytes();
+        // SAFETY: `p` came from `a.alloc(layout)` just above.
+        unsafe { a.dealloc(p, layout) };
+        assert!(current_bytes() < live || live == 0);
+    }
+
+    #[test]
+    fn realloc_moves_the_live_count() {
+        let _guard = alloc_test();
+        let a = CountingAlloc;
+        let layout = Layout::from_size_align(1024, 8).unwrap();
+        // SAFETY: fresh layout; the resulting pointer is reallocated and
+        // finally freed with its grown layout.
+        let p = unsafe { a.alloc(layout) };
+        assert!(!p.is_null());
+        let before = current_bytes();
+        // SAFETY: `p` was allocated with `layout` by this allocator and
+        // 8192 is non-zero.
+        let q = unsafe { a.realloc(p, layout, 8192) };
+        assert!(!q.is_null());
+        assert!(current_bytes() >= before + (8192 - 1024));
+        let grown = Layout::from_size_align(8192, 8).unwrap();
+        // SAFETY: `q` is the live block, now of `grown` layout.
+        unsafe { a.dealloc(q, grown) };
+    }
+
+    #[test]
+    fn reset_high_water_rebases_to_live() {
+        let _guard = alloc_test();
+        let a = CountingAlloc;
+        let layout = Layout::from_size_align(1 << 16, 8).unwrap();
+        // SAFETY: fresh non-zero-size layout, freed below.
+        let p = unsafe { a.alloc(layout) };
+        assert!(!p.is_null());
+        assert!(high_water_bytes() >= 1 << 16);
+        // SAFETY: `p` came from `a.alloc(layout)`.
+        unsafe { a.dealloc(p, layout) };
+        reset_high_water();
+        assert_eq!(high_water_bytes(), current_bytes());
+    }
+}

@@ -1,0 +1,469 @@
+//! Offline trace analyzer: span trees, per-trace stitching, span
+//! statistics, and critical-path extraction over a captured event
+//! stream (`cargo xtask analyze-trace` is the CLI face).
+//!
+//! # Tree reconstruction
+//!
+//! Intra-thread structure is exact: per track, `Begin`/`End` events pair
+//! LIFO (stray `End`s are dropped, unclosed `Begin`s close at the
+//! capture's end — the same balancing the Chrome exporter applies), so
+//! each track yields a forest of [`SpanNode`]s.
+//!
+//! Cross-thread structure is *reconstructed*, not recorded: only the
+//! trace id travels in the ring slots (see `ctx.rs`). [`trace_trees`]
+//! extracts, per trace id, the maximal id-carrying subtrees from every
+//! track (so a long-lived pool `task` span enclosing many requests
+//! doesn't swallow them), takes the earliest as the tree's root, and
+//! attaches every later one under the deepest already-placed node whose
+//! interval contains it. Two cases fall out naturally:
+//!
+//! - nested work (BSP scatter/gather inside a driver `compute`) is
+//!   time-contained and lands under the containing span;
+//! - asynchronous continuations (a `tenant_batch` processed after the
+//!   `http_request` that enqueued it already returned `202`) are *not*
+//!   contained and attach directly under the root — a parent/child edge
+//!   that means "caused by", not "ran within" (DESIGN.md §14).
+
+use crate::ring::TraceEvent;
+use crate::EventKind;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One reconstructed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Span name (the `span!` site literal).
+    pub name: String,
+    /// Track the span ran on.
+    pub track: String,
+    /// Open timestamp, ns since the trace epoch.
+    pub t_ns: u64,
+    /// Close timestamp.
+    pub end_ns: u64,
+    /// Trace id the span carried, if any.
+    pub trace_id: Option<u64>,
+    /// Child spans: exact nesting within a track, reconstructed
+    /// causality across tracks.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Wall-clock duration.
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.t_ns)
+    }
+
+    /// Depth-first walk over the node and its descendants.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a SpanNode, usize)) {
+        fn go<'a>(n: &'a SpanNode, depth: usize, f: &mut impl FnMut(&'a SpanNode, usize)) {
+            f(n, depth);
+            for c in &n.children {
+                go(c, depth + 1, f);
+            }
+        }
+        go(self, 0, f);
+    }
+
+    /// Leaf names in depth-first order.
+    pub fn leaf_names(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.walk(&mut |n, _| {
+            if n.children.is_empty() {
+                out.push(n.name.as_str());
+            }
+        });
+        out
+    }
+}
+
+/// Reconstructs each track's span forest (exact LIFO pairing; see the
+/// module docs for the balancing rules). Returned in track order, roots
+/// in open order.
+pub fn build_forests(events: &[TraceEvent]) -> BTreeMap<String, Vec<SpanNode>> {
+    let cap_end = events
+        .iter()
+        .map(|e| e.t_ns + e.dur_ns)
+        .max()
+        .unwrap_or(0);
+    let mut by_track: BTreeMap<String, (Vec<SpanNode>, Vec<SpanNode>)> = BTreeMap::new();
+    for e in events {
+        let (roots, stack) = by_track.entry(e.track.clone()).or_default();
+        match e.kind {
+            EventKind::Begin => stack.push(SpanNode {
+                name: e.name.clone(),
+                track: e.track.clone(),
+                t_ns: e.t_ns,
+                end_ns: e.t_ns,
+                trace_id: e.trace_id,
+                children: Vec::new(),
+            }),
+            EventKind::End => {
+                if stack.last().is_some_and(|n| n.name == e.name) {
+                    let mut node = stack.pop().unwrap();
+                    node.end_ns = e.t_ns.max(node.t_ns);
+                    match stack.last_mut() {
+                        Some(parent) => parent.children.push(node),
+                        None => roots.push(node),
+                    }
+                }
+                // Stray End: dropped, as in the Chrome exporter.
+            }
+            EventKind::Instant | EventKind::Complete => {
+                let node = SpanNode {
+                    name: e.name.clone(),
+                    track: e.track.clone(),
+                    t_ns: e.t_ns,
+                    end_ns: e.t_ns + e.dur_ns,
+                    trace_id: e.trace_id,
+                    children: Vec::new(),
+                };
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(node),
+                    None => roots.push(node),
+                }
+            }
+        }
+    }
+    by_track
+        .into_iter()
+        .map(|(track, (mut roots, mut stack))| {
+            // Close anything left open at the capture end, innermost
+            // first, preserving the nesting.
+            while let Some(mut node) = stack.pop() {
+                node.end_ns = cap_end.max(node.t_ns);
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(node),
+                    None => roots.push(node),
+                }
+            }
+            (track, roots)
+        })
+        .collect()
+}
+
+/// One request's stitched tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceTree {
+    /// The trace id shared by every stitched root.
+    pub trace_id: u64,
+    /// The earliest root, with all later same-trace roots attached.
+    pub root: SpanNode,
+}
+
+/// Collects, per trace id, the *maximal id-carrying subtrees*: nodes
+/// whose own trace id differs from the one inherited through their
+/// ancestors. Extraction (rather than whole-root grouping) matters on
+/// long-lived worker threads: a pool worker's `task` span stays open
+/// for the server's lifetime and temporally encloses every request it
+/// serves, so the per-request spans are *children* of an id-less
+/// eternal root — each one must still start its own stitch unit.
+fn collect_stitch_roots(
+    n: &SpanNode,
+    inherited: Option<u64>,
+    out: &mut BTreeMap<u64, Vec<SpanNode>>,
+) {
+    if let Some(id) = n.trace_id {
+        if inherited != Some(id) {
+            out.entry(id).or_default().push(n.clone());
+        }
+    }
+    let own = n.trace_id.or(inherited);
+    for c in &n.children {
+        collect_stitch_roots(c, own, out);
+    }
+}
+
+/// Attaches `node` under the deepest span in `tree` whose interval
+/// contains `node`'s start; returns the node back when nothing does.
+/// Children are tried before the node itself: a previously attached
+/// *causal* child extends beyond its parent's interval, so a later root
+/// may belong inside a child even when the parent's own interval
+/// already ended.
+fn attach(tree: &mut SpanNode, node: SpanNode) -> Option<SpanNode> {
+    for child in tree.children.iter_mut().rev() {
+        if child.t_ns <= node.t_ns && node.t_ns <= child.end_ns {
+            return attach(child, node);
+        }
+    }
+    if tree.t_ns <= node.t_ns && node.t_ns <= tree.end_ns {
+        tree.children.push(node);
+        return None;
+    }
+    Some(node)
+}
+
+/// Extracts each trace's maximal id-carrying subtrees from every track
+/// and stitches each group into one [`TraceTree`] (see the module
+/// docs). Spans that neither carry nor inherit a trace id never appear
+/// in any tree.
+pub fn trace_trees(events: &[TraceEvent]) -> Vec<TraceTree> {
+    let forests = build_forests(events);
+    let mut by_trace: BTreeMap<u64, Vec<SpanNode>> = BTreeMap::new();
+    for roots in forests.into_values() {
+        for root in roots {
+            collect_stitch_roots(&root, None, &mut by_trace);
+        }
+    }
+    let mut out = Vec::new();
+    for (trace_id, mut roots) in by_trace {
+        roots.sort_by_key(|r| r.t_ns);
+        let mut iter = roots.into_iter();
+        let mut tree = iter.next().expect("group is non-empty");
+        for root in iter {
+            if let Some(unplaced) = attach(&mut tree, root) {
+                // Asynchronous continuation: started after every placed
+                // interval closed. Attached under the root as a
+                // causal (not temporal) child.
+                tree.children.push(unplaced);
+            }
+        }
+        out.push(TraceTree {
+            trace_id,
+            root: tree,
+        });
+    }
+    out
+}
+
+/// Aggregate statistics for one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Span name.
+    pub name: String,
+    /// Occurrences.
+    pub count: u64,
+    /// Summed wall-clock duration.
+    pub total_ns: u64,
+    /// Summed duration minus time covered by child spans (clamped at 0
+    /// per node — children on other threads can overlap their parent).
+    pub self_ns: u64,
+    /// Longest single occurrence.
+    pub max_ns: u64,
+}
+
+/// Per-name span statistics over every track, sorted by total duration
+/// descending.
+pub fn span_stats(events: &[TraceEvent]) -> Vec<SpanStats> {
+    let forests = build_forests(events);
+    let mut by_name: BTreeMap<String, SpanStats> = BTreeMap::new();
+    for roots in forests.values() {
+        for root in roots {
+            root.walk(&mut |n, _| {
+                let children_ns: u64 = n.children.iter().map(SpanNode::dur_ns).sum();
+                let stats = by_name.entry(n.name.clone()).or_insert_with(|| SpanStats {
+                    name: n.name.clone(),
+                    count: 0,
+                    total_ns: 0,
+                    self_ns: 0,
+                    max_ns: 0,
+                });
+                stats.count += 1;
+                stats.total_ns += n.dur_ns();
+                stats.self_ns += n.dur_ns().saturating_sub(children_ns);
+                stats.max_ns = stats.max_ns.max(n.dur_ns());
+            });
+        }
+    }
+    let mut out: Vec<SpanStats> = by_name.into_values().collect();
+    out.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+    out
+}
+
+/// The critical path through a tree: from the root, repeatedly descend
+/// into the longest child. Returns `(name, dur_ns)` pairs, root first.
+pub fn critical_path(root: &SpanNode) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    let mut node = root;
+    loop {
+        out.push((node.name.clone(), node.dur_ns()));
+        match node.children.iter().max_by_key(|c| c.dur_ns()) {
+            Some(next) => node = next,
+            None => return out,
+        }
+    }
+}
+
+/// Human-readable report: span stats table plus, per stitched trace,
+/// the root, span count, and critical path. The `analyze-trace` xtask
+/// prints this.
+pub fn render_report(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    let stats = span_stats(events);
+    out.push_str("span-stats (name count total_us self_us max_us):\n");
+    for s in &stats {
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>6} {:>12.1} {:>12.1} {:>12.1}",
+            s.name,
+            s.count,
+            s.total_ns as f64 / 1e3,
+            s.self_ns as f64 / 1e3,
+            s.max_ns as f64 / 1e3,
+        );
+    }
+    let trees = trace_trees(events);
+    let _ = writeln!(out, "traces: {}", trees.len());
+    for t in &trees {
+        let mut spans = 0usize;
+        t.root.walk(&mut |_, _| spans += 1);
+        let path = critical_path(&t.root);
+        let path_str: Vec<String> = path
+            .iter()
+            .map(|(n, d)| format!("{n} ({:.1}us)", *d as f64 / 1e3))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  trace {:016x}: root={} spans={} critical-path: {}",
+            t.trace_id,
+            t.root.name,
+            spans,
+            path_str.join(" -> "),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(track: &str, name: &str, kind: EventKind, t_ns: u64, trace: Option<u64>) -> TraceEvent {
+        TraceEvent {
+            track: track.to_string(),
+            t_ns,
+            dur_ns: 0,
+            kind,
+            name: name.to_string(),
+            arg: None,
+            trace_id: trace,
+        }
+    }
+
+    /// The server shape: the HTTP span closes (202) before the tenant
+    /// worker processes the batch; BSP workers nest inside compute.
+    fn server_shaped_events(trace: u64) -> Vec<TraceEvent> {
+        vec![
+            // accept thread: request span, closes at 200.
+            ev("http", "http_request", EventKind::Begin, 100, Some(trace)),
+            ev("http", "http_request", EventKind::End, 200, None),
+            // tenant worker: batch processed later (async continuation).
+            ev("tenant", "tenant_batch", EventKind::Begin, 300, Some(trace)),
+            ev("tenant", "update", EventKind::Begin, 310, Some(trace)),
+            ev("tenant", "update", EventKind::End, 400, None),
+            ev("tenant", "compute", EventKind::Begin, 400, Some(trace)),
+            ev("tenant", "compute", EventKind::End, 900, None),
+            ev("tenant", "tenant_batch", EventKind::End, 950, None),
+            // BSP pool worker: nested inside compute's interval.
+            ev("bsp-0", "bsp-scatter", EventKind::Begin, 450, Some(trace)),
+            ev("bsp-0", "bsp-scatter", EventKind::End, 600, None),
+        ]
+    }
+
+    #[test]
+    fn forests_pair_lifo_and_close_truncated() {
+        let events = vec![
+            ev("t", "outer", EventKind::Begin, 10, None),
+            ev("t", "inner", EventKind::Begin, 20, None),
+            ev("t", "inner", EventKind::End, 30, None),
+            ev("t", "dangling", EventKind::Begin, 40, None),
+        ];
+        let forests = build_forests(&events);
+        let roots = &forests["t"];
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "outer");
+        assert_eq!(roots[0].children.len(), 2);
+        assert_eq!(roots[0].children[0].name, "inner");
+        assert_eq!(roots[0].children[0].dur_ns(), 10);
+        // Truncated spans close at the capture end (40 here).
+        assert_eq!(roots[0].children[1].name, "dangling");
+        assert_eq!(roots[0].end_ns, 40);
+    }
+
+    #[test]
+    fn stitches_async_and_nested_roots_into_one_tree() {
+        let trees = trace_trees(&server_shaped_events(7));
+        assert_eq!(trees.len(), 1);
+        let t = &trees[0];
+        assert_eq!(t.trace_id, 7);
+        assert_eq!(t.root.name, "http_request");
+        // tenant_batch started after http_request closed: causal child
+        // of the root.
+        assert_eq!(t.root.children.len(), 1);
+        let batch = &t.root.children[0];
+        assert_eq!(batch.name, "tenant_batch");
+        // bsp-scatter is time-contained in compute: nested there.
+        let compute = batch
+            .children
+            .iter()
+            .find(|c| c.name == "compute")
+            .unwrap();
+        assert_eq!(compute.children.len(), 1);
+        assert_eq!(compute.children[0].name, "bsp-scatter");
+        assert!(t.root.leaf_names().contains(&"bsp-scatter"));
+    }
+
+    #[test]
+    fn eternal_enclosing_spans_do_not_swallow_requests() {
+        // The live-server shape: the pool worker's `task` span opens at
+        // startup and never closes during the capture, so every request
+        // span is temporally its child. Each must still root its own
+        // stitched tree, and the id-less `task` must appear in none.
+        let events = vec![
+            ev("pool-0", "task", EventKind::Begin, 0, None),
+            ev("pool-0", "http_request", EventKind::Begin, 100, Some(1)),
+            ev("pool-0", "http_request", EventKind::End, 200, None),
+            ev("pool-0", "http_request", EventKind::Begin, 300, Some(2)),
+            ev("pool-0", "http_request", EventKind::End, 400, None),
+            ev("tenant", "tenant_batch", EventKind::Begin, 500, Some(2)),
+            ev("tenant", "tenant_batch", EventKind::End, 600, None),
+        ];
+        let trees = trace_trees(&events);
+        assert_eq!(trees.len(), 2);
+        assert!(trees.iter().all(|t| t.root.name == "http_request"));
+        let second = trees.iter().find(|t| t.trace_id == 2).unwrap();
+        assert_eq!(second.root.children.len(), 1);
+        assert_eq!(second.root.children[0].name, "tenant_batch");
+    }
+
+    #[test]
+    fn distinct_traces_stay_separate() {
+        let mut events = server_shaped_events(1);
+        let mut shifted: Vec<TraceEvent> = server_shaped_events(2)
+            .into_iter()
+            .map(|mut e| {
+                e.t_ns += 10_000;
+                e.track.push('b');
+                e
+            })
+            .collect();
+        events.append(&mut shifted);
+        let trees = trace_trees(&events);
+        assert_eq!(trees.len(), 2);
+        assert!(trees.iter().all(|t| t.root.name == "http_request"));
+    }
+
+    #[test]
+    fn stats_and_critical_path_cover_the_tree() {
+        let events = server_shaped_events(9);
+        let stats = span_stats(&events);
+        let compute = stats.iter().find(|s| s.name == "compute").unwrap();
+        assert_eq!(compute.count, 1);
+        assert_eq!(compute.total_ns, 500);
+        let batch = stats.iter().find(|s| s.name == "tenant_batch").unwrap();
+        // update (90) + compute (500) covered; 650 total.
+        assert_eq!(batch.total_ns, 650);
+        assert_eq!(batch.self_ns, 60);
+
+        let trees = trace_trees(&events);
+        let path = critical_path(&trees[0].root);
+        let names: Vec<&str> = path.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["http_request", "tenant_batch", "compute", "bsp-scatter"]
+        );
+        let report = render_report(&events);
+        assert!(report.contains("span-stats"));
+        assert!(report.contains("critical-path"));
+        assert!(report.contains("http_request"));
+    }
+}

@@ -54,6 +54,7 @@ fn push_record(
     t_ns: u64,
     dur_ns: Option<u64>,
     arg: Option<&(String, u64)>,
+    trace_id: Option<u64>,
 ) {
     if !*first {
         out.push_str(",\n");
@@ -74,8 +75,22 @@ fn push_record(
         // Instant scope: thread.
         out.push_str(",\"s\":\"t\"");
     }
-    if let Some((key, value)) = arg {
-        let _ = write!(out, ",\"args\":{{\"{}\":{}}}", escape(key), value);
+    if arg.is_some() || trace_id.is_some() {
+        out.push_str(",\"args\":{");
+        let mut inner_first = true;
+        if let Some((key, value)) = arg {
+            let _ = write!(out, "\"{}\":{}", escape(key), value);
+            inner_first = false;
+        }
+        if let Some(trace) = trace_id {
+            // Hex string, not a JSON number: 64-bit ids do not survive
+            // the f64 round-trip viewers (and our own parser) apply.
+            if !inner_first {
+                out.push(',');
+            }
+            let _ = write!(out, "\"trace\":\"{trace:016x}\"");
+        }
+        out.push('}');
     }
     out.push('}');
 }
@@ -138,13 +153,16 @@ pub fn render(events: &[TraceEvent]) -> String {
                     e.t_ns,
                     None,
                     e.arg.as_ref(),
+                    e.trace_id,
                 );
             }
             EventKind::End => {
                 let stack = open.entry(tid).or_default();
                 if stack.last().is_some_and(|(name, _)| *name == e.name) {
                     stack.pop();
-                    push_record(&mut out, &mut first, &e.name, 'E', tid, e.t_ns, None, None);
+                    push_record(
+                        &mut out, &mut first, &e.name, 'E', tid, e.t_ns, None, None, None,
+                    );
                 }
                 // Mismatched or stray E: drop to preserve nesting.
             }
@@ -158,6 +176,7 @@ pub fn render(events: &[TraceEvent]) -> String {
                     e.t_ns,
                     None,
                     e.arg.as_ref(),
+                    e.trace_id,
                 );
             }
             EventKind::Complete => {
@@ -170,6 +189,7 @@ pub fn render(events: &[TraceEvent]) -> String {
                     e.t_ns,
                     Some(e.dur_ns),
                     e.arg.as_ref(),
+                    None,
                 );
             }
         }
@@ -184,6 +204,7 @@ pub fn render(events: &[TraceEvent]) -> String {
                 'E',
                 *tid,
                 end_ns.max(t_open),
+                None,
                 None,
                 None,
             );
@@ -205,6 +226,7 @@ mod tests {
             kind,
             name: name.to_string(),
             arg: None,
+            trace_id: None,
         }
     }
 
@@ -252,6 +274,27 @@ mod tests {
         let json = render(&events);
         assert!(!json.contains("\"name\":\"orphan\""));
         assert_eq!(json.matches("\"ph\":\"E\"").count(), 1);
+    }
+
+    #[test]
+    fn trace_ids_export_as_hex_args() {
+        let mut begin = ev("main", "req", EventKind::Begin, 100, 0);
+        begin.trace_id = Some(0x00ab_cdef_0123_4567);
+        let mut with_arg = ev("main", "work", EventKind::Begin, 150, 0);
+        with_arg.trace_id = Some(1);
+        with_arg.arg = Some(("ops".to_string(), 9));
+        let events = vec![
+            begin,
+            with_arg,
+            ev("main", "work", EventKind::End, 160, 0),
+            ev("main", "req", EventKind::End, 200, 0),
+        ];
+        let json = render(&events);
+        assert!(json.contains("\"args\":{\"trace\":\"00abcdef01234567\"}"), "{json}");
+        assert!(
+            json.contains("\"args\":{\"ops\":9,\"trace\":\"0000000000000001\"}"),
+            "{json}"
+        );
     }
 
     #[test]

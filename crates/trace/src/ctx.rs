@@ -1,0 +1,140 @@
+//! Request-scoped trace context: a 64-bit trace id (plus the minting
+//! span's id) carried from the HTTP accept thread through queues and
+//! worker pools so that one client request maps to its complete span
+//! tree across threads.
+//!
+//! # Model
+//!
+//! A [`TraceCtx`] is minted once per logical request ([`TraceCtx::mint`])
+//! and installed as the calling thread's *ambient* context with
+//! [`scope`] (RAII — the previous context is restored on drop). While a
+//! context is ambient, every span or instant the thread emits carries
+//! the trace id in its ring slot (see `ring.rs`: a dedicated meta bit
+//! plus the otherwise-unused duration word of `Begin`/`Instant` slots),
+//! at the cost of one extra thread-local read on the *enabled* path
+//! only — the disabled `span!` path is unchanged (one relaxed load).
+//!
+//! Crossing a thread boundary is explicit: capture [`current`] on the
+//! producer side, ship the `Option<TraceCtx>` through the queue/closure,
+//! and re-enter it with [`scope`] on the consumer side. The server does
+//! this for tenant batches, and the BSP engine for its pool workers.
+//!
+//! # Known approximation
+//!
+//! Only the *trace id* travels in the ring slot; the parent span id in
+//! [`TraceCtx`] identifies the minting (root) span but per-span parent
+//! links are not recorded per event. The offline analyzer
+//! (`analyze.rs`) reconstructs the tree: per-track LIFO pairing gives
+//! intra-thread nesting exactly, and cross-thread edges are re-derived
+//! from the shared trace id plus interval containment. This is
+//! documented in DESIGN.md §14.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A request-scoped identity: `trace_id` names the whole request tree,
+/// `span_id` the span that minted the context (the tree's root).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Process-unique nonzero id shared by every span in the tree.
+    pub trace_id: u64,
+    /// Id of the minting span (root of the tree).
+    pub span_id: u64,
+}
+
+/// splitmix64: decorrelates sequential mint counters into ids whose hex
+/// forms don't share prefixes (nicer in logs; collisions impossible
+/// within a process because the input counter is unique).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+static NEXT: AtomicU64 = AtomicU64::new(1);
+
+impl TraceCtx {
+    /// Mints a fresh context with a process-unique nonzero trace id.
+    pub fn mint() -> TraceCtx {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let trace_id = mix(n).max(1);
+        TraceCtx {
+            trace_id,
+            span_id: mix(trace_id).max(1),
+        }
+    }
+
+    /// The trace id as the fixed-width hex string used in the
+    /// `x-saga-trace-id` response header and flight-dump file names.
+    pub fn trace_hex(&self) -> String {
+        format!("{:016x}", self.trace_id)
+    }
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<TraceCtx>> = const { Cell::new(None) };
+}
+
+/// The calling thread's ambient context, if any.
+#[inline]
+pub fn current() -> Option<TraceCtx> {
+    CURRENT.with(Cell::get)
+}
+
+/// Installs `ctx` as the calling thread's ambient context until the
+/// returned guard drops (the previous context is restored — scopes
+/// nest). Pass `None` to explicitly suppress inheritance in a region.
+#[must_use = "the context is uninstalled when the guard drops"]
+pub fn scope(ctx: Option<TraceCtx>) -> CtxScope {
+    let prev = CURRENT.with(|c| c.replace(ctx));
+    CtxScope { prev }
+}
+
+/// RAII guard restoring the previously ambient context. See [`scope`].
+pub struct CtxScope {
+    prev: Option<TraceCtx>,
+}
+
+impl Drop for CtxScope {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mint_is_unique_and_nonzero() {
+        let a = TraceCtx::mint();
+        let b = TraceCtx::mint();
+        assert_ne!(a.trace_id, 0);
+        assert_ne!(b.trace_id, 0);
+        assert_ne!(a.trace_id, b.trace_id);
+        assert_eq!(a.trace_hex().len(), 16);
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        assert_eq!(current(), None);
+        let outer = TraceCtx::mint();
+        let inner = TraceCtx::mint();
+        {
+            let _a = scope(Some(outer));
+            assert_eq!(current(), Some(outer));
+            {
+                let _b = scope(Some(inner));
+                assert_eq!(current(), Some(inner));
+                {
+                    let _c = scope(None);
+                    assert_eq!(current(), None);
+                }
+                assert_eq!(current(), Some(inner));
+            }
+            assert_eq!(current(), Some(outer));
+        }
+        assert_eq!(current(), None);
+    }
+}

@@ -41,13 +41,18 @@
 //! # saga_trace::clear();
 //! ```
 
+pub mod alloc;
+pub mod analyze;
 pub mod chrome;
+pub mod ctx;
+pub mod expose;
 pub mod metrics;
 pub mod ring;
 
+pub use ctx::TraceCtx;
 pub use ring::{
-    clear, drain, dropped_events, emit_complete, mute_thread, now_ns, set_thread_track,
-    TraceEvent, RING_CAPACITY,
+    clear, drain, dropped_events, emit_complete, flight_recorder, mute_thread, now_ns,
+    set_flight_recorder, set_thread_track, TraceEvent, RING_CAPACITY,
 };
 
 /// Process-unique small id, for disambiguating otherwise identically named
@@ -170,28 +175,51 @@ impl Drop for SpanGuard {
             // End rather than record a dangling close (the exporter also
             // tolerates imbalance, so either choice is safe).
             if enabled() {
-                ring::emit(EventKind::End, site.id(), None, now_ns(), 0, None);
+                ring::emit(EventKind::End, site.id(), None, now_ns(), 0, None, None);
             }
         }
     }
 }
 
-/// Opens a span at `site` (macro support; prefer [`span!`]).
+/// Opens a span at `site` (macro support; prefer [`span!`]). The span
+/// inherits the thread's ambient [`ctx::TraceCtx`] trace id, if any —
+/// one thread-local read, paid only on the enabled path.
 pub fn span_site(site: &'static Site, arg: Option<u64>) -> SpanGuard {
     if !enabled() {
         return SpanGuard { site: None };
     }
-    ring::emit(EventKind::Begin, site.id(), None, now_ns(), 0, arg);
+    let trace = ctx::current().map(|c| c.trace_id);
+    ring::emit(EventKind::Begin, site.id(), None, now_ns(), 0, arg, trace);
     SpanGuard { site: Some(site) }
 }
 
 /// Records an instant event at `site` (macro support; prefer
-/// [`instant!`]).
+/// [`instant!`]). Inherits the ambient trace id like [`span_site`].
 pub fn instant_site(site: &'static Site, arg: Option<u64>) {
     if !enabled() {
         return;
     }
-    ring::emit(EventKind::Instant, site.id(), None, now_ns(), 0, arg);
+    let trace = ctx::current().map(|c| c.trace_id);
+    ring::emit(EventKind::Instant, site.id(), None, now_ns(), 0, arg, trace);
+}
+
+/// Guard pairing a span with a [`ctx::scope`]: the span and every span
+/// the thread opens underneath it carry `ctx`'s trace id. Field order
+/// matters — the span's `End` is emitted while the context is still
+/// installed, then the previous context is restored.
+pub struct CtxSpanGuard {
+    _span: SpanGuard,
+    _scope: ctx::CtxScope,
+}
+
+/// Opens a span at `site` under an explicitly supplied context (macro
+/// support; prefer [`span_with_ctx!`]).
+pub fn span_ctx_site(site: &'static Site, context: TraceCtx, arg: Option<u64>) -> CtxSpanGuard {
+    let scope = ctx::scope(Some(context));
+    CtxSpanGuard {
+        _span: span_site(site, arg),
+        _scope: scope,
+    }
 }
 
 /// Opens a named span on the calling thread, returning a guard that
@@ -221,6 +249,44 @@ macro_rules! span {
             )
         } else {
             $crate::span_site(&SITE, ::core::option::Option::None)
+        }
+    }};
+}
+
+/// Opens a named span that roots a request trace: installs `ctx` as the
+/// thread's ambient context for the span's lifetime (restoring the
+/// previous one on drop) and stamps the span — and every span opened
+/// underneath it, across [`ctx::scope`] handoffs to other threads — with
+/// the context's trace id.
+///
+/// ```
+/// # saga_trace::set_enabled(true);
+/// let ctx = saga_trace::TraceCtx::mint();
+/// {
+///     let _root = saga_trace::span_with_ctx!("http_request", ctx);
+///     let _child = saga_trace::span!("handler"); // carries ctx.trace_id
+/// }
+/// # saga_trace::set_enabled(false); saga_trace::clear();
+/// ```
+///
+/// Like [`span!`], the disabled path does not evaluate the argument
+/// expression; it costs the enable check plus one thread-local swap.
+#[macro_export]
+macro_rules! span_with_ctx {
+    ($name:literal, $ctx:expr) => {{
+        static SITE: $crate::Site = $crate::Site::new($name, "");
+        $crate::span_ctx_site(&SITE, $ctx, ::core::option::Option::None)
+    }};
+    ($name:literal, $ctx:expr, $key:ident = $value:expr) => {{
+        static SITE: $crate::Site = $crate::Site::new($name, ::core::stringify!($key));
+        if $crate::enabled() {
+            $crate::span_ctx_site(
+                &SITE,
+                $ctx,
+                ::core::option::Option::Some(($value) as u64),
+            )
+        } else {
+            $crate::span_ctx_site(&SITE, $ctx, ::core::option::Option::None)
         }
     }};
 }
@@ -363,6 +429,80 @@ mod tests {
         set_enabled(true);
         assert!(enabled());
         set_enabled(false);
+        clear();
+    }
+
+    #[test]
+    fn spans_inherit_ambient_trace_ctx() {
+        let _guard = trace_test();
+        let context = TraceCtx::mint();
+        {
+            let _root = span_with_ctx!("ctx-root", context, ops = 3u64);
+            let _child = span!("ctx-child");
+            instant!("ctx-mark");
+        }
+        {
+            let _plain = span!("ctx-free");
+        }
+        set_enabled(false);
+        let events = drain();
+        let by_name = |n: &str| events.iter().find(|e| e.name == n).unwrap();
+        assert_eq!(by_name("ctx-root").trace_id, Some(context.trace_id));
+        assert_eq!(by_name("ctx-root").arg, Some(("ops".to_string(), 3)));
+        assert_eq!(by_name("ctx-child").trace_id, Some(context.trace_id));
+        assert_eq!(by_name("ctx-mark").trace_id, Some(context.trace_id));
+        assert_eq!(by_name("ctx-free").trace_id, None);
+        assert_eq!(ctx::current(), None, "scope must restore on drop");
+        clear();
+    }
+
+    #[test]
+    fn ctx_crosses_threads_via_explicit_scope() {
+        let _guard = trace_test();
+        let context = TraceCtx::mint();
+        let captured = {
+            let _root = span_with_ctx!("xthread-root", context);
+            ctx::current()
+        };
+        assert_eq!(captured, Some(context));
+        std::thread::spawn(move || {
+            let _scope = ctx::scope(captured);
+            let _w = span!("xthread-work");
+        })
+        .join()
+        .unwrap();
+        set_enabled(false);
+        let events = drain();
+        let work = events.iter().find(|e| e.name == "xthread-work").unwrap();
+        assert_eq!(work.trace_id, Some(context.trace_id));
+        let root = events.iter().find(|e| e.name == "xthread-root").unwrap();
+        assert_ne!(work.track, root.track, "work ran on its own thread");
+        clear();
+    }
+
+    #[test]
+    fn flight_mode_keeps_newest_events() {
+        let _guard = trace_test();
+        set_flight_recorder(true);
+        // Overfill by half a ring: the survivors must be the newest
+        // RING_CAPACITY instants, in order.
+        let total = RING_CAPACITY + RING_CAPACITY / 2;
+        for i in 0..total {
+            instant!("flight-ev", seq = i as u64);
+        }
+        set_enabled(false);
+        let events: Vec<_> = drain()
+            .into_iter()
+            .filter(|e| e.name == "flight-ev")
+            .collect();
+        set_flight_recorder(false);
+        assert_eq!(events.len(), RING_CAPACITY);
+        let first = events[0].arg.as_ref().unwrap().1;
+        assert_eq!(first, (total - RING_CAPACITY) as u64);
+        for (k, e) in events.iter().enumerate() {
+            assert_eq!(e.arg.as_ref().unwrap().1, first + k as u64);
+        }
+        assert!(dropped_events() >= (total - RING_CAPACITY) as u64);
         clear();
     }
 

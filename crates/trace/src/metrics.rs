@@ -144,6 +144,11 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Sum of all recorded samples (wrapping at `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
     /// Arithmetic mean of the samples (0 when empty).
     pub fn mean(&self) -> f64 {
         let n = self.count();
@@ -210,6 +215,24 @@ impl Histogram {
     /// 99.9th percentile.
     pub fn p999(&self) -> u64 {
         self.quantile(0.999)
+    }
+
+    /// Occupied buckets as `(inclusive_upper_bound, cumulative_count)`
+    /// pairs in ascending bound order — the shape Prometheus
+    /// `_bucket{le=...}` samples need. Empty buckets are elided (the
+    /// cumulative counts already carry them); the final pair's count
+    /// equals [`Histogram::count`], rendered as `le="+Inf"` upstream.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                cum += n;
+                out.push((bucket_bounds(i).1 - 1, cum));
+            }
+        }
+        out
     }
 
     /// Condenses the histogram into its summary row.
@@ -279,6 +302,40 @@ pub fn counter(name: &str) -> Arc<Counter> {
     }
 }
 
+/// Cap on live series per indexed family. Tenant/shard ids are minted
+/// monotonically for the life of a server process, so an unbounded
+/// family would grow one series per tenant *ever created* — a classic
+/// cardinality leak. At the cap, new members get an unregistered
+/// overflow sink (their handle still records, invisibly) and the
+/// `metrics.series_dropped` counter is bumped; deleting a tenant must
+/// evict its series with [`remove_indexed`] to make room.
+pub const MAX_INDEXED_SERIES: usize = 256;
+
+/// Counts the live members of family `name` (entries `name.<digits>`).
+/// Caller holds the registry lock.
+fn family_len(reg: &BTreeMap<String, Metric>, name: &str) -> usize {
+    let prefix = format!("{name}.");
+    reg.range(prefix.clone()..)
+        .take_while(|(k, _)| k.starts_with(&prefix))
+        .filter(|(k, _)| {
+            let suffix = &k[prefix.len()..];
+            !suffix.is_empty() && suffix.bytes().all(|b| b.is_ascii_digit())
+        })
+        .count()
+}
+
+/// Bumps `metrics.series_dropped` while the registry lock is held (the
+/// public [`counter`] helper would deadlock — `std::sync::Mutex` is not
+/// reentrant).
+fn bump_series_dropped(reg: &mut BTreeMap<String, Metric>) {
+    let metric = reg
+        .entry("metrics.series_dropped".to_string())
+        .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())));
+    if let Metric::Counter(c) = metric {
+        c.incr();
+    }
+}
+
 /// The counter registered under `name.index` (created on first use) —
 /// the convention for per-shard / per-worker counter families, e.g.
 /// `indexed_counter("bsp.shard_messages", 3)` →
@@ -286,12 +343,30 @@ pub fn counter(name: &str) -> Arc<Counter> {
 /// [`snapshot`] lists every member of the family side by side, which is
 /// how the BSP engine's per-shard imbalance shows up in reports.
 ///
+/// Families are capped at [`MAX_INDEXED_SERIES`] live members; overflow
+/// members record into an unregistered sink and are tallied in
+/// `metrics.series_dropped`.
+///
 /// # Panics
 ///
 /// Panics if the derived name is already registered as a different
 /// metric kind.
 pub fn indexed_counter(name: &str, index: usize) -> Arc<Counter> {
-    counter(&format!("{name}.{index}"))
+    let key = format!("{name}.{index}");
+    let mut reg = registry();
+    if let Some(metric) = reg.get(&key) {
+        return match metric {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("metric `{key}` already registered as {other:?}"),
+        };
+    }
+    if family_len(&reg, name) >= MAX_INDEXED_SERIES {
+        bump_series_dropped(&mut reg);
+        return Arc::new(Counter::default());
+    }
+    let c = Arc::new(Counter::default());
+    reg.insert(key, Metric::Counter(Arc::clone(&c)));
+    c
 }
 
 /// The gauge registered under `name` (created on first use).
@@ -313,14 +388,36 @@ pub fn gauge(name: &str) -> Arc<Gauge> {
 /// gauge twin of [`indexed_counter`], used for per-instance families such
 /// as `saga-server`'s per-tenant queue-depth gauges
 /// (`server.queue_depth.3`). Keeping the index in the name means a
-/// [`snapshot`] lists every member of the family side by side.
+/// [`snapshot`] lists every member of the family side by side. Capped at
+/// [`MAX_INDEXED_SERIES`] live members like [`indexed_counter`].
 ///
 /// # Panics
 ///
 /// Panics if the derived name is already registered as a different
 /// metric kind.
 pub fn indexed_gauge(name: &str, index: usize) -> Arc<Gauge> {
-    gauge(&format!("{name}.{index}"))
+    let key = format!("{name}.{index}");
+    let mut reg = registry();
+    if let Some(metric) = reg.get(&key) {
+        return match metric {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("metric `{key}` already registered as {other:?}"),
+        };
+    }
+    if family_len(&reg, name) >= MAX_INDEXED_SERIES {
+        bump_series_dropped(&mut reg);
+        return Arc::new(Gauge::default());
+    }
+    let g = Arc::new(Gauge::default());
+    reg.insert(key, Metric::Gauge(Arc::clone(&g)));
+    g
+}
+
+/// Evicts the `name.index` member of an indexed family (all kinds),
+/// freeing its cardinality-budget slot. Tenant deletion calls this for
+/// each per-tenant series. Returns whether the series existed.
+pub fn remove_indexed(name: &str, index: usize) -> bool {
+    registry().remove(&format!("{name}.{index}")).is_some()
 }
 
 /// The histogram registered under `name` (created on first use).
@@ -361,22 +458,80 @@ impl MetricsSnapshot {
     }
 
     /// CSV rendering: `kind,name,count,value,min,p50,p90,p99,p999,max`
-    /// (counters/gauges fill `value` only).
+    /// (counters/gauges fill `value` only). Names are quoted per RFC
+    /// 4180 when they contain `,`, `"`, or line breaks — metric names
+    /// are arbitrary strings (derived from user-supplied labels in some
+    /// callers), and an unescaped comma would shift every later column.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("kind,name,count,value,min,p50,p90,p99,p999,max\n");
         for (name, v) in &self.counters {
-            out.push_str(&format!("counter,{name},,{v},,,,,,\n"));
+            out.push_str(&format!("counter,{},,{v},,,,,,\n", csv_field(name)));
         }
         for (name, v) in &self.gauges {
-            out.push_str(&format!("gauge,{name},,{v},,,,,,\n"));
+            out.push_str(&format!("gauge,{},,{v},,,,,,\n", csv_field(name)));
         }
         for (name, h) in &self.histograms {
             out.push_str(&format!(
-                "histogram,{name},{},{:.1},{},{},{},{},{},{}\n",
-                h.count, h.mean, h.min, h.p50, h.p90, h.p99, h.p999, h.max
+                "histogram,{},{},{:.1},{},{},{},{},{},{}\n",
+                csv_field(name),
+                h.count,
+                h.mean,
+                h.min,
+                h.p50,
+                h.p90,
+                h.p99,
+                h.p999,
+                h.max
             ));
         }
         out
+    }
+
+    /// Parses a [`MetricsSnapshot::to_csv`] document back into a
+    /// snapshot (RFC 4180 quoting honored). Histogram means survive only
+    /// to the serialized `{:.1}` precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse_csv(text: &str) -> Result<MetricsSnapshot, String> {
+        let mut snap = MetricsSnapshot::default();
+        let mut rows = split_csv_rows(text)?.into_iter();
+        let header = rows.next().ok_or("empty document")?;
+        if header.first().map(String::as_str) != Some("kind") {
+            return Err(format!("bad header: {header:?}"));
+        }
+        for row in rows {
+            if row.len() != 10 {
+                return Err(format!("expected 10 fields, got {}: {row:?}", row.len()));
+            }
+            let name = row[1].clone();
+            let num = |i: usize| -> Result<u64, String> {
+                row[i].parse().map_err(|_| format!("bad u64 `{}`", row[i]))
+            };
+            match row[0].as_str() {
+                "counter" => snap.counters.push((name, num(3)?)),
+                "gauge" => snap.gauges.push((
+                    name,
+                    row[3].parse().map_err(|_| format!("bad f64 `{}`", row[3]))?,
+                )),
+                "histogram" => snap.histograms.push((
+                    name,
+                    HistogramSummary {
+                        count: num(2)?,
+                        mean: row[3].parse().map_err(|_| format!("bad f64 `{}`", row[3]))?,
+                        min: num(4)?,
+                        p50: num(5)?,
+                        p90: num(6)?,
+                        p99: num(7)?,
+                        p999: num(8)?,
+                        max: num(9)?,
+                    },
+                )),
+                other => return Err(format!("unknown kind `{other}`")),
+            }
+        }
+        Ok(snap)
     }
 
     /// Aligned plain-text rendering for terminals and `results/` files.
@@ -404,6 +559,102 @@ impl MetricsSnapshot {
     }
 }
 
+/// Quotes one CSV field per RFC 4180: fields containing a comma, a
+/// double quote, or a line break are wrapped in quotes with embedded
+/// quotes doubled; everything else passes through verbatim.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Splits an RFC 4180 document into rows of unquoted fields. Quoted
+/// fields may contain commas, doubled quotes, and line breaks.
+fn split_csv_rows(text: &str) -> Result<Vec<Vec<String>>, String> {
+    let mut rows = Vec::new();
+    let mut row = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    field.push('"');
+                }
+                '"' => in_quotes = false,
+                c => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' if field.is_empty() => in_quotes = true,
+            '"' => return Err("quote inside unquoted field".to_string()),
+            ',' => {
+                row.push(std::mem::take(&mut field));
+                any = true;
+            }
+            '\r' => {}
+            '\n' => {
+                if any || !field.is_empty() {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                any = false;
+            }
+            c => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted field".to_string());
+    }
+    if any || !field.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Bucket-level view of one live histogram, for exposition formats that
+/// need more than the quantile summary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramDetail {
+    /// Occupied buckets as `(inclusive_upper_bound, cumulative_count)`,
+    /// ascending (see [`Histogram::cumulative_buckets`]).
+    pub buckets: Vec<(u64, u64)>,
+    /// Total samples, taken as the final cumulative bucket count so the
+    /// `+Inf` invariant (`bucket[+Inf] == count`) holds by construction
+    /// even when sampled concurrently with recorders.
+    pub count: u64,
+    /// Sum of samples (racy with respect to `count` by at most the
+    /// in-flight recordings; Prometheus semantics tolerate this).
+    pub sum: u64,
+}
+
+/// Snapshots every live histogram with bucket detail, ordered by name.
+pub fn histogram_details() -> Vec<(String, HistogramDetail)> {
+    let mut out = Vec::new();
+    for (name, metric) in registry().iter() {
+        if let Metric::Hist(h) = metric {
+            let buckets = h.cumulative_buckets();
+            let count = buckets.last().map_or(0, |&(_, c)| c);
+            out.push((
+                name.clone(),
+                HistogramDetail {
+                    buckets,
+                    count,
+                    sum: h.sum(),
+                },
+            ));
+        }
+    }
+    out
+}
+
 /// Snapshots every registered metric.
 pub fn snapshot() -> MetricsSnapshot {
     let mut snap = MetricsSnapshot::default();
@@ -420,6 +671,18 @@ pub fn snapshot() -> MetricsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Tests that `reset()` the process-global registry must not
+    /// interleave with each other under the parallel test harness.
+    static REG_LOCK: Mutex<()> = Mutex::new(());
+
+    fn registry_test() -> std::sync::MutexGuard<'static, ()> {
+        let guard = REG_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        reset();
+        guard
+    }
 
     #[test]
     fn bucket_index_is_monotone_and_bounds_contain() {
@@ -488,8 +751,81 @@ mod tests {
     }
 
     #[test]
-    fn registry_roundtrip_and_kind_mismatch() {
+    fn indexed_family_cardinality_is_bounded_under_churn() {
+        let _guard = registry_test();
+        // Churn 10k tenant ids through a gauge family without evicting:
+        // the registry must stay at the cap, the rest counted as dropped.
+        for id in 0..10_000usize {
+            indexed_gauge("test.churn.depth", id).set(id as f64);
+        }
+        let live = {
+            let snap = snapshot();
+            snap.gauges
+                .iter()
+                .filter(|(n, _)| n.starts_with("test.churn.depth."))
+                .count()
+        };
+        assert_eq!(live, MAX_INDEXED_SERIES);
+        let dropped = {
+            let snap = snapshot();
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == "metrics.series_dropped")
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(dropped, (10_000 - MAX_INDEXED_SERIES) as u64);
+        // Overflow handles still work, they just record invisibly.
+        indexed_gauge("test.churn.depth", 99_999).set(1.0);
+
         reset();
+        // With delete-time eviction the same churn never overflows.
+        for id in 0..10_000usize {
+            indexed_counter("test.churn.msgs", id).incr();
+            assert!(remove_indexed("test.churn.msgs", id));
+        }
+        let snap = snapshot();
+        assert!(snap
+            .counters
+            .iter()
+            .all(|(n, _)| !n.starts_with("test.churn.msgs.")));
+        assert!(!snap
+            .counters
+            .iter()
+            .any(|(n, _)| n == "metrics.series_dropped"));
+        assert!(!remove_indexed("test.churn.msgs", 0));
+        // Re-registration after eviction starts a fresh series.
+        assert_eq!(indexed_counter("test.churn.msgs", 0).get(), 0);
+        reset();
+    }
+
+    #[test]
+    fn csv_escapes_and_roundtrips_hostile_names() {
+        let _guard = registry_test();
+        counter("plain.name").add(7);
+        counter("comma,in,name").add(1);
+        gauge("quote\"in\"name").set(2.5);
+        gauge("newline\nin name").set(-0.25);
+        histogram("crlf\r\nname").record(100);
+        let snap = snapshot();
+        let csv = snap.to_csv();
+        // Every data row must still have exactly 10 columns once quoting
+        // is honored (the old rendering shifted columns on commas).
+        let parsed = MetricsSnapshot::parse_csv(&csv).unwrap();
+        assert_eq!(parsed.counters, snap.counters);
+        assert_eq!(parsed.gauges, snap.gauges);
+        assert_eq!(parsed.histograms.len(), 1);
+        assert_eq!(parsed.histograms[0].0, "crlf\r\nname");
+        assert_eq!(parsed.histograms[0].1.count, 1);
+        assert_eq!(parsed.histograms[0].1.max, snap.histograms[0].1.max);
+        assert!(csv.contains("\"comma,in,name\""));
+        assert!(csv.contains("\"quote\"\"in\"\"name\""));
+        reset();
+    }
+
+    #[test]
+    fn registry_roundtrip_and_kind_mismatch() {
+        let _guard = registry_test();
         counter("test.reg.hits").add(3);
         counter("test.reg.hits").add(2);
         // Indexed counters are plain counters under a `name.index` family.

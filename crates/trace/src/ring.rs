@@ -7,11 +7,22 @@
 //! allocates after the ring exists (the ring itself is allocated lazily on
 //! the thread's first event, so untraced runs allocate nothing).
 //!
-//! **Drop policy:** the ring does not wrap. Once `RING_CAPACITY` events
-//! have been written, further events are counted in `dropped` and
-//! discarded, so a drained trace is always an exact *prefix* of the
-//! thread's event stream (wrap-around would instead tear the oldest spans
-//! in half). The Chrome exporter closes any spans the prefix left open.
+//! **Drop policy:** in the default (prefix) mode the ring does not wrap.
+//! Once `RING_CAPACITY` events have been written, further events are
+//! counted in `dropped` and discarded, so a drained trace is always an
+//! exact *prefix* of the thread's event stream (wrap-around would instead
+//! tear the oldest spans in half). The Chrome exporter closes any spans
+//! the prefix left open.
+//!
+//! **Flight-recorder mode** ([`set_flight_recorder`]) inverts the policy
+//! for long-lived servers: the ring wraps and always holds the *most
+//! recent* `RING_CAPACITY` events per thread (overwritten events are
+//! counted in `dropped`). A drain that races an emitting producer may
+//! observe one torn slot per ring (the one being overwritten); the
+//! decoders tolerate this — an unknown site resolves to `"<unknown>"`
+//! and the Chrome exporter balances stray begins/ends — so a dump taken
+//! from a live process is always well-formed, merely approximate at the
+//! wrap frontier. Switch modes only across a [`clear`] quiescence point.
 //!
 //! Publication protocol (single producer, quiescent-or-racing reader):
 //! the producer writes the four payload words with relaxed stores, then
@@ -38,7 +49,9 @@ struct Slot {
     meta: AtomicU64,
     /// The argument value (valid when the `has_arg` bit is set).
     arg: AtomicU64,
-    /// Duration in nanoseconds ([`EventKind::Complete`] only).
+    /// Duration in nanoseconds for [`EventKind::Complete`]; for
+    /// `Begin`/`Instant` events with the `has_ctx` bit set, the word is
+    /// reused to carry the trace id (a `Complete` never carries one).
     dur_ns: AtomicU64,
 }
 
@@ -54,27 +67,30 @@ impl Slot {
 }
 
 const KIND_SHIFT: u32 = 56;
+const CTX_SHIFT: u32 = 49;
 const ARG_SHIFT: u32 = 48;
 const TRACK_SHIFT: u32 = 32;
 
-fn pack_meta(kind: EventKind, has_arg: bool, track: u16, site: u32) -> u64 {
+fn pack_meta(kind: EventKind, has_arg: bool, has_ctx: bool, track: u16, site: u32) -> u64 {
     ((kind as u64) << KIND_SHIFT)
+        | ((has_ctx as u64) << CTX_SHIFT)
         | ((has_arg as u64) << ARG_SHIFT)
         | ((track as u64) << TRACK_SHIFT)
         | site as u64
 }
 
-fn unpack_meta(meta: u64) -> (EventKind, bool, u16, u32) {
+fn unpack_meta(meta: u64) -> (EventKind, bool, bool, u16, u32) {
     let kind = match (meta >> KIND_SHIFT) & 0xff {
         0 => EventKind::Begin,
         1 => EventKind::End,
         2 => EventKind::Instant,
         _ => EventKind::Complete,
     };
+    let has_ctx = (meta >> CTX_SHIFT) & 1 == 1;
     let has_arg = (meta >> ARG_SHIFT) & 1 == 1;
     let track = ((meta >> TRACK_SHIFT) & 0xffff) as u16;
     let site = (meta & 0xffff_ffff) as u32;
-    (kind, has_arg, track, site)
+    (kind, has_arg, has_ctx, track, site)
 }
 
 /// One thread's event buffer, registered with the global collector for the
@@ -101,21 +117,59 @@ impl ThreadRing {
         }
     }
 
-    /// Appends one event (producer side; owner thread only).
-    fn push(&self, kind: EventKind, site: u32, track: u16, t_ns: u64, dur_ns: u64, arg: Option<u64>) {
+    /// Appends one event (producer side; owner thread only). `word` is
+    /// the duration for `Complete` events, or the trace id when `has_ctx`
+    /// (never both — the span-carrying kinds have no duration field).
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &self,
+        kind: EventKind,
+        site: u32,
+        track: u16,
+        t_ns: u64,
+        word: u64,
+        has_ctx: bool,
+        arg: Option<u64>,
+    ) {
         let i = self.head.load(Ordering::Relaxed);
         if i >= RING_CAPACITY {
+            if !flight_recorder() {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            // Wrap mode: the slot we are about to reuse holds the ring's
+            // oldest event; count it as dropped so total-emitted
+            // accounting (`drain().len() + dropped_events()`) still holds.
             self.dropped.fetch_add(1, Ordering::Relaxed);
-            return;
         }
-        let slot = &self.slots[i];
+        let slot = &self.slots[i % RING_CAPACITY];
         slot.t_ns.store(t_ns, Ordering::Relaxed);
-        slot.meta
-            .store(pack_meta(kind, arg.is_some(), track, site), Ordering::Relaxed);
+        slot.meta.store(
+            pack_meta(kind, arg.is_some(), has_ctx, track, site),
+            Ordering::Relaxed,
+        );
         slot.arg.store(arg.unwrap_or(0), Ordering::Relaxed);
-        slot.dur_ns.store(dur_ns, Ordering::Relaxed);
+        slot.dur_ns.store(word, Ordering::Relaxed);
         self.head.store(i + 1, Ordering::Release);
     }
+}
+
+/// Flight-recorder (wrap) mode flag; see the module docs. Relaxed is
+/// sufficient for the same reason as the global enable flag.
+static FLIGHT: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Whether the rings are in flight-recorder (keep-newest, wrapping) mode.
+#[inline]
+pub fn flight_recorder() -> bool {
+    FLIGHT.load(Ordering::Relaxed)
+}
+
+/// Switches between prefix mode (`false`, the default: keep-oldest,
+/// drop-newest) and flight-recorder mode (`true`: wrap, keep-newest).
+/// Only switch across a [`clear`] quiescence point — mixing modes within
+/// one capture makes the drain order undefined for pre-switch events.
+pub fn set_flight_recorder(on: bool) {
+    FLIGHT.store(on, Ordering::Relaxed);
 }
 
 /// All rings ever registered (lock taken on registration and drain only,
@@ -203,6 +257,7 @@ pub(crate) fn emit(
     t_ns: u64,
     dur_ns: u64,
     arg: Option<u64>,
+    trace: Option<u64>,
 ) {
     if MUTED.with(std::cell::Cell::get) {
         return;
@@ -210,7 +265,13 @@ pub(crate) fn emit(
     // Track 0 in the packed meta means "the ring's default"; explicit
     // overrides are stored biased by one.
     let track = track.map(|t| (t + 1).min(u16::MAX as usize) as u16).unwrap_or(0);
-    with_ring(|ring| ring.push(kind, site, track, t_ns, dur_ns, arg));
+    // The trace id rides in the duration word: only Complete events have
+    // a real duration, and Complete never carries a context.
+    let (word, has_ctx) = match trace {
+        Some(id) if kind != EventKind::Complete => (id, true),
+        _ => (dur_ns, false),
+    };
+    with_ring(|ring| ring.push(kind, site, track, t_ns, word, has_ctx, arg));
 }
 
 /// One decoded trace event, as consumed by the exporters.
@@ -229,6 +290,9 @@ pub struct TraceEvent {
     pub name: String,
     /// Optional `(key, value)` argument captured at the site.
     pub arg: Option<(String, u64)>,
+    /// Trace id carried from the ambient [`crate::ctx::TraceCtx`] at
+    /// emission, when one was installed.
+    pub trace_id: Option<u64>,
 }
 
 /// Decodes and returns every event currently held by every ring,
@@ -239,26 +303,34 @@ pub fn drain() -> Vec<TraceEvent> {
     let tracks = lock(&TRACKS).clone();
     let mut out = Vec::new();
     for ring in rings {
-        let n = ring.head.load(Ordering::Acquire).min(RING_CAPACITY);
+        let head = ring.head.load(Ordering::Acquire);
+        let n = head.min(RING_CAPACITY);
+        // In prefix mode the oldest surviving event is slot 0; once a
+        // wrapping ring has lapped, it is the slot head points at next.
+        let start = if head > RING_CAPACITY { head } else { 0 };
         let default_track = ring.track.load(Ordering::Relaxed);
-        for slot in ring.slots.iter().take(n) {
-            let (kind, has_arg, track, site) = unpack_meta(slot.meta.load(Ordering::Relaxed));
+        for k in 0..n {
+            let slot = &ring.slots[(start + k) % RING_CAPACITY];
+            let (kind, has_arg, has_ctx, track, site) =
+                unpack_meta(slot.meta.load(Ordering::Relaxed));
             let (name, arg_name) = resolve_site(site);
             let track_id = if track == 0 {
                 default_track
             } else {
                 track as usize - 1
             };
+            let word = slot.dur_ns.load(Ordering::Relaxed);
             out.push(TraceEvent {
                 track: tracks
                     .get(track_id)
                     .cloned()
                     .unwrap_or_else(|| format!("track-{track_id}")),
                 t_ns: slot.t_ns.load(Ordering::Relaxed),
-                dur_ns: slot.dur_ns.load(Ordering::Relaxed),
+                dur_ns: if has_ctx { 0 } else { word },
                 kind,
                 name: name.to_string(),
                 arg: has_arg.then(|| (arg_name.to_string(), slot.arg.load(Ordering::Relaxed))),
+                trace_id: has_ctx.then_some(word),
             });
         }
     }
@@ -299,6 +371,7 @@ pub fn emit_complete(site: &Site, track: &str, t_ns: u64, dur_ns: u64, arg: Opti
         t_ns,
         dur_ns,
         arg,
+        None,
     );
 }
 
@@ -315,11 +388,17 @@ mod tests {
             EventKind::Complete,
         ] {
             for has_arg in [false, true] {
-                let meta = pack_meta(kind, has_arg, 513, 0xdead_beef);
-                assert_eq!(unpack_meta(meta), (kind, has_arg, 513, 0xdead_beef));
+                for has_ctx in [false, true] {
+                    let meta = pack_meta(kind, has_arg, has_ctx, 513, 0xdead_beef);
+                    assert_eq!(
+                        unpack_meta(meta),
+                        (kind, has_arg, has_ctx, 513, 0xdead_beef)
+                    );
+                }
             }
         }
     }
+
 
     #[test]
     fn track_interning_dedupes() {

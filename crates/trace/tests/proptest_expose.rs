@@ -1,0 +1,168 @@
+//! Property tests for the Prometheus exposition pair: arbitrary (and
+//! hostile) registry names, label values, and histogram shapes must
+//! render to text that the in-tree validating parser accepts and maps
+//! back to the *identical* family model. This is the contract the
+//! `/metrics` endpoint, the CI smoke scrape, and `cargo xtask
+//! check-metrics` all lean on: if render → parse is the identity on the
+//! model, any document the validator rejects really is malformed.
+
+use proptest::prelude::*;
+use saga_trace::expose::{
+    build_families, parse_prometheus, render_families, PromFamily, PromKind, PromSample,
+};
+use saga_trace::metrics::{HistogramDetail, MetricsSnapshot};
+use std::collections::BTreeMap;
+
+/// The characters real call sites use in registry names (letters,
+/// digits, `.`-separated segments, indexed `.N` suffixes) plus the ones
+/// the sanitizer and escaper exist for: spaces, quotes, backslashes,
+/// newlines, and punctuation that collides after sanitization.
+const NAME_ALPHABET: &[char] = &[
+    'a', 'b', 'z', 'A', 'Z', '0', '1', '9', '.', '_', ':', '-', '!', '/', '\\', '"', ' ', '\n',
+];
+
+fn raw_name() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..NAME_ALPHABET.len(), 1..16)
+        .prop_map(|ix| ix.into_iter().map(|i| NAME_ALPHABET[i]).collect())
+}
+
+/// Label values get the full hostile treatment: escape-relevant
+/// characters, control characters, and multi-byte Unicode.
+const VALUE_ALPHABET: &[char] = &[
+    'a', 'Z', '7', '"', '\\', '\n', '\r', '\t', '\u{1}', '\u{7f}', 'λ', '∞', '字', ' ', '=', ',',
+    '{', '}',
+];
+
+fn label_value() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..VALUE_ALPHABET.len(), 0..12)
+        .prop_map(|ix| ix.into_iter().map(|i| VALUE_ALPHABET[i]).collect())
+}
+
+/// Finite values plus both infinities; `NaN` is excluded only because
+/// the model comparison uses `==` (the renderer and parser both handle
+/// `NaN` — covered by a unit test in `expose.rs`).
+fn metric_value() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        8 => any::<u64>().prop_map(|bits| {
+            let v = f64::from_bits(bits);
+            if v.is_finite() { v } else { bits as f64 }
+        }),
+        1 => Just(f64::INFINITY),
+        1 => Just(f64::NEG_INFINITY),
+    ]
+}
+
+/// Valid-by-construction bucket detail: strictly ascending bounds,
+/// non-decreasing cumulative counts, total count at least the last
+/// bucket. Bounds stay far below 2^53 so their decimal rendering
+/// parses back to distinct `f64`s.
+fn hist_detail() -> impl Strategy<Value = HistogramDetail> {
+    (
+        proptest::collection::vec((1u64..1_000, 0u64..1_000), 0..6),
+        0u64..1_000,
+        any::<u32>(),
+    )
+        .prop_map(|(deltas, extra, sum)| {
+            let mut bound = 0u64;
+            let mut cum = 0u64;
+            let mut buckets = Vec::new();
+            for (dle, dcum) in deltas {
+                bound += dle;
+                cum += dcum;
+                buckets.push((bound, cum));
+            }
+            HistogramDetail {
+                buckets,
+                count: cum + extra,
+                sum: u64::from(sum),
+            }
+        })
+}
+
+/// Registry name uniqueness (the live registry is a map) via `BTreeMap`
+/// collapse; generated duplicates just overwrite.
+fn unique<V>(pairs: Vec<(String, V)>) -> Vec<(String, V)> {
+    pairs.into_iter().collect::<BTreeMap<_, _>>().into_iter().collect()
+}
+
+proptest! {
+    /// The headline property: any registry contents — colliding
+    /// sanitized names, kind conflicts, indexed families, hostile
+    /// characters — survive render → parse unchanged.
+    #[test]
+    fn registry_snapshot_roundtrips_through_exposition(
+        counters in proptest::collection::vec((raw_name(), any::<u64>()), 0..8),
+        gauges in proptest::collection::vec((raw_name(), metric_value()), 0..8),
+        hists in proptest::collection::vec((raw_name(), hist_detail()), 0..4),
+    ) {
+        let snap = MetricsSnapshot {
+            counters: unique(counters),
+            gauges: unique(gauges),
+            histograms: Vec::new(),
+        };
+        let details = unique(hists);
+        let families = build_families(&snap, &details);
+        let text = render_families(&families);
+        let parsed = parse_prometheus(&text).map_err(|e| {
+            TestCaseError::fail(format!(
+                "validator rejected rendered text: {e}\n--- document ---\n{text}"
+            ))
+        })?;
+        prop_assert_eq!(parsed, families);
+    }
+
+    /// Label *values* are arbitrary (quotes, backslashes, newlines,
+    /// control characters, multi-byte Unicode); escaping must be
+    /// lossless through the parser.
+    #[test]
+    fn hostile_label_values_roundtrip(
+        values in proptest::collection::vec(label_value(), 1..5),
+    ) {
+        let samples = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| PromSample {
+                suffix: String::new(),
+                // Distinct `idx` keeps series unique even when values repeat.
+                labels: vec![
+                    ("idx".to_string(), i.to_string()),
+                    ("raw".to_string(), v.clone()),
+                ],
+                value: i as f64,
+            })
+            .collect();
+        let families = vec![PromFamily {
+            name: "hostile_labels".to_string(),
+            kind: PromKind::Gauge,
+            samples,
+        }];
+        let text = render_families(&families);
+        let parsed = parse_prometheus(&text).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(parsed, families);
+    }
+
+    /// Rendered histograms always satisfy the exposition invariants the
+    /// validator checks: `le` ascending with `+Inf` last, cumulative
+    /// counts non-decreasing, `+Inf == _count`, `_sum` present.
+    #[test]
+    fn rendered_histograms_satisfy_bucket_invariants(
+        hists in proptest::collection::vec((raw_name(), hist_detail()), 1..4),
+    ) {
+        let snap = MetricsSnapshot {
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+        };
+        let details = unique(hists);
+        let families = build_families(&snap, &details);
+        let text = render_families(&families);
+        // `parse_prometheus` runs `validate_histogram` over every
+        // histogram family; acceptance *is* the invariant check.
+        let parsed = parse_prometheus(&text).map_err(TestCaseError::fail)?;
+        for f in &parsed {
+            prop_assert_eq!(f.kind, PromKind::Histogram);
+            prop_assert!(f.samples.iter().any(|s| s.suffix == "_count"));
+            prop_assert!(f.samples.iter().any(|s| s.suffix == "_sum"));
+        }
+    }
+}

@@ -38,6 +38,14 @@
 //! (shape + strict per-track span nesting) via `saga_check::tracecheck` —
 //! CI runs it against the trace-smoke artifact.
 //!
+//! `analyze-trace <file>` decodes such a file back into events and prints
+//! the offline analyzer's report (span statistics, stitched per-request
+//! trace trees, critical paths) via `saga_trace::analyze`.
+//!
+//! `check-metrics <file>` validates a Prometheus text-exposition file
+//! (grammar + histogram invariants) via `saga_trace::expose` — CI's
+//! obs-smoke job runs it against the live `/metrics` scrape.
+//!
 //! The scanner is deliberately line-based (no full parser is available
 //! offline): block comments, line comments, and string literals are
 //! stripped before matching, which is exact enough for the workspace's
@@ -52,8 +60,13 @@ fn main() -> ExitCode {
         Some("lint") => lint(),
         Some("analyze") => analyze(),
         Some("check-trace") => check_trace(args.next()),
+        Some("analyze-trace") => analyze_trace(args.next()),
+        Some("check-metrics") => check_metrics(args.next()),
         Some(other) => {
-            eprintln!("unknown task `{other}`; available tasks: lint, analyze, check-trace");
+            eprintln!(
+                "unknown task `{other}`; available tasks: lint, analyze, check-trace, \
+                 analyze-trace, check-metrics"
+            );
             ExitCode::FAILURE
         }
         None => {
@@ -61,8 +74,68 @@ fn main() -> ExitCode {
                 "usage: cargo xtask <task>\n\ntasks:\n  lint                 \
                  SAFETY-invariant pass\n  analyze              static \
                  lock-order & atomics-protocol analysis\n  check-trace <file>   \
-                 validate an exported Chrome trace-event JSON file"
+                 validate an exported Chrome trace-event JSON file\n  \
+                 analyze-trace <file>  span stats + stitched trace trees of an \
+                 exported trace\n  check-metrics <file>  validate a Prometheus \
+                 text-exposition scrape"
             );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Decodes an exported Chrome trace and prints the offline analyzer's
+/// report: span statistics and, per stitched request trace, the root and
+/// critical path. The obs-smoke CI job runs this over the downloaded
+/// `/debug/flight` capture.
+fn analyze_trace(path: Option<String>) -> ExitCode {
+    let Some(path) = path else {
+        eprintln!("usage: cargo xtask analyze-trace <file.trace.json>");
+        return ExitCode::FAILURE;
+    };
+    let doc = match std::fs::read_to_string(&path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("xtask analyze-trace: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = match saga_check::tracecheck::decode_events(&doc) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("xtask analyze-trace: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", saga_trace::analyze::render_report(&events));
+    ExitCode::SUCCESS
+}
+
+/// Validates a Prometheus text-exposition file with the same in-tree
+/// parser the proptest round-trip pins against the renderer.
+fn check_metrics(path: Option<String>) -> ExitCode {
+    let Some(path) = path else {
+        eprintln!("usage: cargo xtask check-metrics <file.prom>");
+        return ExitCode::FAILURE;
+    };
+    let doc = match std::fs::read_to_string(&path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("xtask check-metrics: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match saga_trace::expose::parse_prometheus(&doc) {
+        Ok(families) => {
+            let samples: usize = families.iter().map(|f| f.samples.len()).sum();
+            println!(
+                "xtask check-metrics: OK ({path}: {} families, {samples} samples)",
+                families.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask check-metrics: {path}: {e}");
             ExitCode::FAILURE
         }
     }
